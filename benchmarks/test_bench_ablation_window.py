@@ -1,0 +1,55 @@
+"""Ablation A3 -- ESM rounds per decoding window.
+
+The paper's window holds two fresh ESM rounds plus the carried-over
+round (Fig. 5.9).  This ablation varies the window depth: a one-round
+window leaves the decoder a 2-round history (degraded vote), while a
+three-round window votes over four (one dropped).  The LER per window
+is not directly comparable across window sizes (windows have different
+durations), so the bench reports LER per *ESM round* and requires the
+paper's two-round geometry to be no worse than the one-round one.
+"""
+
+from repro.experiments.ler import LerExperiment
+
+PER = 2e-3
+SAMPLES = 3
+MAX_LOGICAL_ERRORS = 4
+
+
+def _ler_per_round(rounds_per_window, seed_base):
+    errors = 0
+    esm_rounds = 0
+    for sample in range(SAMPLES):
+        result = LerExperiment(
+            PER,
+            use_pauli_frame=False,
+            max_logical_errors=MAX_LOGICAL_ERRORS,
+            seed=seed_base + sample,
+            rounds_per_window=rounds_per_window,
+        ).run()
+        errors += result.logical_errors
+        esm_rounds += result.windows * rounds_per_window
+    return errors / esm_rounds
+
+
+def test_bench_ablation_window_depth(benchmark):
+    series = benchmark.pedantic(
+        lambda: {
+            rounds: _ler_per_round(rounds, 600 + 37 * rounds)
+            for rounds in (1, 2, 3)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[A3] window-depth ablation at PER = %.0e:" % PER)
+    print("  rounds/window   LER per ESM round")
+    for rounds, value in sorted(series.items()):
+        print(f"  {rounds:13d}   {value:.6f}")
+    # All geometries must decode (finite LER per round, way below the
+    # raw physical error accumulation of ~17 qubits x 8 slots x p).
+    raw_accumulation = 17 * 8 * PER
+    for value in series.values():
+        assert 0 < value < raw_accumulation
+    # The paper's 2-round window must not lose to the 1-round window
+    # by more than sampling noise allows.
+    assert series[2] < series[1] * 2.5

@@ -1,0 +1,41 @@
+"""E13 -- Table 5.8: the ESM circuit structure audit.
+
+Regenerates the table: 48 gates over 8 time slots, with the exact
+per-slot contents (ancilla resets, Hadamard brackets, the four
+interleaved CNOT slots, the simultaneous measurement).
+"""
+
+from collections import Counter
+
+from repro.codes.surface17 import parallel_esm
+
+
+def _audit():
+    esm = parallel_esm(list(range(17)))
+    rows = []
+    for index, slot in enumerate(esm.circuit, start=1):
+        census = Counter(operation.name for operation in slot)
+        rows.append((index, len(slot), dict(census)))
+    return esm, rows
+
+
+def test_bench_table_5_8_esm_structure(benchmark):
+    esm, rows = benchmark.pedantic(_audit, rounds=1, iterations=1)
+    print("\n[E13] Table 5.8 -- ESM circuit structure:")
+    print("  slot  #ops  contents")
+    for index, count, census in rows:
+        body = ", ".join(f"{k} x{v}" for k, v in sorted(census.items()))
+        print(f"  {index:4d}  {count:4d}  {body}")
+    total_ops = sum(count for _i, count, _c in rows)
+    print(f"  total: {total_ops} gates in {len(rows)} time slots")
+
+    assert len(rows) == 8
+    assert total_ops == 48
+    assert rows[0][2] == {"prep_z": 4}
+    assert rows[1][2] == {"prep_z": 4, "h": 4}
+    for index in (2, 3, 4, 5):
+        assert rows[index][2] == {"cnot": 6}
+    assert rows[6][2] == {"h": 4}
+    assert rows[7][2] == {"measure": 8}
+    assert len(esm.x_measurements) == 4
+    assert len(esm.z_measurements) == 4

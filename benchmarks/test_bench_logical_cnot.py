@@ -1,0 +1,51 @@
+"""E3 -- Table 5.5: the transversal CNOT_L truth table.
+
+Regenerates the table row for row: initial state, expected state after
+CNOT_L (qubit 0 control, qubit 1 target), simulated state.
+"""
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.qpdo import StateVectorCore
+
+
+def _row(control_bit, target_bit, seed):
+    core = StateVectorCore(seed=seed)
+    layer = NinjaStarLayer(core)
+    layer.createqubit(2)
+    circuit = Circuit()
+    circuit.add("prep_z", 0)
+    circuit.add("prep_z", 1)
+    if control_bit:
+        circuit.add("x", 0)
+    if target_bit:
+        circuit.add("x", 1)
+    circuit.add("cnot", 0, 1)
+    m0 = circuit.add("measure", 0)
+    m1 = circuit.add("measure", 1)
+    result = layer.run(circuit)
+    return result.result_of(m0), result.result_of(m1)
+
+
+def _table():
+    rows = []
+    for control_bit, target_bit in [(0, 0), (1, 0), (0, 1), (1, 1)]:
+        observed = _row(
+            control_bit, target_bit, seed=200 + control_bit * 2 + target_bit
+        )
+        expected = (control_bit, control_bit ^ target_bit)
+        rows.append((control_bit, target_bit, expected, observed))
+    return rows
+
+
+def test_bench_table_5_5_cnot_truth_table(benchmark):
+    rows = benchmark.pedantic(_table, rounds=1, iterations=1)
+    print("\n[E3] Table 5.5 -- CNOT_L truth table:")
+    print("  initial |c t>_L   expected   simulated")
+    for control_bit, target_bit, expected, observed in rows:
+        print(
+            f"  |{control_bit}{target_bit}>_L          "
+            f"|{expected[0]}{expected[1]}>_L      "
+            f"|{observed[0]}{observed[1]}>_L"
+        )
+    assert all(expected == observed for _c, _t, expected, observed in rows)

@@ -1,0 +1,59 @@
+"""E4 -- Table 5.6: the transversal CZ_L truth table with phases.
+
+The distinguishing row is ``|11>_L -> -|11>_L``: the simulated global
+phase must be exactly -1, which only a state-vector back-end can show.
+"""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.qpdo import StateVectorCore
+
+
+def _row(control_bit, target_bit, seed):
+    core = StateVectorCore(seed=seed)
+    layer = NinjaStarLayer(core)
+    layer.createqubit(2)
+    circuit = Circuit()
+    circuit.add("prep_z", 0)
+    circuit.add("prep_z", 1)
+    if control_bit:
+        circuit.add("x", 0)
+    if target_bit:
+        circuit.add("x", 1)
+    layer.run(circuit)
+    before = core.getquantumstate()
+    cz = Circuit()
+    cz.add("cz", 0, 1)
+    layer.run(cz)
+    after = core.getquantumstate()
+    assert after.equal_up_to_global_phase(before)
+    return complex(after.global_phase_relative_to(before))
+
+
+def _table():
+    rows = []
+    for control_bit, target_bit in [(0, 0), (1, 0), (0, 1), (1, 1)]:
+        phase = _row(
+            control_bit, target_bit, seed=300 + control_bit * 2 + target_bit
+        )
+        expected = -1.0 if control_bit and target_bit else 1.0
+        rows.append((control_bit, target_bit, expected, phase))
+    return rows
+
+
+def test_bench_table_5_6_cz_truth_table(benchmark):
+    rows = benchmark.pedantic(_table, rounds=1, iterations=1)
+    print("\n[E4] Table 5.6 -- CZ_L truth table:")
+    print("  initial |c t>_L   expected          simulated")
+    for control_bit, target_bit, expected, phase in rows:
+        sign = "-" if expected < 0 else " "
+        print(
+            f"  |{control_bit}{target_bit}>_L          "
+            f"{sign}|{control_bit}{target_bit}>_L           "
+            f"({phase.real:+.4f}{phase.imag:+.4f}j)"
+            f"|{control_bit}{target_bit}>_L"
+        )
+    for _c, _t, expected, phase in rows:
+        assert phase == pytest.approx(expected, abs=1e-6)

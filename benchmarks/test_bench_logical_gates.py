@@ -1,0 +1,69 @@
+"""E2 -- section 5.1.4: logical X_L / Z_L / H_L gate algebra.
+
+Regenerates the paper's verification relations on the full stack:
+``Z_L|0>_L = |0>_L``, ``Z_L|1>_L = -|1>_L``, ``X_L|+>_L = |+>_L`` and
+``Z_L|+>_L = |->_L`` (orthogonal to ``|+>_L``).
+"""
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.qpdo import StateVectorCore
+
+
+def _stack(seed):
+    core = StateVectorCore(seed=seed)
+    layer = NinjaStarLayer(core)
+    layer.createqubit(1)
+    return core, layer
+
+
+def _apply(layer, *names):
+    circuit = Circuit()
+    for name in names:
+        circuit.add(name, 0)
+    layer.run(circuit)
+
+
+def _relations():
+    rows = []
+    core, layer = _stack(31)
+    _apply(layer, "prep_z")
+    zero = core.getquantumstate().amplitudes
+    _apply(layer, "z")
+    rows.append(
+        ("Z_L|0>_L == |0>_L",
+         np.allclose(core.getquantumstate().amplitudes, zero))
+    )
+    core, layer = _stack(32)
+    _apply(layer, "prep_z", "x")
+    one = core.getquantumstate().amplitudes
+    _apply(layer, "z")
+    rows.append(
+        ("Z_L|1>_L == -|1>_L",
+         np.allclose(core.getquantumstate().amplitudes, -one))
+    )
+    core, layer = _stack(33)
+    _apply(layer, "prep_z", "h")
+    plus = core.getquantumstate().amplitudes
+    _apply(layer, "x")
+    rows.append(
+        ("X_L|+>_L == |+>_L",
+         np.allclose(core.getquantumstate().amplitudes, plus))
+    )
+    core, layer = _stack(34)
+    _apply(layer, "prep_z", "h")
+    plus = core.getquantumstate().amplitudes
+    _apply(layer, "z")
+    overlap = abs(np.vdot(plus, core.getquantumstate().amplitudes))
+    rows.append(("Z_L|+>_L orthogonal to |+>_L", overlap < 1e-9))
+    return rows
+
+
+def test_bench_logical_gate_relations(benchmark):
+    rows = benchmark.pedantic(_relations, rounds=1, iterations=1)
+    print("\n[E2] logical gate relations (section 5.1.4):")
+    for name, ok in rows:
+        print(f"  {name}: {'ok' if ok else 'FAILED'}")
+    assert all(ok for _name, ok in rows)

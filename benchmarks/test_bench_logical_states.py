@@ -1,0 +1,52 @@
+"""E1 -- Listings 5.1/5.2: the logical |0>/|1> states of a ninja star.
+
+Regenerates the paper's printed nine-qubit quantum states after
+fault-tolerant initialisation and after a logical X, and checks the
+defining structure: 16 equal-amplitude terms of even (|0>_L) or odd
+(|1>_L) parity.
+"""
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.qpdo import StateVectorCore
+
+
+def _initialize_and_read(seed, apply_x):
+    core = StateVectorCore(seed=seed)
+    layer = NinjaStarLayer(core)
+    layer.createqubit(1)
+    circuit = Circuit("init")
+    circuit.add("prep_z", 0)
+    if apply_x:
+        circuit.add("x", 0)
+    layer.run(circuit)
+    return layer.data_quantum_state(0)
+
+
+def test_bench_listing_5_1_logical_zero(benchmark):
+    state = benchmark.pedantic(
+        lambda: _initialize_and_read(2016, apply_x=False),
+        rounds=1,
+        iterations=1,
+    )
+    terms = state.nonzero_terms()
+    print("\n[E1] |0>_L data-qubit state (Listing 5.1):")
+    print(state.format_terms())
+    assert len(terms) == 16
+    for index, amplitude in terms:
+        assert abs(abs(amplitude) - 0.25) < 1e-9
+        assert bin(index).count("1") % 2 == 0
+
+
+def test_bench_listing_5_2_logical_one(benchmark):
+    state = benchmark.pedantic(
+        lambda: _initialize_and_read(2016, apply_x=True),
+        rounds=1,
+        iterations=1,
+    )
+    terms = state.nonzero_terms()
+    print("\n[E1] |1>_L data-qubit state (Listing 5.2):")
+    print(state.format_terms())
+    assert len(terms) == 16
+    for index, _amplitude in terms:
+        assert bin(index).count("1") % 2 == 1

@@ -1,0 +1,29 @@
+"""E6 -- Fig. 5.7: odd-Bell-state histograms with and without a frame.
+
+Prepares ``(|01>_L + |10>_L)/sqrt(2)`` on two ninja stars (Fig. 5.6),
+measures both logical qubits repeatedly, and prints the two histograms.
+Both must contain only the odd outcomes ``01`` and ``10``.
+"""
+
+from repro.experiments.verification import run_odd_bell_state_bench
+
+ITERATIONS = 12  # the paper uses 100; state-vector inits dominate cost
+
+
+def test_bench_fig_5_7_odd_bell_histograms(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_odd_bell_state_bench(iterations=ITERATIONS, seed=77),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[E6] Fig 5.7 -- odd Bell state ({ITERATIONS} iterations):")
+    print("  state   with frame   without frame")
+    for key in ("00", "01", "10", "11"):
+        print(
+            f"  |{key}>    "
+            f"{report.histogram_with_frame.get(key, 0):10d}   "
+            f"{report.histogram_without_frame.get(key, 0):13d}"
+        )
+    assert report.both_valid
+    assert sum(report.histogram_with_frame.values()) == ITERATIONS
+    assert sum(report.histogram_without_frame.values()) == ITERATIONS

@@ -1,0 +1,42 @@
+"""E15 -- section 3.3: Pauli-gate fraction of compiled workloads.
+
+The paper compiles ScaffCC example programs and finds "up to 7% Pauli
+gates".  We regenerate the census over the synthetic workload suite
+(the ScaffCC substitution is documented in DESIGN.md): the suite must
+contain workloads with a single-digit-percent Pauli fraction, and the
+teleportation workload (byproduct-operator heavy) must be the richest.
+"""
+
+from repro.circuits import census, workloads
+
+
+def _census_all():
+    return {
+        name: census(circuit)
+        for name, circuit in workloads.all_workloads().items()
+    }
+
+
+def test_bench_pauli_gate_census(benchmark):
+    results = benchmark.pedantic(_census_all, rounds=1, iterations=1)
+    print("\n[E15] Pauli-gate census of the workload suite:")
+    print("  workload    ops    pauli   pauli %   pauli-only slots %")
+    for name, result in sorted(results.items()):
+        print(
+            f"  {name:10s} {result.total_operations:5d}  "
+            f"{result.pauli_gate_count:5d}  "
+            f"{100 * result.pauli_fraction:7.2f}  "
+            f"{100 * result.pauli_slot_fraction:18.2f}"
+        )
+    fractions = {
+        name: result.pauli_fraction for name, result in results.items()
+    }
+    # The compiled-program regime of the paper: a few percent.
+    assert 0.01 < fractions["clifford_t"] < 0.12
+    assert 0.0 < fractions["adder"] < 0.25
+    # Teleportation byproducts dominate.
+    assert fractions["teleport"] == max(fractions.values())
+    # Every Pauli gate here is one a frame executes with 100% fidelity
+    # in classical logic; none would reach the hardware.
+    for result in results.values():
+        assert result.pauli_gate_count > 0

@@ -1,0 +1,30 @@
+"""E11 -- Figs 5.25/5.26: gates and time slots saved by the frame.
+
+During the LER runs the Pauli frame can only ever absorb the
+correction gates (the ESM circuit contains no Pauli gates), so the
+saved-slot fraction is bounded by 1/17 ~ 5.9% -- the paper's central
+accounting argument for why the frame cannot move the LER.
+"""
+
+
+def test_bench_figs_5_25_5_26_savings(benchmark, ler_sweep_x):
+    savings = benchmark.pedantic(
+        ler_sweep_x.savings_series, rounds=1, iterations=1
+    )
+    print("\n[E11] Figs 5.25/5.26 -- savings by the Pauli frame:")
+    print("  PER        saved gates %  saved slots %")
+    for per, ops, slots in zip(
+        ler_sweep_x.per_values(),
+        savings["operations"],
+        savings["slots"],
+    ):
+        print(
+            f"  {per:9.2e}  {100 * ops:13.3f}  {100 * slots:13.3f}"
+        )
+    bound = 1.0 / 17.0
+    print(f"  analytic slot-saving bound: {100 * bound:.2f}%")
+    for ops, slots in zip(savings["operations"], savings["slots"]):
+        assert 0.0 < slots <= bound + 1e-9
+        assert 0.0 < ops < 0.05
+    # Savings grow with PER (more corrections to absorb).
+    assert savings["slots"] == sorted(savings["slots"])

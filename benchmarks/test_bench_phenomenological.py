@@ -1,0 +1,38 @@
+"""E16c -- phenomenological distance scaling (future work, ch. 6).
+
+Complements the code-capacity and circuit-level scaling benches with
+the standard phenomenological model (data + measurement errors,
+space-time MWPM decoding): threshold ~3%, genuine distance scaling
+below it.
+"""
+
+from repro.experiments.phenomenological import (
+    format_phenomenological_table,
+    run_phenomenological_scaling,
+)
+
+
+def test_bench_phenomenological_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_phenomenological_scaling(
+            distances=(3, 5),
+            per_values=(0.01, 0.05),
+            trials=400,
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[E16c] phenomenological scaling (p = q):")
+    print(format_phenomenological_table(results))
+
+    def ler(distance, index):
+        return results[distance][index].logical_error_rate
+
+    # Below the ~3% phenomenological threshold: d = 5 wins.
+    assert ler(5, 0) <= ler(3, 0)
+    # Far above it: the ordering flattens or inverts.
+    assert ler(5, 1) > ler(3, 1) * 0.5
+    # Monotone in noise for each distance.
+    for distance in (3, 5):
+        assert ler(distance, 1) > ler(distance, 0)

@@ -1,0 +1,52 @@
+"""E14 -- Fig. 3.3: the QEC schedules with and without a Pauli frame.
+
+Regenerates the schedule comparison: the frame removes the decoder
+wait and the correction slot from the window's critical path and
+relaxes the decoder deadline -- the paper's surviving argument for
+Pauli frames.
+"""
+
+from repro.experiments.schedule import (
+    ScheduleParameters,
+    compare_schedules,
+)
+
+
+def test_bench_fig_3_3_schedules(benchmark):
+    params = ScheduleParameters(
+        esm_duration=8.0,
+        rounds_per_window=2,
+        decode_duration=10.0,
+        correction_duration=1.0,
+        logical_op_duration=3.0,
+    )
+    comparison = benchmark.pedantic(
+        lambda: compare_schedules(params), rounds=1, iterations=1
+    )
+    print("\n[E14] Fig 3.3 -- QEC schedule comparison:")
+    print(
+        f"  window duration  no PF: "
+        f"{comparison.without_frame.window_duration:6.1f}   "
+        f"PF: {comparison.with_frame.window_duration:6.1f}"
+    )
+    print(
+        f"  qubit idle frac  no PF: "
+        f"{comparison.without_frame.idle_fraction:6.2%}   "
+        f"PF: {comparison.with_frame.idle_fraction:6.2%}"
+    )
+    print(
+        f"  decoder deadline no PF: "
+        f"{comparison.without_frame.decoder_deadline:6.1f}   "
+        f"PF: {comparison.with_frame.decoder_deadline:6.1f}"
+    )
+    print(
+        f"  time saved: {comparison.time_saved:.1f} "
+        f"({comparison.relative_time_saved:.1%}); "
+        f"deadline relaxed x"
+        f"{comparison.decoder_deadline_relaxation:.2f}"
+    )
+    assert comparison.time_saved == params.decode_duration + (
+        params.correction_duration
+    )
+    assert comparison.decoder_deadline_relaxation > 1.0
+    assert comparison.with_frame.idle_fraction == 0.0

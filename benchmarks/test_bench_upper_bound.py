@@ -1,0 +1,36 @@
+"""E12 -- Fig. 5.27 / Eqs 5.5-5.12: analytic improvement upper bound.
+
+Regenerates the closing figure: the best-case relative LER improvement
+a Pauli frame can buy, ``B(d) = 1/((d-1)*ts_ESM + 1)``, for
+``ts_ESM = 8``.  The paper's reading: 5.88% at d = 3, under 3% from
+d = 5 -- hence no LER benefit at any useful distance.
+"""
+
+import pytest
+
+from repro.experiments.analytic import (
+    format_upper_bound_table,
+    upper_bound_series,
+)
+
+DISTANCES = tuple(range(3, 12))
+
+
+def test_bench_fig_5_27_upper_bound(benchmark):
+    series = benchmark.pedantic(
+        lambda: upper_bound_series(DISTANCES, ts_esm=8),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[E12] Fig 5.27 -- upper bound on relative LER improvement:")
+    print(format_upper_bound_table(DISTANCES))
+    by_distance = dict(series)
+    assert by_distance[3] == pytest.approx(1 / 17)
+    assert by_distance[5] == pytest.approx(1 / 33)
+    # "quickly decreases to values below 3%" (section 5.3.2).
+    assert all(
+        bound < 0.031 for distance, bound in series if distance >= 5
+    )
+    # Monotone decreasing in d.
+    bounds = [bound for _d, bound in series]
+    assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,60 @@
+"""Quickstart: a fault-tolerant logical qubit behind a Pauli frame.
+
+Builds the control stack of the paper's Fig. 5.5 -- a ninja-star QEC
+layer on top of a Pauli frame layer on top of a state-vector core --
+then initialises a Surface Code 17 logical qubit, applies a logical X,
+and measures it.  Along the way it prints what the Pauli frame did:
+the X_L chain (three physical Pauli gates) never reached the
+simulated hardware.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.qpdo import PauliFrameLayer, StateVectorCore
+
+
+def main() -> None:
+    # Bottom-up: simulation core, Pauli frame, QEC layer (Fig. 5.5).
+    core = StateVectorCore(seed=2017)
+    frame_layer = PauliFrameLayer(core)
+    logical = NinjaStarLayer(frame_layer)
+    logical.createqubit(1)
+
+    # Logical program: reset to |0>_L, X_L, measure in the Z_L basis.
+    circuit = Circuit("quickstart")
+    circuit.add("prep_z", 0)
+    circuit.add("x", 0)
+    measure = circuit.add("measure", 0)
+    result = logical.run(circuit)
+
+    print("logical measurement result:", result.result_of(measure))
+    print()
+    print("what the Pauli frame absorbed along the way:")
+    stats = frame_layer.statistics
+    print(f"  commanded operations: {stats.operations_in}")
+    print(f"  forwarded to hardware: {stats.operations_out}")
+    print(f"  Pauli gates filtered: {stats.pauli_gates_filtered}")
+    print(f"  measurement results mapped: {stats.measurements_mapped}")
+    print(f"  of which inverted by records: {stats.measurements_inverted}")
+    print()
+    print("current Pauli records (non-identity only):")
+    nontrivial = frame_layer.frame.nontrivial()
+    if nontrivial:
+        for qubit, record in nontrivial.items():
+            print(f"  physical qubit {qubit}: {record.name}")
+    else:
+        print("  frame is clean")
+
+    assert result.result_of(measure) == 1
+    print()
+    print("The X_L chain was executed entirely in classical logic, yet")
+    print("the measurement correctly reported |1>_L -- the paper's core")
+    print("working principle (Table 3.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: Pauli frames for quantum computer architectures.
+
+A from-scratch reproduction of *Pauli Frames for Quantum Computer
+Architectures* (Riesebos et al., DAC 2017 / TU Delft thesis
+CE-MS-2016):
+
+* :mod:`repro.paulis` -- Pauli records, strings and mapping tables;
+* :mod:`repro.gates` -- gate metadata and matrices;
+* :mod:`repro.circuits` -- time-slotted circuits, QASM, workloads;
+* :mod:`repro.sim` -- CHP-style stabilizer and state-vector simulators;
+* :mod:`repro.qpdo` -- the layered control-stack framework (cores,
+  error/counter/Pauli-frame layers, test benches);
+* :mod:`repro.pauliframe` -- the Pauli Frame Unit and arbiter;
+* :mod:`repro.codes` -- Surface Code 17, Steane, rotated surface codes;
+* :mod:`repro.decoders` -- LUT, windowed rule-based, and MWPM decoders;
+* :mod:`repro.architecture` -- the QISA + Quantum Control Unit model;
+* :mod:`repro.experiments` -- LER sweeps, verification benches,
+  statistics, schedule and analytic models.
+
+Quickstart::
+
+    from repro.qpdo import StateVectorCore, PauliFrameLayer
+    from repro.codes.surface17 import NinjaStarLayer
+    from repro.circuits import Circuit
+
+    stack = NinjaStarLayer(PauliFrameLayer(StateVectorCore(seed=1)))
+    stack.createqubit(1)
+    circuit = Circuit()
+    circuit.add("prep_z", 0)
+    circuit.add("x", 0)
+    measure = circuit.add("measure", 0)
+    print(stack.run(circuit).result_of(measure))  # -> 1
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    architecture,
+    circuits,
+    codes,
+    decoders,
+    experiments,
+    gates,
+    pauliframe,
+    paulis,
+    qpdo,
+    sim,
+)
+
+__all__ = [
+    "__version__",
+    "paulis",
+    "gates",
+    "circuits",
+    "sim",
+    "qpdo",
+    "pauliframe",
+    "codes",
+    "decoders",
+    "experiments",
+    "architecture",
+]

@@ -1,0 +1,37 @@
+"""Quantum computer architecture model (paper section 3.5 / [34])."""
+
+from .instructions import (
+    AllocateLogical,
+    DeallocateLogical,
+    Halt,
+    Instruction,
+    LogicalMeasure,
+    PhysicalGate,
+    PhysicalMeasure,
+    PhysicalReset,
+    Program,
+    QecSlot,
+    RecordRotation,
+)
+from .symbol_table import LogicalQubitEntry, QSymbolTable
+from .qcu import QcuTrace, QuantumControlUnit
+from .compiler import Sc17Compiler
+
+__all__ = [
+    "Instruction",
+    "PhysicalGate",
+    "PhysicalMeasure",
+    "PhysicalReset",
+    "QecSlot",
+    "AllocateLogical",
+    "DeallocateLogical",
+    "RecordRotation",
+    "LogicalMeasure",
+    "Halt",
+    "Program",
+    "QSymbolTable",
+    "LogicalQubitEntry",
+    "QuantumControlUnit",
+    "QcuTrace",
+    "Sc17Compiler",
+]

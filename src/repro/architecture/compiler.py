@@ -1,0 +1,164 @@
+"""Logical-to-QISA lowering (the quantum compiler of Fig. 4.2).
+
+The paper's accelerator compiler "translates the logical quantum
+operations to a series of physical operations", driven by the chosen
+QEC code.  This module performs that translation for SC17: a logical
+circuit (as accepted by the ninja-star layer) becomes a straight-line
+QISA :class:`~repro.architecture.instructions.Program` of physical
+instructions, symbol-table updates, QEC slots and logical measures.
+
+Rotation tracking happens at *compile time*: the compiler mirrors the
+lattice-orientation updates the hardware will perform, so the emitted
+physical chains and transversal pairings are already rotation-correct
+(exactly what the paper's compiler must do since the QISA carries only
+physical addresses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuits.circuit import Circuit
+from ..codes.surface17.layout import (
+    NUM_QUBITS,
+    X_LOGICAL_SUPPORT,
+    Z_LOGICAL_SUPPORT,
+    cnot_pairing,
+    cz_pairing,
+)
+from .instructions import (
+    AllocateLogical,
+    Halt,
+    LogicalMeasure,
+    PhysicalGate,
+    PhysicalReset,
+    Program,
+    QecSlot,
+    RecordRotation,
+)
+
+
+def _virtual_data(logical_qubit: int, data_index: int) -> int:
+    """Virtual address of data qubit ``D<data_index>`` of a tile."""
+    return logical_qubit * NUM_QUBITS + data_index
+
+
+class Sc17Compiler:
+    """Stateful lowering of logical circuits to QISA programs.
+
+    Parameters
+    ----------
+    qec_slot_rounds:
+        ESM rounds inserted by each ``QecSlot``; the compiler places
+        one slot after initialisation and one after every logical
+        gate, matching the execution scheme of Fig. 2.6.
+    insert_qec_between_gates:
+        Disable to emit gate-only programs (useful in noise-free
+        verification where QEC slots merely slow simulation down).
+    """
+
+    def __init__(
+        self,
+        qec_slot_rounds: int = 1,
+        insert_qec_between_gates: bool = True,
+    ) -> None:
+        self.qec_slot_rounds = int(qec_slot_rounds)
+        self.insert_qec_between_gates = bool(insert_qec_between_gates)
+        self._rotated: Dict[int, bool] = {}
+        self._allocated: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def compile(self, logical_circuit: Circuit) -> Program:
+        """Lower one logical circuit into a QISA program."""
+        program = Program()
+        for slot in logical_circuit:
+            for operation in slot:
+                self._lower(operation, program)
+        program.emit(Halt())
+        return program
+
+    # ------------------------------------------------------------------
+    def _lower(self, operation, program: Program) -> None:
+        name = operation.name
+        logical = operation.qubits[0]
+        if name == "prep_z":
+            if not self._allocated.get(logical, False):
+                program.emit(AllocateLogical(logical))
+                self._allocated[logical] = True
+            self._rotated[logical] = False
+            for data_index in range(9):
+                program.emit(
+                    PhysicalReset(_virtual_data(logical, data_index))
+                )
+            program.emit(QecSlot(self.qec_slot_rounds))
+            return
+        if name == "measure":
+            program.emit(
+                LogicalMeasure(logical, tag=f"m{operation.uid}")
+            )
+            return
+        self._require_allocated(logical)
+        if name == "x":
+            support = (
+                Z_LOGICAL_SUPPORT
+                if self._rotated[logical]
+                else X_LOGICAL_SUPPORT
+            )
+            for data_index in support:
+                program.emit(
+                    PhysicalGate(
+                        "x", (_virtual_data(logical, data_index),)
+                    )
+                )
+        elif name == "z":
+            support = (
+                X_LOGICAL_SUPPORT
+                if self._rotated[logical]
+                else Z_LOGICAL_SUPPORT
+            )
+            for data_index in support:
+                program.emit(
+                    PhysicalGate(
+                        "z", (_virtual_data(logical, data_index),)
+                    )
+                )
+        elif name == "h":
+            for data_index in range(9):
+                program.emit(
+                    PhysicalGate(
+                        "h", (_virtual_data(logical, data_index),)
+                    )
+                )
+            program.emit(RecordRotation(logical))
+            self._rotated[logical] = not self._rotated[logical]
+        elif name in ("cnot", "cz"):
+            target = operation.qubits[1]
+            self._require_allocated(target)
+            same = self._rotated[logical] == self._rotated[target]
+            pairing = (
+                cnot_pairing(same) if name == "cnot" else cz_pairing(same)
+            )
+            for control_index, target_index in pairing:
+                program.emit(
+                    PhysicalGate(
+                        name,
+                        (
+                            _virtual_data(logical, control_index),
+                            _virtual_data(target, target_index),
+                        ),
+                    )
+                )
+        elif name == "i":
+            return
+        else:
+            raise ValueError(
+                f"logical gate {name!r} has no SC17 lowering (Table 2.3)"
+            )
+        if self.insert_qec_between_gates:
+            program.emit(QecSlot(self.qec_slot_rounds))
+
+    def _require_allocated(self, logical: int) -> None:
+        if not self._allocated.get(logical, False):
+            raise ValueError(
+                f"logical qubit {logical} used before initialisation"
+            )

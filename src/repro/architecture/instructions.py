@@ -1,0 +1,123 @@
+"""Quantum Instruction Set Architecture (paper sections 3.5, 4).
+
+The QISA is "the dividing line between hardware and software": the
+compiler emits these instructions and the Quantum Control Unit
+executes them.  The instruction classes mirror what the Execution
+Controller decodes (section 3.5.1):
+
+* physical gate / measurement / reset instructions on *virtual* qubit
+  addresses (translated to physical by the Q symbol table),
+* ``QecSlot`` -- trigger the QEC cycle generator to insert ESM rounds,
+* ``UpdateSymbolTable`` -- (de)allocate logical qubits or record a
+  lattice rotation,
+* ``LogicalMeasure`` -- arm the logic measurement unit to combine data
+  results into a logical outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class of all QISA instructions."""
+
+
+@dataclass(frozen=True)
+class PhysicalGate(Instruction):
+    """A physical gate on virtual qubit addresses."""
+
+    gate: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class PhysicalMeasure(Instruction):
+    """A physical Z-basis measurement of one virtual qubit.
+
+    ``tag`` lets the program name the result for later retrieval.
+    """
+
+    qubit: int
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PhysicalReset(Instruction):
+    """A physical reset of one virtual qubit to ``|0>``."""
+
+    qubit: int
+
+
+@dataclass(frozen=True)
+class QecSlot(Instruction):
+    """Run ESM round(s) over the qubit plane (section 3.5.1).
+
+    The QEC Cycle Generator expands this at run time using the current
+    contents of the Q symbol table; the Quantum Error Detection unit
+    decodes once enough syndromes accumulated.
+    """
+
+    rounds: int = 1
+
+
+@dataclass(frozen=True)
+class AllocateLogical(Instruction):
+    """Update Q Symbol Table: bring a logical qubit alive."""
+
+    logical_qubit: int
+
+
+@dataclass(frozen=True)
+class DeallocateLogical(Instruction):
+    """Update Q Symbol Table: retire a logical qubit."""
+
+    logical_qubit: int
+
+
+@dataclass(frozen=True)
+class RecordRotation(Instruction):
+    """Update Q Symbol Table: note a lattice rotation (after H_L)."""
+
+    logical_qubit: int
+
+
+@dataclass(frozen=True)
+class LogicalMeasure(Instruction):
+    """Arm the Logic Measurement Unit for one logical qubit.
+
+    The unit waits for the nine data-qubit results and combines them
+    into the logical outcome stored under ``tag``.
+    """
+
+    logical_qubit: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """End of program."""
+
+
+@dataclass
+class Program:
+    """A straight-line QISA program (no classical control flow).
+
+    The paper's host CPU handles classical branching; the QCU model
+    here executes the quantum instruction stream only.
+    """
+
+    instructions: list = field(default_factory=list)
+
+    def emit(self, instruction: Instruction) -> None:
+        """Append one instruction."""
+        self.instructions.append(instruction)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

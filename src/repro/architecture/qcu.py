@@ -1,0 +1,226 @@
+"""Functional model of the Quantum Control Unit (paper section 3.5).
+
+Wires together the architecture blocks of Fig. 3.10 around a Physical
+Execution Layer (any QPDO core or stack):
+
+* **Q-Address Translation / Q Symbol Table** -- virtual addresses from
+  the compiler become physical indices;
+* **Execution Controller** -- decodes the instruction stream and
+  routes physical operations, symbol-table updates, QEC slots and
+  logical measurements;
+* **QEC Cycle Generator** -- expands ``QecSlot`` instructions into ESM
+  circuits for every live logical qubit, using the rotations recorded
+  in the symbol table;
+* **Quantum Error Detection unit** -- decodes collected syndromes
+  (two-LUT with majority voting across rounds) and commands
+  corrections;
+* **Pauli Frame Unit + Pauli arbiter** -- optionally inserted between
+  the controller and the PEL so that Pauli gates and corrections never
+  reach the hardware (Figs 3.11/3.12);
+* **Logic Measurement Unit** -- combines data-qubit results into
+  logical measurement outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import Operation
+from ..codes.surface17.esm import parallel_esm
+from ..codes.surface17.layout import (
+    NUM_QUBITS,
+    X_CHECK_MATRIX,
+    Z_CHECK_MATRIX,
+)
+from ..decoders.lut import LutDecoder, TwoLutDecoder, correction_operations
+from ..decoders.rule_based import majority_vote
+from ..qpdo.core import Core
+from ..qpdo.pauli_frame_layer import PauliFrameLayer
+from .instructions import (
+    AllocateLogical,
+    DeallocateLogical,
+    Halt,
+    Instruction,
+    LogicalMeasure,
+    PhysicalGate,
+    PhysicalMeasure,
+    PhysicalReset,
+    Program,
+    QecSlot,
+    RecordRotation,
+)
+from .symbol_table import LogicalQubitEntry, QSymbolTable
+
+
+@dataclass
+class QcuTrace:
+    """Observable bookkeeping of one program execution."""
+
+    instructions_executed: int = 0
+    qec_slots_processed: int = 0
+    corrections_commanded: int = 0
+    results: Dict[str, int] = field(default_factory=dict)
+    anonymous_results: List[int] = field(default_factory=list)
+
+
+class QuantumControlUnit:
+    """Execute QISA programs against a Physical Execution Layer.
+
+    Parameters
+    ----------
+    pel:
+        The Physical Execution Layer: any QPDO Core (a simulation core
+        or the top of a control stack).
+    use_pauli_frame:
+        Insert the Pauli Frame Unit between controller and PEL
+        (Fig. 3.10 places it inside the QCU).
+    """
+
+    def __init__(self, pel: Core, use_pauli_frame: bool = True):
+        self.pel = pel
+        self.pauli_frame_layer: Optional[PauliFrameLayer] = (
+            PauliFrameLayer(pel) if use_pauli_frame else None
+        )
+        self.front: Core = (
+            self.pauli_frame_layer
+            if self.pauli_frame_layer is not None
+            else pel
+        )
+        self.symbol_table = QSymbolTable()
+        self._decoder_normal = TwoLutDecoder(X_CHECK_MATRIX, Z_CHECK_MATRIX)
+        self._decoder_rotated = TwoLutDecoder(Z_CHECK_MATRIX, X_CHECK_MATRIX)
+        self._measure_decoder_normal = LutDecoder(Z_CHECK_MATRIX)
+        self._measure_decoder_rotated = LutDecoder(X_CHECK_MATRIX)
+
+    # ------------------------------------------------------------------
+    def execute_program(self, program: Program) -> QcuTrace:
+        """Run a straight-line QISA program to completion."""
+        trace = QcuTrace()
+        for instruction in program:
+            if isinstance(instruction, Halt):
+                trace.instructions_executed += 1
+                break
+            self._execute_one(instruction, trace)
+            trace.instructions_executed += 1
+        return trace
+
+    def _execute_one(
+        self, instruction: Instruction, trace: QcuTrace
+    ) -> None:
+        if isinstance(instruction, AllocateLogical):
+            self.symbol_table.allocate(instruction.logical_qubit)
+            self.front.createqubit(NUM_QUBITS)
+        elif isinstance(instruction, DeallocateLogical):
+            self.symbol_table.deallocate(instruction.logical_qubit)
+        elif isinstance(instruction, RecordRotation):
+            self.symbol_table.record_rotation(instruction.logical_qubit)
+        elif isinstance(instruction, PhysicalReset):
+            physical = self.symbol_table.translate(instruction.qubit)
+            circuit = Circuit("reset")
+            circuit.append(Operation("prep_z", (physical,)))
+            self.front.run(circuit)
+        elif isinstance(instruction, PhysicalGate):
+            physical = tuple(
+                self.symbol_table.translate(q) for q in instruction.qubits
+            )
+            circuit = Circuit(instruction.gate)
+            circuit.append(
+                Operation(instruction.gate, physical, instruction.params)
+            )
+            self.front.run(circuit)
+        elif isinstance(instruction, PhysicalMeasure):
+            physical = self.symbol_table.translate(instruction.qubit)
+            circuit = Circuit("measure")
+            measure = Operation("measure", (physical,))
+            circuit.append(measure)
+            result = self.front.run(circuit)
+            bit = result.result_of(measure)
+            if instruction.tag is not None:
+                trace.results[instruction.tag] = bit
+            else:
+                trace.anonymous_results.append(bit)
+        elif isinstance(instruction, QecSlot):
+            self._qec_slot(instruction.rounds, trace)
+            trace.qec_slots_processed += 1
+        elif isinstance(instruction, LogicalMeasure):
+            self._logical_measure(instruction, trace)
+        else:
+            raise TypeError(
+                f"unknown instruction type {type(instruction).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # QEC Cycle Generator + Quantum Error Detection
+    # ------------------------------------------------------------------
+    def _qec_slot(self, rounds: int, trace: QcuTrace) -> None:
+        for entry in self.symbol_table.alive_entries():
+            x_rounds: List[np.ndarray] = []
+            z_rounds: List[np.ndarray] = []
+            qubit_map = entry.data_qubits + entry.ancilla_qubits
+            for index in range(rounds):
+                esm = parallel_esm(
+                    qubit_map,
+                    rotated=entry.rotated,
+                    name=f"esm_L{entry.logical_qubit}_{index}",
+                )
+                self.front.add(esm.circuit)
+                result = self.front.execute()
+                x_bits, z_bits = esm.syndromes(result)
+                x_rounds.append(np.asarray(x_bits, dtype=np.uint8))
+                z_rounds.append(np.asarray(z_bits, dtype=np.uint8))
+            if rounds % 2 == 1:
+                x_syndrome = majority_vote(x_rounds)
+                z_syndrome = majority_vote(z_rounds)
+            else:
+                x_syndrome = x_rounds[-1]
+                z_syndrome = z_rounds[-1]
+            decoder = (
+                self._decoder_rotated
+                if entry.rotated
+                else self._decoder_normal
+            )
+            x_corr, z_corr = decoder.decode(x_syndrome, z_syndrome)
+            gates = correction_operations(
+                x_corr, z_corr, entry.data_qubits
+            )
+            if gates:
+                trace.corrections_commanded += 1
+                circuit = Circuit("corrections")
+                slot = circuit.new_slot()
+                for gate, physical in gates:
+                    slot.add(Operation(gate, (physical,)))
+                self.front.run(circuit)
+
+    # ------------------------------------------------------------------
+    # Logic Measurement Unit
+    # ------------------------------------------------------------------
+    def _logical_measure(
+        self, instruction: LogicalMeasure, trace: QcuTrace
+    ) -> None:
+        entry = self.symbol_table.entry(instruction.logical_qubit)
+        circuit = Circuit("measure_L")
+        slot = circuit.new_slot()
+        measures = []
+        for physical in entry.data_qubits:
+            measure = Operation("measure", (physical,))
+            slot.add(measure)
+            measures.append(measure)
+        self.front.add(circuit)
+        result = self.front.execute()
+        bits = np.array(
+            [result.result_of(m) for m in measures], dtype=np.uint8
+        )
+        z_matrix = X_CHECK_MATRIX if entry.rotated else Z_CHECK_MATRIX
+        syndrome = (z_matrix @ bits) % 2
+        measure_decoder = (
+            self._measure_decoder_rotated
+            if entry.rotated
+            else self._measure_decoder_normal
+        )
+        flips = measure_decoder.decode(syndrome)
+        corrected = bits ^ flips.astype(np.uint8)
+        trace.results[instruction.tag] = int(corrected.sum() % 2)

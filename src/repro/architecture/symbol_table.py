@@ -1,0 +1,120 @@
+"""The Q Symbol Table (paper section 3.5.1).
+
+The Q Symbol Table "provides the overview of the exact physical
+location of the logical qubits and contains information on what
+logical qubits are still alive".  The Q-Address Translation module
+uses it to translate compiler-generated virtual qubit addresses into
+physical ones before instructions reach the execution controller.
+
+Virtual address convention: logical qubit ``L`` owns the virtual data
+addresses ``L*17 .. L*17+8`` and the virtual ancilla addresses
+``L*17+9 .. L*17+16``, mirroring the SC17 tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..codes.surface17.layout import NUM_ANCILLA, NUM_DATA, NUM_QUBITS
+
+
+@dataclass
+class LogicalQubitEntry:
+    """One row of the symbol table.
+
+    Attributes
+    ----------
+    logical_qubit:
+        Compiler-visible logical qubit number.
+    physical_base:
+        First physical index of this qubit's 17-qubit tile.
+    alive:
+        Whether the logical qubit currently holds state.
+    rotated:
+        Lattice orientation (updated after every ``H_L``).
+    """
+
+    logical_qubit: int
+    physical_base: int
+    alive: bool = True
+    rotated: bool = False
+
+    @property
+    def data_qubits(self) -> List[int]:
+        """Physical indices of the nine data qubits."""
+        return list(range(self.physical_base, self.physical_base + NUM_DATA))
+
+    @property
+    def ancilla_qubits(self) -> List[int]:
+        """Physical indices of the eight ancilla qubits."""
+        start = self.physical_base + NUM_DATA
+        return list(range(start, start + NUM_ANCILLA))
+
+
+class QSymbolTable:
+    """Virtual-to-physical translation and logical-qubit liveness."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, LogicalQubitEntry] = {}
+        self._next_physical = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self, logical_qubit: int) -> LogicalQubitEntry:
+        """Bring a logical qubit alive on the next free physical tile."""
+        if logical_qubit in self._entries and (
+            self._entries[logical_qubit].alive
+        ):
+            raise ValueError(
+                f"logical qubit {logical_qubit} is already alive"
+            )
+        entry = LogicalQubitEntry(
+            logical_qubit=logical_qubit,
+            physical_base=self._next_physical,
+        )
+        self._next_physical += NUM_QUBITS
+        self._entries[logical_qubit] = entry
+        return entry
+
+    def deallocate(self, logical_qubit: int) -> None:
+        """Retire a logical qubit (its tile is not reused in this model)."""
+        self.entry(logical_qubit).alive = False
+
+    def entry(self, logical_qubit: int) -> LogicalQubitEntry:
+        """The table row of ``logical_qubit``."""
+        try:
+            return self._entries[logical_qubit]
+        except KeyError:
+            raise KeyError(
+                f"logical qubit {logical_qubit} was never allocated"
+            ) from None
+
+    def record_rotation(self, logical_qubit: int) -> None:
+        """Toggle the recorded lattice orientation after an ``H_L``."""
+        entry = self.entry(logical_qubit)
+        entry.rotated = not entry.rotated
+
+    def alive_entries(self) -> List[LogicalQubitEntry]:
+        """All live logical qubits, in allocation order."""
+        return [e for e in self._entries.values() if e.alive]
+
+    @property
+    def physical_qubits_used(self) -> int:
+        """Total physical qubits ever allocated."""
+        return self._next_physical
+
+    # ------------------------------------------------------------------
+    def translate(self, virtual_address: int) -> int:
+        """Translate a virtual qubit address to a physical index.
+
+        Virtual address ``L*17 + k`` maps into logical qubit ``L``'s
+        tile at offset ``k``.
+        """
+        logical_qubit, offset = divmod(virtual_address, NUM_QUBITS)
+        entry = self.entry(logical_qubit)
+        if not entry.alive:
+            raise ValueError(
+                f"virtual address {virtual_address} targets dead logical "
+                f"qubit {logical_qubit}"
+            )
+        return entry.physical_base + offset

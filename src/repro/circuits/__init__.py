@@ -1,0 +1,31 @@
+"""Circuit data structures, generators and analyses (paper ch. 4)."""
+
+from .operation import Operation, op
+from .circuit import Circuit, TimeSlot, circuit_from_ops
+from .random_circuits import (
+    CLIFFORD_GATE_SET,
+    DEFAULT_GATE_SET,
+    random_circuit,
+    random_clifford_circuit,
+    random_pauli_layer,
+)
+from .census import CircuitCensus, census, format_census
+from . import qasm, workloads
+
+__all__ = [
+    "Operation",
+    "op",
+    "Circuit",
+    "TimeSlot",
+    "circuit_from_ops",
+    "random_circuit",
+    "random_clifford_circuit",
+    "random_pauli_layer",
+    "DEFAULT_GATE_SET",
+    "CLIFFORD_GATE_SET",
+    "CircuitCensus",
+    "census",
+    "format_census",
+    "qasm",
+    "workloads",
+]

@@ -1,0 +1,108 @@
+"""Gate-census analysis of compiled circuits.
+
+Section 3.3 of the paper motivates Pauli frames by compiling example
+programs with ScaffCC and observing that "the resulting circuits
+contain up to 7% Pauli gates" -- every one of which a Pauli frame
+executes in classical logic with perfect fidelity.  This module
+provides the corresponding static analysis: the fraction of a circuit
+(by gate and by time slot) that a Pauli frame could absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..gates.gateset import GateClass
+from .circuit import Circuit
+
+
+@dataclass
+class CircuitCensus:
+    """Static classification counts for one circuit.
+
+    Attributes
+    ----------
+    per_gate:
+        Count per canonical gate name.
+    per_class:
+        Count per :class:`~repro.gates.gateset.GateClass`.
+    total_operations:
+        All operations (errors excluded).
+    total_slots:
+        Number of time slots.
+    pauli_only_slots:
+        Slots whose every operation is a Pauli gate; a Pauli frame
+        removes such slots from the physical schedule entirely.
+    """
+
+    per_gate: Dict[str, int] = field(default_factory=dict)
+    per_class: Dict[GateClass, int] = field(default_factory=dict)
+    total_operations: int = 0
+    total_slots: int = 0
+    pauli_only_slots: int = 0
+
+    @property
+    def pauli_gate_count(self) -> int:
+        """Number of Pauli gates in the circuit."""
+        return self.per_class.get(GateClass.PAULI, 0)
+
+    @property
+    def pauli_fraction(self) -> float:
+        """Fraction of operations that are Pauli gates.
+
+        This is the statistic behind the paper's "up to 7%" claim.
+        """
+        if self.total_operations == 0:
+            return 0.0
+        return self.pauli_gate_count / self.total_operations
+
+    @property
+    def pauli_slot_fraction(self) -> float:
+        """Fraction of time slots a Pauli frame would delete."""
+        if self.total_slots == 0:
+            return 0.0
+        return self.pauli_only_slots / self.total_slots
+
+    @property
+    def non_clifford_count(self) -> int:
+        """Number of non-Clifford gates (these force record flushes)."""
+        return self.per_class.get(GateClass.NON_CLIFFORD, 0)
+
+
+def census(circuit: Circuit) -> CircuitCensus:
+    """Compute the gate census of ``circuit`` (errors excluded)."""
+    result = CircuitCensus()
+    for slot in circuit:
+        commanded = [o for o in slot if not o.is_error]
+        if not commanded:
+            continue
+        result.total_slots += 1
+        if all(o.gate_class is GateClass.PAULI for o in commanded):
+            result.pauli_only_slots += 1
+        for operation in commanded:
+            result.total_operations += 1
+            result.per_gate[operation.name] = (
+                result.per_gate.get(operation.name, 0) + 1
+            )
+            result.per_class[operation.gate_class] = (
+                result.per_class.get(operation.gate_class, 0) + 1
+            )
+    return result
+
+
+def format_census(result: CircuitCensus) -> str:
+    """Render a census as a small human-readable report."""
+    lines = [
+        f"operations: {result.total_operations}",
+        f"time slots: {result.total_slots}",
+        f"pauli gates: {result.pauli_gate_count} "
+        f"({100.0 * result.pauli_fraction:.2f}%)",
+        f"pauli-only slots: {result.pauli_only_slots} "
+        f"({100.0 * result.pauli_slot_fraction:.2f}%)",
+        f"non-clifford gates: {result.non_clifford_count}",
+        "per gate:",
+    ]
+    for name in sorted(result.per_gate):
+        lines.append(f"  {name}: {result.per_gate[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Circuits as sequences of time slots (paper Fig. 4.4).
+
+A :class:`Circuit` groups operations into :class:`TimeSlot` objects.
+Within one slot every qubit is involved in at most one operation, so a
+slot models a parallel execution step of uniform duration.  The error
+model charges idle noise per slot to every allocated qubit that is not
+operated on, which is exactly why filtering a whole correction slot
+with a Pauli frame matters (paper section 5.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .operation import Operation, op as make_op
+
+
+class TimeSlot:
+    """One parallel step of a circuit.
+
+    Operations in a slot act on disjoint qubit sets and are considered
+    simultaneous; every operation is assumed to take one slot.
+    """
+
+    __slots__ = ("operations",)
+
+    def __init__(self, operations: Optional[Iterable[Operation]] = None):
+        self.operations: List[Operation] = []
+        if operations:
+            for operation in operations:
+                self.add(operation)
+
+    def add(self, operation: Operation) -> None:
+        """Append ``operation``; rejects qubit conflicts within the slot."""
+        busy = self.qubits()
+        for qubit in operation.qubits:
+            if qubit in busy:
+                raise ValueError(
+                    f"qubit {qubit} already busy in this time slot"
+                )
+        self.operations.append(operation)
+
+    def can_accept(self, operation: Operation) -> bool:
+        """Whether ``operation`` fits without a qubit conflict."""
+        busy = self.qubits()
+        return all(qubit not in busy for qubit in operation.qubits)
+
+    def qubits(self) -> set:
+        """The set of qubits already busy in this slot."""
+        busy = set()
+        for operation in self.operations:
+            busy.update(operation.qubits)
+        return busy
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSlot({self.operations!r})"
+
+
+class Circuit:
+    """An ordered list of time slots (shared QPDO data structure).
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable label, shown in diagnostics.
+    bypass:
+        Diagnostic flag (paper section 5.3.1): bypass circuits skip
+        error layers and counter layers so that perfect stabilizer
+        measurements can probe the state without perturbing either the
+        qubits or the experiment's statistics.
+    """
+
+    def __init__(self, name: str = "", bypass: bool = False):
+        self.name = name
+        self.bypass = bool(bypass)
+        self.slots: List[TimeSlot] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_slot(self) -> TimeSlot:
+        """Open (and return) a fresh empty time slot."""
+        slot = TimeSlot()
+        self.slots.append(slot)
+        return slot
+
+    def append(self, operation: Operation, same_slot: bool = False) -> None:
+        """Add an operation, greedily packing it into the last slot.
+
+        With ``same_slot=True`` the operation must fit in the current
+        last slot (used when building explicitly parallel schedules);
+        otherwise a new slot is opened whenever the qubits conflict.
+        """
+        if not self.slots:
+            self.new_slot()
+        last = self.slots[-1]
+        if last.can_accept(operation):
+            last.add(operation)
+            return
+        if same_slot:
+            raise ValueError(
+                f"operation {operation!r} conflicts with the current slot"
+            )
+        self.new_slot().add(operation)
+
+    def add(
+        self,
+        name: str,
+        *qubits: int,
+        params: Tuple[float, ...] = (),
+        same_slot: bool = False,
+    ) -> Operation:
+        """Convenience builder: create an operation and append it."""
+        operation = make_op(name, *qubits, params=params)
+        self.append(operation, same_slot=same_slot)
+        return operation
+
+    def barrier(self) -> None:
+        """Force subsequent operations into a new time slot."""
+        if self.slots and len(self.slots[-1]) > 0:
+            self.new_slot()
+
+    def extend(self, other: "Circuit") -> None:
+        """Append all slots of ``other`` (slot structure preserved)."""
+        for slot in other.slots:
+            new = self.new_slot()
+            for operation in slot:
+                new.add(operation)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def operations(self) -> Iterator[Operation]:
+        """Iterate over all operations in slot order."""
+        for slot in self.slots:
+            yield from slot
+
+    def measurements(self) -> List[Operation]:
+        """All measurement operations in slot order."""
+        return [o for o in self.operations() if o.is_measurement]
+
+    def num_operations(self, include_errors: bool = True) -> int:
+        """Total operation count.
+
+        ``include_errors=False`` skips error-layer injections, which is
+        the convention the paper's counter layers use when reporting
+        command-stream sizes.
+        """
+        return sum(
+            1
+            for operation in self.operations()
+            if include_errors or not operation.is_error
+        )
+
+    def num_slots(self) -> int:
+        """Number of time slots (idle time is charged per slot)."""
+        return len(self.slots)
+
+    def qubits(self) -> set:
+        """All qubit indices referenced by the circuit."""
+        referenced = set()
+        for operation in self.operations():
+            referenced.update(operation.qubits)
+        return referenced
+
+    def max_qubit(self) -> int:
+        """Highest referenced qubit index (-1 for an empty circuit)."""
+        referenced = self.qubits()
+        return max(referenced) if referenced else -1
+
+    def gate_census(self) -> Dict[str, int]:
+        """Operation counts per canonical gate name."""
+        census: Dict[str, int] = {}
+        for operation in self.operations():
+            census[operation.name] = census.get(operation.name, 0) + 1
+        return census
+
+    def copy(self, fresh_uids: bool = False) -> "Circuit":
+        """A structural copy.
+
+        With ``fresh_uids=False`` (default) the very same
+        :class:`Operation` objects are shared, which preserves
+        measurement-routing identity across layers.  With
+        ``fresh_uids=True`` every operation is duplicated with new uids.
+        """
+        duplicate = Circuit(self.name, bypass=self.bypass)
+        for slot in self.slots:
+            new = duplicate.new_slot()
+            for operation in slot:
+                new.add(operation.copy() if fresh_uids else operation)
+        return duplicate
+
+    def remapped(self, mapping: Dict[int, int]) -> "Circuit":
+        """A copy with qubit indices translated through ``mapping``.
+
+        Qubits absent from ``mapping`` keep their index.  Used for
+        address translation between virtual and physical qubits.
+        """
+        remapped = Circuit(self.name, bypass=self.bypass)
+        for slot in self.slots:
+            new = remapped.new_slot()
+            for operation in slot:
+                qubits = tuple(mapping.get(q, q) for q in operation.qubits)
+                new.add(operation.with_qubits(qubits))
+        return remapped
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self) -> Iterator[TimeSlot]:
+        return iter(self.slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        flag = " bypass" if self.bypass else ""
+        return (
+            f"Circuit({label} {self.num_slots()} slots, "
+            f"{self.num_operations()} ops{flag})"
+        )
+
+
+def circuit_from_ops(
+    operations: Sequence[Operation], name: str = "", bypass: bool = False
+) -> Circuit:
+    """Build a circuit by greedy slot packing of ``operations``."""
+    circuit = Circuit(name, bypass=bypass)
+    for operation in operations:
+        circuit.append(operation)
+    return circuit

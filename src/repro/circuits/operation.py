@@ -1,0 +1,117 @@
+"""The elementary operation of a circuit.
+
+Operations are the atoms QPDO layers shuffle around: gates,
+preparations and measurements, each targeting one or more qubits.
+Every operation carries a process-unique ``uid`` so that measurement
+results can be routed back up a control stack even after intermediate
+layers have rewritten the circuit (inserted error operations, filtered
+Pauli gates, flushed records, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from ..gates.gateset import GateClass, GateInfo, gate_info
+
+_UID_COUNTER = itertools.count()
+
+
+class Operation:
+    """One gate, preparation or measurement on specific qubits.
+
+    Parameters
+    ----------
+    name:
+        Gate name or alias (resolved to its canonical form).
+    qubits:
+        Target qubit indices; arity must match the gate.
+    params:
+        Real gate parameters (rotation angles).
+    is_error:
+        Marks operations injected by an error layer.  Error operations
+        model physical noise: they are never filtered by a Pauli frame
+        and are excluded from command counters.
+    """
+
+    __slots__ = ("info", "qubits", "params", "is_error", "uid")
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Tuple[int, ...],
+        params: Tuple[float, ...] = (),
+        is_error: bool = False,
+    ) -> None:
+        info = gate_info(name)
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != info.num_qubits:
+            raise ValueError(
+                f"gate {info.name!r} takes {info.num_qubits} qubit(s), "
+                f"got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in operation: {qubits}")
+        if len(params) != info.num_params:
+            raise ValueError(
+                f"gate {info.name!r} takes {info.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        self.info: GateInfo = info
+        self.qubits = qubits
+        self.params = tuple(float(p) for p in params)
+        self.is_error = bool(is_error)
+        self.uid = next(_UID_COUNTER)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Canonical gate name."""
+        return self.info.name
+
+    @property
+    def gate_class(self) -> GateClass:
+        """Pauli-arbiter category of the operation."""
+        return self.info.gate_class
+
+    @property
+    def is_measurement(self) -> bool:
+        """Whether the operation produces a measurement result."""
+        return self.gate_class is GateClass.MEASURE
+
+    @property
+    def is_preparation(self) -> bool:
+        """Whether the operation resets its qubit to ``|0>``."""
+        return self.gate_class is GateClass.PREPARE
+
+    @property
+    def is_pauli(self) -> bool:
+        """Whether the operation is a Pauli gate."""
+        return self.gate_class is GateClass.PAULI
+
+    def with_qubits(self, qubits: Tuple[int, ...]) -> "Operation":
+        """A fresh operation (new uid) retargeted onto ``qubits``."""
+        return Operation(self.name, qubits, self.params, self.is_error)
+
+    def copy(self) -> "Operation":
+        """A fresh operation (new uid) with identical content."""
+        return Operation(self.name, self.qubits, self.params, self.is_error)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        qubits = ",".join(str(q) for q in self.qubits)
+        suffix = " [error]" if self.is_error else ""
+        if self.params:
+            params = ",".join(f"{p:g}" for p in self.params)
+            return f"Operation({self.name}({params}) q{qubits}{suffix})"
+        return f"Operation({self.name} q{qubits}{suffix})"
+
+
+def op(
+    name: str,
+    *qubits: int,
+    params: Tuple[float, ...] = (),
+    is_error: bool = False,
+) -> Operation:
+    """Shorthand constructor: ``op("cnot", 0, 1)``."""
+    return Operation(name, tuple(qubits), params=params, is_error=is_error)

@@ -1,0 +1,106 @@
+"""Minimal QASM-style text interface for circuits.
+
+QPDO's simulator back-ends in the paper speak QASM: the QX Simulator
+accepts QASM over files or a TCP socket, and CHP reads "QASM like
+files" (section 4.1).  This module provides a matching plain-text
+serialisation so that circuits can be exported for external tools and
+ingested back, one instruction per line::
+
+    h q0
+    cnot q0,q1
+    rz q2,0.785398
+    measure q1
+
+Empty slots separate with a ``{`` ... ``}`` parallel block when the
+slot structure must be preserved (QX dialect); the default flat form
+simply emits one instruction per line and reconstructs slots by greedy
+packing on parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .circuit import Circuit
+from .operation import Operation
+
+_INSTR_RE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][\w]*)\s*"
+    r"(?P<args>[qQ]\d+(?:\s*,\s*(?:[qQ]\d+|-?\d+(?:\.\d+)?(?:[eE]-?\d+)?))*)?"
+    r"\s*(?:#.*)?$"
+)
+
+
+def dumps(circuit: Circuit, parallel_blocks: bool = False) -> str:
+    """Serialise ``circuit`` to QASM-style text.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to serialise; error-injected operations are emitted
+        with a trailing ``# error`` comment.
+    parallel_blocks:
+        When ``True``, wrap each multi-operation time slot in
+        ``{ ... | ... }`` (the QX parallelism dialect); otherwise emit
+        a flat instruction list.
+    """
+    lines: List[str] = []
+    if circuit.name:
+        lines.append(f"# circuit: {circuit.name}")
+    for slot in circuit:
+        rendered = [_render(operation) for operation in slot]
+        if parallel_blocks and len(rendered) > 1:
+            lines.append("{ " + " | ".join(rendered) + " }")
+        else:
+            lines.extend(rendered)
+    return "\n".join(lines) + "\n"
+
+
+def _render(operation: Operation) -> str:
+    args = ",".join(f"q{q}" for q in operation.qubits)
+    if operation.params:
+        args += "," + ",".join(f"{p:.9g}" for p in operation.params)
+    suffix = "  # error" if operation.is_error else ""
+    return f"{operation.name} {args}{suffix}"
+
+
+def loads(text: str, name: str = "") -> Circuit:
+    """Parse QASM-style text back into a :class:`Circuit`.
+
+    Slot structure is reconstructed by greedy packing; ``{ a | b }``
+    parallel blocks are honoured as single slots.  Lines starting with
+    ``#`` and blank lines are ignored.
+    """
+    circuit = Circuit(name)
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("{"):
+            body = line.strip("{} ")
+            circuit.barrier()
+            slot = circuit.new_slot()
+            for piece in body.split("|"):
+                slot.add(_parse_instruction(piece.strip()))
+            circuit.barrier()
+            continue
+        circuit.append(_parse_instruction(line))
+    return circuit
+
+
+def _parse_instruction(line: str) -> Operation:
+    match = _INSTR_RE.match(line)
+    if not match:
+        raise ValueError(f"cannot parse QASM instruction: {line!r}")
+    gate = match.group("name").lower()
+    args = match.group("args") or ""
+    qubits: List[int] = []
+    params: List[float] = []
+    for token in (t.strip() for t in args.split(",") if t.strip()):
+        if token[0] in "qQ":
+            qubits.append(int(token[1:]))
+        else:
+            params.append(float(token))
+    is_error = "# error" in line
+    return Operation(gate, tuple(qubits), tuple(params), is_error=is_error)

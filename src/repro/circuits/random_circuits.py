@@ -1,0 +1,124 @@
+"""Random circuit generation for the Pauli-frame verification bench.
+
+The paper verifies the Pauli frame mechanism by executing random
+circuits with and without a frame and comparing the final quantum
+states up to global phase (section 5.2.2, Fig. 5.4).  The gate set is
+the one listed there: ``{I, X, Y, Z, H, S, CNOT, CZ, SWAP, T, Tdg}`` --
+a mix of Pauli, Clifford and non-Clifford gates so that record
+mapping, forwarding and flushing are all exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import Circuit
+from .operation import op
+
+#: Gate set used by the paper's random-circuit test bench (Fig. 5.4).
+DEFAULT_GATE_SET: Tuple[str, ...] = (
+    "i",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "cnot",
+    "cz",
+    "swap",
+    "t",
+    "tdg",
+)
+
+#: Clifford-only variant, safe for the stabilizer back-end.
+CLIFFORD_GATE_SET: Tuple[str, ...] = (
+    "i",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "cnot",
+    "cz",
+    "swap",
+)
+
+_TWO_QUBIT = frozenset({"cnot", "cx", "cz", "swap"})
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    rng: Optional[np.random.Generator] = None,
+    gate_set: Sequence[str] = DEFAULT_GATE_SET,
+    name: str = "random",
+) -> Circuit:
+    """Sample a random circuit of ``num_gates`` gates.
+
+    Each gate is drawn uniformly from ``gate_set``; two-qubit gates get
+    a uniformly random ordered pair of distinct qubits.  Gates are
+    packed greedily into time slots.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit; must be at least 2 when the gate set
+        contains any two-qubit gate.
+    num_gates:
+        Number of gates to draw.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+    gate_set:
+        Candidate gate names (defaults to the paper's set).
+    name:
+        Label for the resulting circuit.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    gate_set = tuple(gate_set)
+    if num_qubits < 2 and any(g in _TWO_QUBIT for g in gate_set):
+        raise ValueError("two-qubit gates require at least 2 qubits")
+    circuit = Circuit(name)
+    for _ in range(num_gates):
+        gate = gate_set[int(rng.integers(len(gate_set)))]
+        if gate in _TWO_QUBIT:
+            first, second = rng.choice(num_qubits, size=2, replace=False)
+            circuit.add(gate, int(first), int(second))
+        else:
+            circuit.add(gate, int(rng.integers(num_qubits)))
+    return circuit
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    num_gates: int,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "random_clifford",
+) -> Circuit:
+    """A random circuit restricted to stabilizer gates."""
+    return random_circuit(
+        num_qubits, num_gates, rng=rng, gate_set=CLIFFORD_GATE_SET, name=name
+    )
+
+
+def random_pauli_layer(
+    num_qubits: int,
+    rng: Optional[np.random.Generator] = None,
+    include_identity: bool = True,
+) -> Circuit:
+    """One time slot of independent random Pauli gates per qubit.
+
+    Useful for torture-testing record compression: the frame must
+    absorb the whole layer without forwarding anything.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    choices = ("i", "x", "y", "z") if include_identity else ("x", "y", "z")
+    circuit = Circuit("pauli_layer")
+    slot = circuit.new_slot()
+    for qubit in range(num_qubits):
+        gate = choices[int(rng.integers(len(choices)))]
+        slot.add(op(gate, qubit))
+    return circuit

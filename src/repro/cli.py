@@ -1,0 +1,347 @@
+"""Command-line interface to the reproduction harness.
+
+Every experiment of the paper is reachable from the shell::
+
+    python -m repro verify          # section 5.2 verification benches
+    python -m repro ler             # one LER point, both arms
+    python -m repro sweep           # Figs 5.11-5.26 (scaled)
+    python -m repro census          # section 3.3 Pauli-gate census
+    python -m repro schedule        # Fig 3.3 schedule comparison
+    python -m repro bound           # Fig 5.27 analytic upper bound
+    python -m repro distance        # ch. 6 code-capacity scaling
+    python -m repro phenomenological# ch. 6 with measurement errors
+    python -m repro memory          # ch. 6 circuit-level d=3 vs d=5
+    python -m repro inject          # future work: state injection
+
+Scale knobs (seeds, sample counts, error budgets) are exposed as flags
+so paper-scale runs are a command line away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Pauli Frames for Quantum "
+            "Computer Architectures' (DAC 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser(
+        "verify", help="Pauli-frame verification benches (section 5.2)"
+    )
+    verify.add_argument("--iterations", type=int, default=10)
+    verify.add_argument("--qubits", type=int, default=5)
+    verify.add_argument("--gates", type=int, default=100)
+    verify.add_argument("--seed", type=int, default=0)
+
+    ler = sub.add_parser(
+        "ler", help="one logical-error-rate point, both arms (section 5.3)"
+    )
+    ler.add_argument("--per", type=float, default=5e-3)
+    ler.add_argument("--errors", type=int, default=10)
+    ler.add_argument("--kind", choices=["x", "z"], default="x")
+    ler.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="PER sweep with/without frame (Figs 5.11-5.26)"
+    )
+    sweep.add_argument(
+        "--per",
+        type=float,
+        nargs="+",
+        default=[3e-3, 6e-3, 1e-2],
+        help="PER grid",
+    )
+    sweep.add_argument("--samples", type=int, default=3)
+    sweep.add_argument("--errors", type=int, default=4)
+    sweep.add_argument("--kind", choices=["x", "z"], default="x")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--plot", action="store_true", help="render the ASCII figure"
+    )
+
+    sub.add_parser(
+        "census", help="Pauli-gate census of the workloads (section 3.3)"
+    )
+    sub.add_parser(
+        "schedule", help="QEC schedule comparison (Fig 3.3)"
+    )
+    bound = sub.add_parser(
+        "bound", help="analytic improvement upper bound (Fig 5.27)"
+    )
+    bound.add_argument("--max-distance", type=int, default=11)
+    bound.add_argument("--ts-esm", type=int, default=8)
+
+    distance = sub.add_parser(
+        "distance", help="code-capacity distance scaling (ch. 6)"
+    )
+    distance.add_argument(
+        "--distances", type=int, nargs="+", default=[3, 5]
+    )
+    distance.add_argument(
+        "--per", type=float, nargs="+", default=[0.02, 0.05, 0.10]
+    )
+    distance.add_argument("--trials", type=int, default=1500)
+    distance.add_argument("--seed", type=int, default=0)
+
+    phenom = sub.add_parser(
+        "phenomenological",
+        help="distance scaling with measurement errors (ch. 6)",
+    )
+    phenom.add_argument(
+        "--distances", type=int, nargs="+", default=[3, 5]
+    )
+    phenom.add_argument(
+        "--per", type=float, nargs="+", default=[0.01, 0.02, 0.04]
+    )
+    phenom.add_argument("--trials", type=int, default=400)
+    phenom.add_argument("--seed", type=int, default=0)
+
+    memory = sub.add_parser(
+        "memory",
+        help="circuit-level block memory at distance d (ch. 6)",
+    )
+    memory.add_argument(
+        "--distances", type=int, nargs="+", default=[3, 5]
+    )
+    memory.add_argument("--per", type=float, default=1e-3)
+    memory.add_argument("--trials", type=int, default=200)
+    memory.add_argument("--seed", type=int, default=0)
+
+    inject = sub.add_parser(
+        "inject", help="logical state injection demo (future work)"
+    )
+    inject.add_argument("--theta", type=float, default=0.7853981634)
+    inject.add_argument("--phi", type=float, default=0.0)
+    inject.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_verify(args) -> int:
+    from .experiments.verification import (
+        run_odd_bell_state_bench,
+        run_random_circuit_verification,
+    )
+
+    report = run_random_circuit_verification(
+        iterations=args.iterations,
+        num_qubits=args.qubits,
+        num_gates=args.gates,
+        seed=args.seed,
+    )
+    matches = sum(1 for o in report.outcomes if o.states_match)
+    print(
+        f"random circuits: {matches}/{report.iterations} states match "
+        f"up to global phase "
+        f"({report.total_gates_filtered} Pauli gates filtered)"
+    )
+    bell = run_odd_bell_state_bench(iterations=6, seed=args.seed)
+    print(f"odd Bell state, with frame:    {bell.histogram_with_frame}")
+    print(f"odd Bell state, without frame: {bell.histogram_without_frame}")
+    ok = report.all_match and bell.both_valid
+    print("verification", "PASSED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def cmd_ler(args) -> int:
+    from .experiments.ler import LerExperiment
+
+    for use_frame in (False, True):
+        result = LerExperiment(
+            args.per,
+            use_pauli_frame=use_frame,
+            error_kind=args.kind,
+            max_logical_errors=args.errors,
+            seed=args.seed,
+        ).run()
+        arm = "with frame   " if use_frame else "without frame"
+        print(
+            f"{arm}: LER = {result.logical_error_rate:.5f} "
+            f"({result.logical_errors} errors / "
+            f"{result.windows} windows, "
+            f"{result.corrections_commanded} corrections)"
+        )
+        if use_frame:
+            print(
+                f"               saved slots: "
+                f"{100 * result.saved_slots_fraction:.2f}% "
+                f"(bound 5.88%)"
+            )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .experiments.stats import mean_rho, significant_fraction
+    from .experiments.sweep import format_sweep_table, run_ler_sweep
+
+    sweep = run_ler_sweep(
+        per_values=args.per,
+        error_kind=args.kind,
+        samples=args.samples,
+        max_logical_errors=args.errors,
+        seed=args.seed,
+    )
+    print(format_sweep_table(sweep))
+    comparisons = [point.comparison for point in sweep.points]
+    print(
+        f"mean rho = {mean_rho(comparisons):.2f}; points with "
+        f"rho < 0.05: {100 * significant_fraction(comparisons):.0f}%"
+    )
+    if args.plot:
+        from .utils.ascii_plot import sweep_figure
+
+        print()
+        print(sweep_figure(sweep))
+    return 0
+
+
+def cmd_census(_args) -> int:
+    from .circuits import census, format_census, workloads
+
+    for name, circuit in workloads.all_workloads().items():
+        print(f"== {name} ==")
+        print(format_census(census(circuit)))
+        print()
+    return 0
+
+
+def cmd_schedule(_args) -> int:
+    from .experiments.schedule import compare_schedules
+
+    comparison = compare_schedules()
+    print(
+        f"window duration: {comparison.without_frame.window_duration} "
+        f"-> {comparison.with_frame.window_duration} "
+        f"({comparison.relative_time_saved:.1%} saved)"
+    )
+    print(
+        f"decoder deadline relaxed x"
+        f"{comparison.decoder_deadline_relaxation:.2f}"
+    )
+    return 0
+
+
+def cmd_bound(args) -> int:
+    from .experiments.analytic import format_upper_bound_table
+
+    print(
+        format_upper_bound_table(
+            tuple(range(3, args.max_distance + 1)), ts_esm=args.ts_esm
+        )
+    )
+    return 0
+
+
+def cmd_distance(args) -> int:
+    from .experiments.distance import (
+        format_distance_table,
+        run_distance_scaling,
+    )
+
+    results = run_distance_scaling(
+        distances=args.distances,
+        per_values=args.per,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(format_distance_table(results))
+    return 0
+
+
+def cmd_phenomenological(args) -> int:
+    from .experiments.phenomenological import (
+        format_phenomenological_table,
+        run_phenomenological_scaling,
+    )
+
+    results = run_phenomenological_scaling(
+        distances=args.distances,
+        per_values=args.per,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(format_phenomenological_table(results))
+    return 0
+
+
+def cmd_memory(args) -> int:
+    from .experiments.memory import run_block_scaling
+
+    results = run_block_scaling(
+        distances=args.distances,
+        physical_error_rate=args.per,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"circuit-level block memory at p = {args.per:g}:")
+    for result in results:
+        print(
+            f"  d={result.distance}: block LER "
+            f"{result.logical_error_rate:.5f} "
+            f"({result.logical_errors}/{result.windows} blocks)"
+        )
+    return 0
+
+
+def cmd_inject(args) -> int:
+    from .codes.surface17 import NinjaStarLayer
+    from .codes.surface17.injection import (
+        expected_bloch_vector,
+        inject_logical_state,
+        logical_bloch_vector,
+    )
+    from .qpdo import StateVectorCore
+
+    layer = NinjaStarLayer(StateVectorCore(seed=args.seed))
+    layer.createqubit(1)
+    inject_logical_state(layer, 0, args.theta, args.phi)
+    observed = logical_bloch_vector(layer, 0)
+    expected = expected_bloch_vector(args.theta, args.phi)
+    print(
+        f"injected logical Bloch vector: "
+        f"({observed[0]:+.4f}, {observed[1]:+.4f}, {observed[2]:+.4f})"
+    )
+    print(
+        f"target:                        "
+        f"({expected[0]:+.4f}, {expected[1]:+.4f}, {expected[2]:+.4f})"
+    )
+    error = max(abs(o - e) for o, e in zip(observed, expected))
+    print(f"max component error: {error:.2e}")
+    return 0 if error < 1e-6 else 1
+
+
+_HANDLERS = {
+    "verify": cmd_verify,
+    "ler": cmd_ler,
+    "sweep": cmd_sweep,
+    "census": cmd_census,
+    "schedule": cmd_schedule,
+    "bound": cmd_bound,
+    "distance": cmd_distance,
+    "phenomenological": cmd_phenomenological,
+    "memory": cmd_memory,
+    "inject": cmd_inject,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Quantum error correction codes.
+
+* :mod:`repro.codes.surface17` -- the distance-3 planar surface code
+  ("ninja star") that the paper's evaluation targets;
+* :mod:`repro.codes.steane` -- the [[7,1,3]] Steane code layer listed
+  among QPDO's implemented layers (section 4.2.3);
+* :mod:`repro.codes.rotated` -- distance-d rotated surface codes for
+  the future-work distance-scaling experiment (chapter 6).
+"""
+
+from . import rotated, steane, surface17
+
+__all__ = ["surface17", "steane", "rotated"]

@@ -1,0 +1,13 @@
+"""Distance-d rotated surface codes (future-work extension)."""
+
+from .layout import CheckPlaquette, RotatedSurfaceCode
+from .esm import ancilla_count, parallel_esm, plaquette_neighbors, total_qubits
+
+__all__ = [
+    "RotatedSurfaceCode",
+    "CheckPlaquette",
+    "parallel_esm",
+    "plaquette_neighbors",
+    "ancilla_count",
+    "total_qubits",
+]

@@ -1,0 +1,143 @@
+"""Parallel ESM circuits for distance-d rotated surface codes.
+
+Generalises the SC17 schedule of Table 5.8 to any odd distance: one
+ancilla per plaquette, Hadamard-bracketed X checks, and the four
+interleaved CNOT slots with the S/Z visiting patterns of Figs 2.2/2.3.
+The local qubit numbering extends the ninja star's: data qubits
+``0..d^2-1`` (row-major), then the X-plaquette ancillas, then the
+Z-plaquette ancillas.
+
+This enables the paper's future-work experiment at the *circuit
+level*: the same window/decoder/Pauli-frame machinery as the SC17 LER
+study, on a d = 5 (49-qubit) or d = 7 (97-qubit) lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from ..surface17.esm import EsmRound, X_PATTERN, Z_PATTERN
+from .layout import CheckPlaquette, RotatedSurfaceCode
+
+_DIRECTION_OFFSETS = {
+    "nw": (-0.5, -0.5),
+    "ne": (-0.5, +0.5),
+    "sw": (+0.5, -0.5),
+    "se": (+0.5, +0.5),
+}
+
+
+def plaquette_neighbors(
+    code: RotatedSurfaceCode, plaquette: CheckPlaquette
+) -> Dict[str, Optional[int]]:
+    """Data qubit per diagonal direction of a plaquette (or ``None``)."""
+    row, col = plaquette.position
+    neighbors: Dict[str, Optional[int]] = {}
+    for direction, (d_row, d_col) in _DIRECTION_OFFSETS.items():
+        target = (row + d_row, col + d_col)
+        data_row, data_col = int(target[0]), int(target[1])
+        if (
+            target[0].is_integer()
+            and target[1].is_integer()
+            and 0 <= data_row < code.distance
+            and 0 <= data_col < code.distance
+        ):
+            candidate = code.data_index(data_row, data_col)
+            neighbors[direction] = (
+                candidate
+                if candidate in plaquette.data_qubits
+                else None
+            )
+        else:
+            neighbors[direction] = None
+    return neighbors
+
+
+def ancilla_count(code: RotatedSurfaceCode) -> int:
+    """Number of plaquette ancillas (= number of checks)."""
+    return len(code.x_plaquettes) + len(code.z_plaquettes)
+
+
+def total_qubits(code: RotatedSurfaceCode) -> int:
+    """Data + ancilla qubits of the standard local numbering."""
+    return code.num_data + ancilla_count(code)
+
+
+def parallel_esm(
+    code: RotatedSurfaceCode,
+    qubit_map: Optional[Sequence[int]] = None,
+    name: str = "esm",
+) -> EsmRound:
+    """One parallel ESM round for a rotated surface code.
+
+    ``qubit_map`` translates local indices (data first, then X
+    ancillas, then Z ancillas) to physical indices; identity when
+    omitted.  Returns the same :class:`EsmRound` structure as the SC17
+    generator, so decoders and harnesses are code-agnostic.
+    """
+    if qubit_map is None:
+        qubit_map = list(range(total_qubits(code)))
+    if len(qubit_map) < total_qubits(code):
+        raise ValueError("qubit_map does not cover all qubits")
+    num_x = len(code.x_plaquettes)
+    esm = EsmRound(Circuit(name))
+    circuit = esm.circuit
+
+    def x_ancilla(index: int) -> int:
+        return qubit_map[code.num_data + index]
+
+    def z_ancilla(index: int) -> int:
+        return qubit_map[code.num_data + num_x + index]
+
+    # Slot 1: reset X ancillas.
+    slot = circuit.new_slot()
+    for index in range(num_x):
+        slot.add(Operation("prep_z", (x_ancilla(index),)))
+    # Slot 2: reset Z ancillas, Hadamard the X ancillas.
+    slot = circuit.new_slot()
+    for index in range(len(code.z_plaquettes)):
+        slot.add(Operation("prep_z", (z_ancilla(index),)))
+    for index in range(num_x):
+        slot.add(Operation("h", (x_ancilla(index),)))
+    # Slots 3-6: interleaved CNOTs.
+    x_neighbors = [
+        plaquette_neighbors(code, p) for p in code.x_plaquettes
+    ]
+    z_neighbors = [
+        plaquette_neighbors(code, p) for p in code.z_plaquettes
+    ]
+    for step in range(4):
+        slot = circuit.new_slot()
+        for index, neighbors in enumerate(x_neighbors):
+            data = neighbors[X_PATTERN[step]]
+            if data is not None:
+                slot.add(
+                    Operation(
+                        "cnot", (x_ancilla(index), qubit_map[data])
+                    )
+                )
+        for index, neighbors in enumerate(z_neighbors):
+            data = neighbors[Z_PATTERN[step]]
+            if data is not None:
+                slot.add(
+                    Operation(
+                        "cnot", (qubit_map[data], z_ancilla(index))
+                    )
+                )
+    # Slot 7: close the Hadamard bracket.
+    slot = circuit.new_slot()
+    for index in range(num_x):
+        slot.add(Operation("h", (x_ancilla(index),)))
+    # Slot 8: measure every ancilla.
+    slot = circuit.new_slot()
+    for index in range(num_x):
+        measure = Operation("measure", (x_ancilla(index),))
+        slot.add(measure)
+        esm.x_measurements.append(measure)
+    for index in range(len(code.z_plaquettes)):
+        measure = Operation("measure", (z_ancilla(index),))
+        slot.add(measure)
+        esm.z_measurements.append(measure)
+    return esm

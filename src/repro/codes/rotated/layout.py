@@ -1,0 +1,200 @@
+"""Rotated surface codes of arbitrary odd distance (future work, ch. 6).
+
+The paper's future-work section asks whether larger-distance surface
+codes confirm the expectation that a Pauli frame brings no LER benefit
+(the analytic bound of Eq. 5.12 already shrinks as ``1/d``).  This
+module provides the code family used for that extension: the *rotated*
+planar surface code with ``d^2`` data qubits, whose ``d = 3`` member is
+exactly the SC17 ninja star up to qubit labelling.
+
+Geometry: data qubits on the integer grid ``(row, col)``,
+``0 <= row, col < d``.  Plaquette ancillas live on half-integer
+coordinates; bulk plaquettes have weight 4 and boundary plaquettes
+weight 2.  The checkerboard colouring assigns X checks to plaquettes
+with even ``row + col`` parity (matching the SC17 layout when
+``d = 3``): X boundary checks sit on the top/bottom edges and Z
+boundary checks on the left/right edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...paulis.pauli_string import PauliString
+
+
+@dataclass(frozen=True)
+class CheckPlaquette:
+    """One stabilizer of the rotated code.
+
+    Attributes
+    ----------
+    basis:
+        ``"x"`` or ``"z"``.
+    position:
+        Half-integer (row, col) of the plaquette centre.
+    data_qubits:
+        Indices of the 2 or 4 data qubits it checks.
+    """
+
+    basis: str
+    position: Tuple[float, float]
+    data_qubits: Tuple[int, ...]
+
+
+class RotatedSurfaceCode:
+    """A distance-``d`` rotated planar surface code.
+
+    Parameters
+    ----------
+    distance:
+        Odd code distance >= 3.
+    """
+
+    def __init__(self, distance: int):
+        if distance < 3 or distance % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        self.distance = int(distance)
+        self.num_data = self.distance**2
+        self._index: Dict[Tuple[int, int], int] = {}
+        for row in range(self.distance):
+            for col in range(self.distance):
+                self._index[(row, col)] = row * self.distance + col
+        self.x_plaquettes: List[CheckPlaquette] = []
+        self.z_plaquettes: List[CheckPlaquette] = []
+        self._build_plaquettes()
+        self.x_check_matrix = self._check_matrix(self.x_plaquettes)
+        self.z_check_matrix = self._check_matrix(self.z_plaquettes)
+
+    # ------------------------------------------------------------------
+    def data_index(self, row: int, col: int) -> int:
+        """Index of the data qubit at grid position (row, col)."""
+        return self._index[(row, col)]
+
+    def _build_plaquettes(self) -> None:
+        d = self.distance
+        # Bulk plaquettes: centres at (r+0.5, c+0.5), 0 <= r,c < d-1.
+        for row in range(d - 1):
+            for col in range(d - 1):
+                corners = (
+                    self.data_index(row, col),
+                    self.data_index(row, col + 1),
+                    self.data_index(row + 1, col),
+                    self.data_index(row + 1, col + 1),
+                )
+                basis = "x" if (row + col) % 2 == 0 else "z"
+                self._add(basis, (row + 0.5, col + 0.5), corners)
+        # Boundary plaquettes.  Top/bottom host X checks on the column
+        # pairs not already covered; left/right host Z checks, matching
+        # the SC17 layout for d = 3.
+        for col in range(d - 1):
+            if (col % 2) == 1:
+                self._add(
+                    "x",
+                    (-0.5, col + 0.5),
+                    (
+                        self.data_index(0, col),
+                        self.data_index(0, col + 1),
+                    ),
+                )
+            if ((d - 2 + col) % 2) == 1:
+                self._add(
+                    "x",
+                    (d - 0.5, col + 0.5),
+                    (
+                        self.data_index(d - 1, col),
+                        self.data_index(d - 1, col + 1),
+                    ),
+                )
+        for row in range(d - 1):
+            if (row % 2) == 0:
+                self._add(
+                    "z",
+                    (row + 0.5, -0.5),
+                    (
+                        self.data_index(row, 0),
+                        self.data_index(row + 1, 0),
+                    ),
+                )
+            if ((d - 2 + row) % 2) == 0:
+                self._add(
+                    "z",
+                    (row + 0.5, d - 0.5),
+                    (
+                        self.data_index(row, d - 1),
+                        self.data_index(row + 1, d - 1),
+                    ),
+                )
+
+    def _add(
+        self,
+        basis: str,
+        position: Tuple[float, float],
+        data_qubits: Tuple[int, ...],
+    ) -> None:
+        plaquette = CheckPlaquette(basis, position, tuple(data_qubits))
+        if basis == "x":
+            self.x_plaquettes.append(plaquette)
+        else:
+            self.z_plaquettes.append(plaquette)
+
+    def _check_matrix(
+        self, plaquettes: List[CheckPlaquette]
+    ) -> np.ndarray:
+        matrix = np.zeros((len(plaquettes), self.num_data), dtype=np.uint8)
+        for row, plaquette in enumerate(plaquettes):
+            for qubit in plaquette.data_qubits:
+                matrix[row, qubit] = 1
+        return matrix
+
+    # ------------------------------------------------------------------
+    def logical_x_support(self) -> Tuple[int, ...]:
+        """A vertical X chain connecting the X boundaries (column 0)."""
+        return tuple(
+            self.data_index(row, 0) for row in range(self.distance)
+        )
+
+    def logical_z_support(self) -> Tuple[int, ...]:
+        """A horizontal Z chain connecting the Z boundaries (row 0)."""
+        return tuple(
+            self.data_index(0, col) for col in range(self.distance)
+        )
+
+    def logical_x(self) -> PauliString:
+        """The logical X operator as a Pauli string."""
+        return PauliString.from_support(
+            self.num_data, x_support=self.logical_x_support()
+        )
+
+    def logical_z(self) -> PauliString:
+        """The logical Z operator as a Pauli string."""
+        return PauliString.from_support(
+            self.num_data, z_support=self.logical_z_support()
+        )
+
+    def stabilizer_paulis(self) -> List[PauliString]:
+        """All stabilizer generators as Pauli strings."""
+        stabilizers = []
+        for plaquette in self.x_plaquettes:
+            stabilizers.append(
+                PauliString.from_support(
+                    self.num_data, x_support=plaquette.data_qubits
+                )
+            )
+        for plaquette in self.z_plaquettes:
+            stabilizers.append(
+                PauliString.from_support(
+                    self.num_data, z_support=plaquette.data_qubits
+                )
+            )
+        return stabilizers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RotatedSurfaceCode(d={self.distance}, "
+            f"{self.num_data} data, "
+            f"{len(self.x_plaquettes)}+{len(self.z_plaquettes)} checks)"
+        )

@@ -1,0 +1,28 @@
+"""Steane [[7,1,3]] code and its QPDO layer."""
+
+from .code import (
+    HAMMING_CHECK_MATRIX,
+    NUM_DATA,
+    X_CHECK_MATRIX,
+    Z_CHECK_MATRIX,
+    logical_result_from_bits,
+    logical_x,
+    logical_z,
+    serialized_esm,
+    stabilizer_paulis,
+)
+from .layer import SteaneLayer, SteaneQubit
+
+__all__ = [
+    "NUM_DATA",
+    "HAMMING_CHECK_MATRIX",
+    "X_CHECK_MATRIX",
+    "Z_CHECK_MATRIX",
+    "stabilizer_paulis",
+    "logical_x",
+    "logical_z",
+    "serialized_esm",
+    "logical_result_from_bits",
+    "SteaneLayer",
+    "SteaneQubit",
+]

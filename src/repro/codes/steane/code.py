@@ -1,0 +1,130 @@
+"""The Steane [[7,1,3]] code (paper section 4.2.3).
+
+QPDO ships a ``SteaneLayer`` alongside the ninja-star layer; this
+module provides the code data: the six stabilizers derived from the
+classical [7,4,3] Hamming code, the logical operators, and the helper
+circuits for syndrome extraction with a shared ancilla.
+
+The Steane code is self-dual (identical X and Z check matrices), so
+the transversal gate set is large: X, Z, H, S (up to direction) and
+CNOT are all transversal, and no lattice-rotation bookkeeping is
+needed -- a useful contrast to SC17 in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from ...paulis.pauli_string import PauliString
+
+#: Number of data qubits.
+NUM_DATA = 7
+
+#: Parity-check matrix of the [7,4,3] Hamming code; used for both the
+#: X and the Z stabilizers (the code is self-dual).
+HAMMING_CHECK_MATRIX = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [1, 0, 1, 0, 1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: X stabilizers detect Z errors; Z stabilizers detect X errors.
+X_CHECK_MATRIX = HAMMING_CHECK_MATRIX
+Z_CHECK_MATRIX = HAMMING_CHECK_MATRIX
+
+#: Transversal logical operators: the all-ones row is a Hamming
+#: codeword, so weight-7 X/Z chains commute with every stabilizer.
+X_LOGICAL_SUPPORT = tuple(range(NUM_DATA))
+Z_LOGICAL_SUPPORT = tuple(range(NUM_DATA))
+
+
+def stabilizer_paulis(num_qubits: int = NUM_DATA) -> List[PauliString]:
+    """The six stabilizer generators as Pauli strings."""
+    stabilizers = []
+    for kind in ("X", "Z"):
+        for row in HAMMING_CHECK_MATRIX:
+            support = [int(q) for q in np.flatnonzero(row)]
+            if kind == "X":
+                stabilizers.append(
+                    PauliString.from_support(num_qubits, x_support=support)
+                )
+            else:
+                stabilizers.append(
+                    PauliString.from_support(num_qubits, z_support=support)
+                )
+    return stabilizers
+
+
+def logical_x(num_qubits: int = NUM_DATA) -> PauliString:
+    """The transversal logical X operator."""
+    return PauliString.from_support(
+        num_qubits, x_support=X_LOGICAL_SUPPORT
+    )
+
+
+def logical_z(num_qubits: int = NUM_DATA) -> PauliString:
+    """The transversal logical Z operator."""
+    return PauliString.from_support(
+        num_qubits, z_support=Z_LOGICAL_SUPPORT
+    )
+
+
+def serialized_esm(
+    data_map: Sequence[int],
+    shared_ancilla: int,
+    name: str = "steane_esm",
+):
+    """One ESM round with a shared ancilla (6 stabilizer measurements).
+
+    Returns an :class:`~repro.codes.surface17.esm.EsmRound` so that
+    callers can reuse the same syndrome-extraction conventions as the
+    ninja star (X-type checks first, then Z-type).
+    """
+    from ..surface17.esm import EsmRound
+
+    if len(data_map) < NUM_DATA:
+        raise ValueError("data_map must cover the 7 data qubits")
+    esm = EsmRound(Circuit(name))
+    circuit = esm.circuit
+    for kind in ("x", "z"):
+        for row in HAMMING_CHECK_MATRIX:
+            circuit.barrier()
+            circuit.append(Operation("prep_z", (shared_ancilla,)))
+            if kind == "x":
+                circuit.append(Operation("h", (shared_ancilla,)))
+            for data in np.flatnonzero(row):
+                if kind == "x":
+                    circuit.append(
+                        Operation(
+                            "cnot", (shared_ancilla, data_map[int(data)])
+                        )
+                    )
+                else:
+                    circuit.append(
+                        Operation(
+                            "cnot", (data_map[int(data)], shared_ancilla)
+                        )
+                    )
+            if kind == "x":
+                circuit.append(Operation("h", (shared_ancilla,)))
+            measure = Operation("measure", (shared_ancilla,))
+            circuit.append(measure)
+            if kind == "x":
+                esm.x_measurements.append(measure)
+            else:
+                esm.z_measurements.append(measure)
+    return esm
+
+
+def logical_result_from_bits(bits: Sequence[int]) -> int:
+    """Logical Z result from the seven transversal measurement bits."""
+    if len(bits) != NUM_DATA:
+        raise ValueError(f"need {NUM_DATA} data bits")
+    return sum(bits) % 2

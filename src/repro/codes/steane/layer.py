@@ -1,0 +1,186 @@
+"""The Steane-code QEC layer for QPDO stacks (paper section 4.2.3).
+
+A slimmer sibling of :class:`~repro.codes.surface17.layer.
+NinjaStarLayer`: the Steane code is self-dual, every supported logical
+gate is transversal, and no rotation bookkeeping exists.  The layer
+demonstrates the paper's point that QEC layers "work in a transparent
+way and support the Core interface" -- it is a drop-in replacement for
+the ninja-star layer in any control stack or test bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from ...decoders.lut import LutDecoder, TwoLutDecoder, correction_operations
+from ...qpdo.core import Core, ExecutionResult
+from ...qpdo.layer import Layer
+from ...sim.state import QuantumState, State
+from . import code
+
+
+class SteaneQubit:
+    """Physical address record of one Steane logical qubit."""
+
+    def __init__(self, data_qubits: List[int], shared_ancilla: int):
+        if len(data_qubits) != code.NUM_DATA:
+            raise ValueError(f"need {code.NUM_DATA} data qubits")
+        self.data_qubits = list(data_qubits)
+        self.shared_ancilla = int(shared_ancilla)
+        self.decoder = TwoLutDecoder(
+            code.X_CHECK_MATRIX, code.Z_CHECK_MATRIX
+        )
+
+
+class SteaneLayer(Layer):
+    """Drive Steane logical qubits over a lower stack.
+
+    The execution model matches the ninja-star layer: eager
+    translation with immediate lower-stack execution where syndrome
+    feedback is required.
+    """
+
+    def __init__(self, lower: Core, init_esm_rounds: int = 1):
+        super().__init__(lower)
+        self.init_esm_rounds = int(init_esm_rounds)
+        self.logical_qubits: List[SteaneQubit] = []
+        self._shared_ancilla: Optional[int] = None
+        self._pending = ExecutionResult()
+        self._measurement_decoder = LutDecoder(code.Z_CHECK_MATRIX)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of logical qubits."""
+        return len(self.logical_qubits)
+
+    def createqubit(self, size: int = 1) -> int:
+        first = len(self.logical_qubits)
+        for _ in range(int(size)):
+            if self._shared_ancilla is None:
+                self._shared_ancilla = self.lower.createqubit(1)
+            start = self.lower.createqubit(code.NUM_DATA)
+            self.logical_qubits.append(
+                SteaneQubit(
+                    list(range(start, start + code.NUM_DATA)),
+                    self._shared_ancilla,
+                )
+            )
+        return first
+
+    def removequbit(self, size: int = 1) -> None:
+        for _ in range(int(size)):
+            self.logical_qubits.pop()
+            self.lower.removequbit(code.NUM_DATA)
+
+    def add(self, circuit: Circuit) -> None:
+        for slot in circuit:
+            for operation in slot:
+                self._dispatch(operation)
+
+    def execute(self) -> ExecutionResult:
+        result = self._pending
+        self._pending = ExecutionResult()
+        return result
+
+    def getstate(self) -> State:
+        """Logical binary values are not tracked; everything unknown."""
+        return State(len(self.logical_qubits))
+
+    def getquantumstate(self) -> QuantumState:
+        return self.lower.getquantumstate()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, operation: Operation) -> None:
+        name = operation.name
+        if name == "prep_z":
+            self._logical_reset(operation.qubits[0])
+        elif name == "measure":
+            self._logical_measure(operation)
+        elif name in ("x", "z", "h", "i"):
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._transversal(name, qubit)
+        elif name == "s":
+            # S_L on the Steane code is transversal S^dagger.
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._transversal("sdg", qubit)
+        elif name == "sdg":
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._transversal("s", qubit)
+        elif name in ("cnot", "cz"):
+            control = self.logical_qubits[operation.qubits[0]]
+            target = self.logical_qubits[operation.qubits[1]]
+            circuit = Circuit(f"{name}_L")
+            slot = circuit.new_slot()
+            for c_phys, t_phys in zip(
+                control.data_qubits, target.data_qubits
+            ):
+                slot.add(Operation(name, (c_phys, t_phys)))
+            self._run(circuit)
+        else:
+            raise ValueError(
+                f"logical operation {name!r} is not transversal on the "
+                f"Steane code"
+            )
+
+    def _transversal(self, gate: str, qubit: SteaneQubit) -> None:
+        if gate == "i":
+            return
+        circuit = Circuit(f"{gate}_L")
+        slot = circuit.new_slot()
+        for physical in qubit.data_qubits:
+            slot.add(Operation(gate, (physical,)))
+        self._run(circuit)
+
+    # ------------------------------------------------------------------
+    def _logical_reset(self, logical_index: int) -> None:
+        qubit = self.logical_qubits[logical_index]
+        circuit = Circuit("reset_L")
+        slot = circuit.new_slot()
+        for physical in qubit.data_qubits:
+            slot.add(Operation("prep_z", (physical,)))
+        self._run(circuit)
+        for _ in range(self.init_esm_rounds):
+            self._qec_cycle(qubit)
+
+    def _qec_cycle(self, qubit: SteaneQubit) -> None:
+        esm = code.serialized_esm(qubit.data_qubits, qubit.shared_ancilla)
+        self.lower.add(esm.circuit)
+        result = self.lower.execute()
+        x_bits, z_bits = esm.syndromes(result)
+        x_corr, z_corr = qubit.decoder.decode(x_bits, z_bits)
+        gates = correction_operations(x_corr, z_corr, qubit.data_qubits)
+        if gates:
+            correction = Circuit("corrections")
+            slot = correction.new_slot()
+            for gate, physical in gates:
+                slot.add(Operation(gate, (physical,)))
+            self._run(correction)
+
+    def _logical_measure(self, operation: Operation) -> None:
+        qubit = self.logical_qubits[operation.qubits[0]]
+        circuit = Circuit("measure_L")
+        slot = circuit.new_slot()
+        measures = []
+        for physical in qubit.data_qubits:
+            measure = Operation("measure", (physical,))
+            slot.add(measure)
+            measures.append(measure)
+        self.lower.add(circuit)
+        result = self.lower.execute()
+        bits = [result.result_of(m) for m in measures]
+        syndrome = (
+            code.Z_CHECK_MATRIX @ np.asarray(bits, dtype=np.uint8)
+        ) % 2
+        flips = self._measurement_decoder.decode(syndrome)
+        corrected = [bit ^ int(flip) for bit, flip in zip(bits, flips)]
+        logical_bit = code.logical_result_from_bits(corrected)
+        self._pending.measurements[operation.uid] = logical_bit
+
+    def _run(self, circuit: Circuit) -> ExecutionResult:
+        self.lower.add(circuit)
+        return self.lower.execute()

@@ -1,0 +1,56 @@
+"""Surface Code 17 ("ninja star"): layout, ESM, logical operations."""
+
+from .layout import (
+    ALL_PLAQUETTES,
+    NUM_ANCILLA,
+    NUM_DATA,
+    NUM_QUBITS,
+    ROTATED_PAIRING,
+    X_CHECK_MATRIX,
+    X_LOGICAL_SUPPORT,
+    X_PLAQUETTES,
+    Z_CHECK_MATRIX,
+    Z_LOGICAL_SUPPORT,
+    Z_PLAQUETTES,
+    Plaquette,
+    cnot_pairing,
+    cz_pairing,
+    logical_x,
+    logical_z,
+    stabilizer_paulis,
+)
+from .esm import EsmRound, active_plaquettes, parallel_esm, serialized_esm
+from .qubit import DanceMode, LogicalState, NinjaStarQubit, Rotation
+from .layer import NinjaStarLayer
+from . import injection, logical
+
+__all__ = [
+    "Plaquette",
+    "ALL_PLAQUETTES",
+    "X_PLAQUETTES",
+    "Z_PLAQUETTES",
+    "NUM_DATA",
+    "NUM_ANCILLA",
+    "NUM_QUBITS",
+    "X_CHECK_MATRIX",
+    "Z_CHECK_MATRIX",
+    "X_LOGICAL_SUPPORT",
+    "Z_LOGICAL_SUPPORT",
+    "ROTATED_PAIRING",
+    "cnot_pairing",
+    "cz_pairing",
+    "logical_x",
+    "logical_z",
+    "stabilizer_paulis",
+    "EsmRound",
+    "parallel_esm",
+    "serialized_esm",
+    "active_plaquettes",
+    "NinjaStarQubit",
+    "Rotation",
+    "DanceMode",
+    "LogicalState",
+    "NinjaStarLayer",
+    "logical",
+    "injection",
+]

@@ -1,0 +1,210 @@
+"""Error Syndrome Measurement circuits for the ninja star.
+
+Builds the ESM circuit of Table 5.8: 48 gates in 8 time slots --
+ancilla preparation, the four interleaved CNOT slots, the Hadamard
+un-bracketing of the X ancillas, and the simultaneous ancilla
+measurement.  Interaction ordering follows Figs 2.2/2.3: X-type checks
+walk their neighbours in the *S pattern* and Z-type checks in the *Z
+pattern*, the combination shown by Tomita & Svore to avoid inserting
+logical errors through ancilla faults.
+
+Two variants are provided:
+
+* :func:`parallel_esm` -- the real schedule with one ancilla per
+  plaquette (17 physical qubits), used by the LER experiments;
+* :func:`serialized_esm` -- one shared ancilla measures the plaquettes
+  sequentially, trading time for qubits so that two full logical
+  qubits fit in a state-vector simulation (the paper runs 26-qubit QX
+  jobs on a server; DESIGN.md records this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from .layout import ALL_PLAQUETTES, NUM_DATA, Plaquette
+
+#: Neighbour visiting order of X-type checks (Fig. 2.2, "S pattern").
+X_PATTERN: Tuple[str, ...] = ("ne", "nw", "se", "sw")
+#: Neighbour visiting order of Z-type checks (Fig. 2.3, "Z pattern").
+Z_PATTERN: Tuple[str, ...] = ("ne", "se", "nw", "sw")
+
+
+@dataclass
+class EsmRound:
+    """One ESM round: the circuit plus syndrome bookkeeping.
+
+    Attributes
+    ----------
+    circuit:
+        The physical circuit to execute.
+    x_measurements:
+        Measurement operations of the plaquettes currently performing
+        *X-type* checks, in plaquette order (their results form the
+        X syndrome, which detects Z errors).
+    z_measurements:
+        Likewise for the Z-type checks (detect X errors).
+    """
+
+    circuit: Circuit
+    x_measurements: List[Operation] = field(default_factory=list)
+    z_measurements: List[Operation] = field(default_factory=list)
+
+    def syndromes(self, result) -> Tuple[List[int], List[int]]:
+        """Extract (x_syndrome, z_syndrome) bits from a result."""
+        x_bits = [result.result_of(op) for op in self.x_measurements]
+        z_bits = [result.result_of(op) for op in self.z_measurements]
+        return x_bits, z_bits
+
+
+def _effective_basis(plaquette: Plaquette, rotated: bool) -> str:
+    """The check type a plaquette performs in the given orientation.
+
+    A logical Hadamard rotates the lattice: red plaquettes become
+    green and vice versa (Fig. 2.5), i.e. each plaquette's check basis
+    flips while its data neighbourhood stays put.
+    """
+    if not rotated:
+        return plaquette.basis
+    return "z" if plaquette.basis == "x" else "x"
+
+
+def active_plaquettes(
+    rotated: bool, dance_mode: str
+) -> List[Tuple[Plaquette, str]]:
+    """(plaquette, effective basis) pairs participating in a round.
+
+    ``dance_mode`` is ``"all"`` for a full round or ``"z_only"`` for
+    the partial rounds that follow a logical measurement (Table 5.2).
+    """
+    active = []
+    for plaquette in ALL_PLAQUETTES:
+        basis = _effective_basis(plaquette, rotated)
+        if dance_mode == "z_only" and basis != "z":
+            continue
+        active.append((plaquette, basis))
+    return active
+
+
+def parallel_esm(
+    qubit_map: Sequence[int],
+    rotated: bool = False,
+    dance_mode: str = "all",
+    name: str = "esm",
+) -> EsmRound:
+    """The 8-slot parallel ESM round of Table 5.8.
+
+    Parameters
+    ----------
+    qubit_map:
+        Physical index of each local qubit (0..16): nine data qubits
+        followed by the eight plaquette ancillas.
+    rotated:
+        Current lattice orientation.
+    dance_mode:
+        ``"all"`` or ``"z_only"`` (Table 5.2).
+    """
+    if len(qubit_map) < NUM_DATA + len(ALL_PLAQUETTES):
+        raise ValueError("qubit_map must cover 9 data + 8 ancilla qubits")
+    plaquettes = active_plaquettes(rotated, dance_mode)
+    esm = EsmRound(Circuit(name))
+    circuit = esm.circuit
+
+    x_checks = [(p, b) for p, b in plaquettes if b == "x"]
+    z_checks = [(p, b) for p, b in plaquettes if b == "z"]
+
+    # Slot 1: reset the X-check ancillas (or the Z ones in z_only mode).
+    slot = circuit.new_slot()
+    first_resets = x_checks if x_checks else z_checks
+    for plaquette, _basis in first_resets:
+        slot.add(Operation("prep_z", (qubit_map[plaquette.local_ancilla],)))
+    # Slot 2: reset the Z-check ancillas and Hadamard the X ones.
+    if x_checks:
+        slot = circuit.new_slot()
+        for plaquette, _basis in z_checks:
+            slot.add(
+                Operation("prep_z", (qubit_map[plaquette.local_ancilla],))
+            )
+        for plaquette, _basis in x_checks:
+            slot.add(Operation("h", (qubit_map[plaquette.local_ancilla],)))
+    # Slots 3-6: the interleaved CNOT schedule.
+    for step in range(4):
+        slot = circuit.new_slot()
+        for plaquette, basis in plaquettes:
+            pattern = X_PATTERN if basis == "x" else Z_PATTERN
+            data = plaquette.neighbors[pattern[step]]
+            if data is None:
+                continue
+            ancilla = qubit_map[plaquette.local_ancilla]
+            data_physical = qubit_map[data]
+            if basis == "x":
+                slot.add(Operation("cnot", (ancilla, data_physical)))
+            else:
+                slot.add(Operation("cnot", (data_physical, ancilla)))
+    # Slot 7: close the Hadamard bracket on X-check ancillas.
+    if x_checks:
+        slot = circuit.new_slot()
+        for plaquette, _basis in x_checks:
+            slot.add(Operation("h", (qubit_map[plaquette.local_ancilla],)))
+    # Slot 8: measure every active ancilla.
+    slot = circuit.new_slot()
+    for plaquette, basis in plaquettes:
+        measure = Operation(
+            "measure", (qubit_map[plaquette.local_ancilla],)
+        )
+        slot.add(measure)
+        if basis == "x":
+            esm.x_measurements.append(measure)
+        else:
+            esm.z_measurements.append(measure)
+    return esm
+
+
+def serialized_esm(
+    data_map: Sequence[int],
+    shared_ancilla: int,
+    rotated: bool = False,
+    dance_mode: str = "all",
+    name: str = "esm_serial",
+) -> EsmRound:
+    """An ESM round reusing one ancilla for all plaquettes.
+
+    Functionally equivalent to :func:`parallel_esm` (the stabilizer
+    measurements commute) but needs only ``9 + 1`` qubits per logical
+    qubit, enabling state-vector verification of two-logical-qubit
+    operations on laptop-scale memory.
+    """
+    if len(data_map) < NUM_DATA:
+        raise ValueError("data_map must cover the 9 data qubits")
+    esm = EsmRound(Circuit(name))
+    circuit = esm.circuit
+    for plaquette, basis in active_plaquettes(rotated, dance_mode):
+        circuit.barrier()
+        circuit.append(Operation("prep_z", (shared_ancilla,)))
+        if basis == "x":
+            circuit.append(Operation("h", (shared_ancilla,)))
+        pattern = X_PATTERN if basis == "x" else Z_PATTERN
+        for direction in pattern:
+            data = plaquette.neighbors[direction]
+            if data is None:
+                continue
+            if basis == "x":
+                circuit.append(
+                    Operation("cnot", (shared_ancilla, data_map[data]))
+                )
+            else:
+                circuit.append(
+                    Operation("cnot", (data_map[data], shared_ancilla))
+                )
+        if basis == "x":
+            circuit.append(Operation("h", (shared_ancilla,)))
+        measure = Operation("measure", (shared_ancilla,))
+        circuit.append(measure)
+        if basis == "x":
+            esm.x_measurements.append(measure)
+        else:
+            esm.z_measurements.append(measure)
+    return esm

@@ -1,0 +1,261 @@
+"""Logical state injection for the ninja star (paper future work).
+
+The paper's future work points at state injection [Horsman et al.,
+NJP 14, 123011] as the route to a universal gate set for SC17.  This
+module implements it for the noiseless verification setting:
+
+1. prepare a product state that carries the desired single-qubit state
+   on the centre data qubit D4 (which sits on both logical chains),
+   ``|0>`` on the rest of the Z_L chain (D0, D8), ``|+>`` on the rest
+   of the X_L chain (D2, D6), and a compatible pattern on the
+   remaining qubits;
+2. run one round of ESM, which projects into the codespace with a
+   random syndrome;
+3. apply a *logical-safe* Pauli fixup: the minimum-weight LUT
+   correction for the observed syndrome, multiplied by a logical
+   operator where necessary so that the fixup commutes with both
+   ``X_L`` and ``Z_L`` and therefore acts trivially on the encoded
+   amplitudes.
+
+The result is ``cos(theta/2)|0>_L + e^{i phi} sin(theta/2)|1>_L``
+exactly.  On top of injection, :func:`teleport_t_gate` demonstrates
+the injection-based non-Clifford T gate via magic-state teleportation
+(post-selected on the measurement branch that needs no S_L
+correction, since SC17 has no transversal S -- see the docstring).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from ...decoders.lut import TwoLutDecoder, correction_operations
+from .layer import NinjaStarLayer
+from .layout import (
+    X_CHECK_MATRIX,
+    X_LOGICAL_SUPPORT,
+    Z_CHECK_MATRIX,
+    Z_LOGICAL_SUPPORT,
+)
+from .qubit import DanceMode, LogicalState, NinjaStarQubit, Rotation
+
+#: Data qubits prepared in |+> besides the X_L chain; the pattern is
+#: chosen so that every stabilizer acts on a definite-product subset
+#: plus the injection qubit, making the projection clean.
+_PLUS_PREP = (1, 2, 5, 6)
+_ZERO_PREP = (0, 3, 7, 8)
+_INJECTION_QUBIT = 4  # D4 lies on both logical chains
+
+
+def injection_circuit(
+    qubit: NinjaStarQubit, theta: float, phi: float
+) -> Circuit:
+    """The product-state preparation circuit of step 1.
+
+    ``theta``/``phi`` are the Bloch angles of the injected state
+    ``cos(theta/2)|0> + e^{i phi} sin(theta/2)|1>``.
+    """
+    circuit = Circuit("inject")
+    slot = circuit.new_slot()
+    for data_index in range(9):
+        slot.add(Operation("prep_z", (qubit.physical(data_index),)))
+    slot = circuit.new_slot()
+    for data_index in _PLUS_PREP:
+        slot.add(Operation("h", (qubit.physical(data_index),)))
+    centre = qubit.physical(_INJECTION_QUBIT)
+    slot.add(Operation("ry", (centre,), (theta,)))
+    circuit.barrier()
+    circuit.append(Operation("rz", (centre,), (phi,)))
+    return circuit
+
+
+def _logical_safe_corrections(
+    x_syndrome, z_syndrome
+) -> Tuple[np.ndarray, np.ndarray]:
+    """LUT corrections adjusted to commute with both logicals.
+
+    A Z-type fixup that anticommutes with ``X_L`` is multiplied by
+    ``Z_L`` (same syndrome, commuting with everything Z-type checks
+    see); likewise X-type fixups get ``X_L``.  The adjusted fixup then
+    acts as the identity on the logical subspace, preserving the
+    injected amplitudes exactly.
+    """
+    decoder = TwoLutDecoder(X_CHECK_MATRIX, Z_CHECK_MATRIX)
+    x_corr, z_corr = decoder.decode(x_syndrome, z_syndrome)
+    if int(z_corr[list(X_LOGICAL_SUPPORT)].sum()) % 2 == 1:
+        for data_index in Z_LOGICAL_SUPPORT:
+            z_corr[data_index] ^= True
+    if int(x_corr[list(Z_LOGICAL_SUPPORT)].sum()) % 2 == 1:
+        for data_index in X_LOGICAL_SUPPORT:
+            x_corr[data_index] ^= True
+    return x_corr, z_corr
+
+
+def inject_logical_state(
+    layer: NinjaStarLayer,
+    logical_index: int,
+    theta: float,
+    phi: float = 0.0,
+) -> None:
+    """Inject ``cos(t/2)|0>_L + e^{i phi} sin(t/2)|1>_L`` (noiseless).
+
+    Requires a state-vector back-end (the injected state is generally
+    not a stabilizer state) and a logical qubit in the *normal*
+    orientation.
+    """
+    qubit = layer.logical_qubits[logical_index]
+    if qubit.rotation is not Rotation.NORMAL:
+        raise ValueError("inject into a normally-oriented lattice only")
+    layer.lower.add(injection_circuit(qubit, theta, phi))
+    layer.lower.execute()
+    esm = qubit_esm_round(qubit)
+    layer.lower.add(esm.circuit)
+    result = layer.lower.execute()
+    x_bits, z_bits = esm.syndromes(result)
+    x_corr, z_corr = _logical_safe_corrections(x_bits, z_bits)
+    gates = correction_operations(x_corr, z_corr, qubit.data_qubits)
+    if gates:
+        fixup = Circuit("injection_fixup")
+        slot = fixup.new_slot()
+        for gate, physical in gates:
+            slot.add(Operation(gate, (physical,)))
+        layer.lower.add(fixup)
+        layer.lower.execute()
+    qubit.rotation = Rotation.NORMAL
+    qubit.dance_mode = DanceMode.ALL
+    qubit.state = LogicalState.UNKNOWN
+
+
+def qubit_esm_round(qubit: NinjaStarQubit):
+    """A full ESM round for ``qubit`` regardless of its dance mode."""
+    saved = qubit.dance_mode
+    qubit.dance_mode = DanceMode.ALL
+    esm = qubit.esm_round(name="injection_esm")
+    qubit.dance_mode = saved
+    return esm
+
+
+# ----------------------------------------------------------------------
+# Logical Bloch-vector diagnostics (state-vector back-ends only)
+# ----------------------------------------------------------------------
+def logical_bloch_vector(
+    layer: NinjaStarLayer, logical_index: int
+) -> Tuple[float, float, float]:
+    """``(<X_L>, <Y_L>, <Z_L>)`` of one logical qubit.
+
+    Computed directly on the state vector; ``Y_L = i X_L Z_L`` acts as
+    ``Y`` on D4 and as ``X``/``Z`` on the rest of the two chains.
+    """
+    from ...qpdo.cores import StateVectorCore
+    from ...qpdo.layer import Layer
+
+    core = layer.lower
+    while isinstance(core, Layer):
+        core = core.lower
+    if not isinstance(core, StateVectorCore):
+        raise TypeError("logical_bloch_vector needs a state-vector core")
+    simulator = core.simulator
+    qubit = layer.logical_qubits[logical_index]
+    x_support_now = tuple(qubit.x_logical_support)
+    z_support_now = tuple(qubit.z_logical_support)
+
+    def expectation(x_support, z_support):
+        transformed = simulator.copy()
+        for data_index in x_support:
+            transformed.apply_gate("x", (qubit.physical(data_index),))
+        for data_index in z_support:
+            transformed.apply_gate("z", (qubit.physical(data_index),))
+        return float(
+            np.real(
+                np.vdot(simulator.amplitudes, transformed.amplitudes)
+            )
+        )
+
+    x_expectation = expectation(x_support_now, ())
+    z_expectation = expectation((), z_support_now)
+    # Y_L = i X_L Z_L.  Applying the X chain first and the Z chain
+    # second realises the operator Z_L X_L = +i Y_L (the chains
+    # anticommute through their overlap on D4), so <Y_L> is the real
+    # part of -i times the overlap.
+    transformed = simulator.copy()
+    for data_index in x_support_now:
+        transformed.apply_gate("x", (qubit.physical(data_index),))
+    for data_index in z_support_now:
+        transformed.apply_gate("z", (qubit.physical(data_index),))
+    y_expectation = float(
+        np.real(
+            -1j * np.vdot(simulator.amplitudes, transformed.amplitudes)
+        )
+    )
+    return x_expectation, y_expectation, z_expectation
+
+
+def expected_bloch_vector(
+    theta: float, phi: float
+) -> Tuple[float, float, float]:
+    """Bloch vector of the single-qubit state the injection targets."""
+    return (
+        math.sin(theta) * math.cos(phi),
+        math.sin(theta) * math.sin(phi),
+        math.cos(theta),
+    )
+
+
+# ----------------------------------------------------------------------
+# Magic-state T gate by teleportation (post-selected)
+# ----------------------------------------------------------------------
+def teleport_t_gate(
+    layer: NinjaStarLayer,
+    data_index: int,
+    magic_index: int,
+    max_attempts: int = 20,
+    rng_checkpoint: Optional[object] = None,
+) -> int:
+    """Apply a logical T to ``data_index`` via magic-state teleportation.
+
+    Injects ``|A>_L = T|+>_L`` into ``magic_index``, runs a transversal
+    ``CNOT_L`` (data controls magic) and measures the magic qubit.
+    Outcome 0 leaves ``T|psi>_L`` on the data qubit; outcome 1 leaves
+    ``T^dag|psi>_L``, which needs an ``S_L`` correction that SC17 does
+    not implement transversally (Table 2.3) -- so this routine
+    *post-selects*: it returns the number of attempts consumed, and
+    raises after ``max_attempts`` consecutive outcome-1 branches.
+
+    This is a repeat-until-success demonstration; a production system
+    would inject an ``|S>`` state for the correction instead.
+    """
+    snapshot = None
+    from ...qpdo.cores import StateVectorCore
+    from ...qpdo.layer import Layer
+
+    core = layer.lower
+    while isinstance(core, Layer):
+        core = core.lower
+    if isinstance(core, StateVectorCore):
+        snapshot = core.simulator.copy()
+    for attempt in range(1, max_attempts + 1):
+        # |A>_L = T|+>_L: theta = pi/2 (equator), phi = pi/4.
+        inject_logical_state(
+            layer, magic_index, theta=math.pi / 2, phi=math.pi / 4
+        )
+        circuit = Circuit("t_teleport")
+        circuit.add("cnot", data_index, magic_index)
+        measure = circuit.add("measure", magic_index)
+        result = layer.run(circuit)
+        if result.result_of(measure) == 0:
+            return attempt
+        if snapshot is None:
+            raise RuntimeError(
+                "outcome-1 branch needs S_L; cannot rewind a "
+                "non-state-vector back-end"
+            )
+        # Post-selection: rewind and retry (repeat-until-success).
+        core.simulator.amplitudes = snapshot.amplitudes.copy()
+    raise RuntimeError(
+        f"teleportation failed {max_attempts} times in a row "
+        "(probability 2^-{max_attempts})"
+    )

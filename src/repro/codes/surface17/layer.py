@@ -1,0 +1,289 @@
+"""The ninja-star QEC layer (paper section 5.1.3, Table 5.4).
+
+:class:`NinjaStarLayer` exposes *logical* qubits through the standard
+QPDO Core interface while translating every logical operation into
+physical circuits for the stack below.  It owns the run-time
+properties of each logical qubit, inserts ESM rounds, decodes error
+syndromes with the two-LUT decoder, and applies (or, when a Pauli
+frame layer sits below, merely commands) the resulting corrections.
+
+Execution model: the layer is *eager* -- logical operations that need
+feedback (initialisation, measurement) execute the lower stack
+immediately, because decoding requires real syndrome bits.  Logical
+measurement results are accumulated and returned by ``execute()``
+keyed by the logical measurement operation's uid, so test benches use
+the layer exactly like any other stack element.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from ...decoders.lut import LutDecoder, correction_operations
+from ...decoders.rule_based import majority_vote
+from ...qpdo.core import Core, ExecutionResult
+from ...qpdo.layer import Layer
+from ...sim.state import BinaryValue, QuantumState, State
+from . import logical as ops
+from .layout import NUM_ANCILLA, NUM_DATA
+from .qubit import DanceMode, LogicalState, NinjaStarQubit
+
+
+class NinjaStarLayer(Layer):
+    """Drive one or more ninja-star logical qubits over a lower stack.
+
+    Parameters
+    ----------
+    lower:
+        The stack element below (simulation core, possibly behind a
+        Pauli frame layer, as in Fig. 5.5).
+    serialized_ancilla:
+        When ``True`` (default) all logical qubits share a single
+        physical ancilla and stabilizers are measured sequentially --
+        the memory-frugal mode for state-vector verification.  When
+        ``False`` each logical qubit gets its own eight ancillas and
+        the 8-slot parallel ESM schedule of Table 5.8.
+    init_esm_rounds:
+        ESM rounds run (and decoded) after a logical reset; the paper's
+        verification experiment uses a single round (section 5.1.4).
+    measurement_esm_rounds:
+        Partial (z-only) ESM rounds run after a logical measurement to
+        catch X errors that corrupted the transversal readout.
+    """
+
+    def __init__(
+        self,
+        lower: Core,
+        serialized_ancilla: bool = True,
+        init_esm_rounds: int = 1,
+        measurement_esm_rounds: int = 1,
+    ) -> None:
+        super().__init__(lower)
+        self.serialized_ancilla = bool(serialized_ancilla)
+        self.init_esm_rounds = int(init_esm_rounds)
+        self.measurement_esm_rounds = int(measurement_esm_rounds)
+        self.logical_qubits: List[NinjaStarQubit] = []
+        self._shared_ancilla: Optional[int] = None
+        self._pending = ExecutionResult()
+
+    # ------------------------------------------------------------------
+    # Core interface (logical view)
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of *logical* qubits."""
+        return len(self.logical_qubits)
+
+    def createqubit(self, size: int = 1) -> int:
+        first = len(self.logical_qubits)
+        for _ in range(int(size)):
+            self.logical_qubits.append(self._allocate_logical_qubit())
+        return first
+
+    def removequbit(self, size: int = 1) -> None:
+        for _ in range(int(size)):
+            qubit = self.logical_qubits.pop()
+            physical = NUM_DATA if self.serialized_ancilla else (
+                NUM_DATA + NUM_ANCILLA
+            )
+            self.lower.removequbit(physical)
+            del qubit
+
+    def _allocate_logical_qubit(self) -> NinjaStarQubit:
+        if self.serialized_ancilla:
+            if self._shared_ancilla is None:
+                self._shared_ancilla = self.lower.createqubit(1)
+            first = self.lower.createqubit(NUM_DATA)
+            return NinjaStarQubit(
+                list(range(first, first + NUM_DATA)),
+                shared_ancilla=self._shared_ancilla,
+            )
+        first = self.lower.createqubit(NUM_DATA + NUM_ANCILLA)
+        return NinjaStarQubit(
+            list(range(first, first + NUM_DATA)),
+            ancilla_qubits=list(
+                range(first + NUM_DATA, first + NUM_DATA + NUM_ANCILLA)
+            ),
+        )
+
+    def add(self, circuit: Circuit) -> None:
+        """Process a *logical* circuit eagerly (see class docstring)."""
+        for slot in circuit:
+            for operation in slot:
+                self._dispatch(operation)
+
+    def execute(self) -> ExecutionResult:
+        """Return accumulated logical measurement results."""
+        result = self._pending
+        self._pending = ExecutionResult()
+        return result
+
+    def getstate(self) -> State:
+        """Binary values of the logical qubits (Table 5.2 ``state``)."""
+        state = State(len(self.logical_qubits))
+        for index, qubit in enumerate(self.logical_qubits):
+            if qubit.state is LogicalState.ZERO:
+                state.set_bit(index, 0)
+            elif qubit.state is LogicalState.ONE:
+                state.set_bit(index, 1)
+        return state
+
+    def getquantumstate(self) -> QuantumState:
+        """The *physical* quantum state of the lower stack."""
+        return self.lower.getquantumstate()
+
+    def data_quantum_state(self, logical_index: int) -> QuantumState:
+        """Reduced pure state of one logical qubit's nine data qubits.
+
+        Only available on state-vector back-ends and only when the
+        data qubits are unentangled from everything else -- exactly the
+        situation of the paper's Listings 5.1/5.2.
+        """
+        from ...qpdo.cores import StateVectorCore
+
+        core = self.lower
+        while isinstance(core, Layer):
+            core = core.lower
+        if not isinstance(core, StateVectorCore):
+            raise TypeError("data_quantum_state needs a state-vector core")
+        qubit = self.logical_qubits[logical_index]
+        return core.simulator.quantum_state_of(qubit.data_qubits)
+
+    # ------------------------------------------------------------------
+    # Logical operation dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, operation: Operation) -> None:
+        name = operation.name
+        if name == "prep_z":
+            self._logical_reset(operation.qubits[0])
+        elif name == "measure":
+            self._logical_measure(operation)
+        elif name == "x":
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._run(ops.logical_x_circuit(qubit))
+            qubit.on_logical_x()
+        elif name == "z":
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._run(ops.logical_z_circuit(qubit))
+            qubit.on_logical_z()
+        elif name == "h":
+            qubit = self.logical_qubits[operation.qubits[0]]
+            self._run(ops.logical_h_circuit(qubit))
+            qubit.on_logical_h()
+        elif name == "i":
+            pass
+        elif name == "cnot":
+            control = self.logical_qubits[operation.qubits[0]]
+            target = self.logical_qubits[operation.qubits[1]]
+            self._run(ops.logical_cnot_circuit(control, target))
+            self._propagate_cnot_state(control, target)
+        elif name == "cz":
+            control = self.logical_qubits[operation.qubits[0]]
+            target = self.logical_qubits[operation.qubits[1]]
+            self._run(ops.logical_cz_circuit(control, target))
+            # CZ adds phases only; classical Z-basis knowledge survives.
+        else:
+            raise ValueError(
+                f"logical operation {name!r} is not fault-tolerantly "
+                f"supported by Surface Code 17 (Table 2.3)"
+            )
+
+    @staticmethod
+    def _propagate_cnot_state(
+        control: NinjaStarQubit, target: NinjaStarQubit
+    ) -> None:
+        if (
+            control.state is not LogicalState.UNKNOWN
+            and target.state is not LogicalState.UNKNOWN
+        ):
+            control_bit = 1 if control.state is LogicalState.ONE else 0
+            target_bit = 1 if target.state is LogicalState.ONE else 0
+            target_bit ^= control_bit
+            target.state = (
+                LogicalState.ONE if target_bit else LogicalState.ZERO
+            )
+        else:
+            target.state = LogicalState.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Initialisation and measurement procedures
+    # ------------------------------------------------------------------
+    def _logical_reset(self, logical_index: int) -> None:
+        qubit = self.logical_qubits[logical_index]
+        qubit.on_reset()
+        self._run(ops.reset_circuit(qubit))
+        self._qec_cycle(qubit, rounds=self.init_esm_rounds)
+
+    def _qec_cycle(self, qubit: NinjaStarQubit, rounds: int = 1) -> None:
+        """Run ESM rounds, decode, and command corrections.
+
+        With multiple rounds the syndrome bits are majority voted
+        before decoding (the verification setups are noise-free, so a
+        single round suffices; the LER experiments use their own
+        windowed decoder instead of this method).
+        """
+        if rounds <= 0:
+            return
+        x_rounds = []
+        z_rounds = []
+        for index in range(rounds):
+            esm = qubit.esm_round(name=f"esm_{index}")
+            self.lower.add(esm.circuit)
+            result = self.lower.execute()
+            x_bits, z_bits = esm.syndromes(result)
+            x_rounds.append(np.asarray(x_bits, dtype=np.uint8))
+            z_rounds.append(np.asarray(z_bits, dtype=np.uint8))
+        if rounds % 2 == 1:
+            x_syndrome = majority_vote(x_rounds)
+            z_syndrome = majority_vote(z_rounds)
+        else:
+            x_syndrome = x_rounds[-1]
+            z_syndrome = z_rounds[-1]
+        x_corr, z_corr = qubit.decoder.decode(x_syndrome, z_syndrome)
+        gates = correction_operations(x_corr, z_corr, qubit.data_qubits)
+        if gates:
+            correction = Circuit("corrections")
+            slot = correction.new_slot()
+            for gate, physical in gates:
+                slot.add(Operation(gate, (physical,)))
+            self._run(correction)
+
+    def _logical_measure(self, operation: Operation) -> None:
+        qubit = self.logical_qubits[operation.qubits[0]]
+        circuit = ops.measurement_circuit(qubit)
+        measures = ops.measurement_operations(circuit)
+        self.lower.add(circuit)
+        result = self.lower.execute()
+        bits = [result.result_of(m) for m in measures]
+        # Post-measurement partial dancing (z-only) to catch X errors.
+        z_matrix = qubit.z_check_matrix
+        syndromes = [
+            (z_matrix @ np.asarray(bits, dtype=np.uint8)) % 2
+        ]
+        qubit.dance_mode = DanceMode.Z_ONLY
+        for index in range(self.measurement_esm_rounds):
+            esm = qubit.esm_round(name=f"esm_post_{index}")
+            self.lower.add(esm.circuit)
+            esm_result = self.lower.execute()
+            _x_bits, z_bits = esm.syndromes(esm_result)
+            syndromes.append(np.asarray(z_bits, dtype=np.uint8))
+        if len(syndromes) % 2 == 1:
+            voted = majority_vote(syndromes)
+        else:
+            voted = syndromes[0].astype(bool)
+        flips = LutDecoder(z_matrix).decode(voted)
+        corrected = [
+            bit ^ int(flip) for bit, flip in zip(bits, flips)
+        ]
+        logical_bit = ops.logical_result_from_bits(corrected)
+        self._pending.measurements[operation.uid] = logical_bit
+        qubit.on_logical_measurement(logical_bit)
+
+    # ------------------------------------------------------------------
+    def _run(self, circuit: Circuit) -> ExecutionResult:
+        self.lower.add(circuit)
+        return self.lower.execute()

@@ -1,0 +1,181 @@
+"""Geometry and stabilizers of Surface Code 17 (the "ninja star").
+
+The planar distance-3 surface code of Fig. 2.1: nine data qubits
+``D0..D8`` on a 3x3 grid with eight ancilla qubits between them, four
+measuring X parities and four measuring Z parities.  Local qubit
+numbering used throughout this package:
+
+* ``0..8``   -- data qubits ``D0..D8`` (row-major grid positions),
+* ``9..12``  -- the four "red" plaquettes (X checks when unrotated),
+* ``13..16`` -- the four "green" plaquettes (Z checks when unrotated).
+
+The stabilizers match Table 2.1, the logical-state stabilizers
+Table 2.2, and the logical operator chains section 2.6.1:
+``X_L = X2 X4 X6``, ``Z_L = Z0 Z4 Z8`` in the normal orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...paulis.pauli_string import PauliString
+
+#: Number of data qubits.
+NUM_DATA = 9
+#: Number of ancilla qubits.
+NUM_ANCILLA = 8
+#: Total physical qubits per logical qubit.
+NUM_QUBITS = NUM_DATA + NUM_ANCILLA
+
+#: Grid position (row, column) of each data qubit.
+DATA_POSITIONS: Tuple[Tuple[int, int], ...] = tuple(
+    (row, col) for row in range(3) for col in range(3)
+)
+
+
+@dataclass(frozen=True)
+class Plaquette:
+    """One parity-check plaquette of the ninja star.
+
+    Attributes
+    ----------
+    index:
+        Local ancilla index (0..7; add 9 for the local qubit number).
+    basis:
+        ``"x"`` or ``"z"`` -- the check type in the *normal* lattice
+        orientation.  A logical Hadamard swaps the roles (Fig. 2.5).
+    position:
+        (row, column) of the ancilla in half-integer grid coordinates.
+    neighbors:
+        Data-qubit index per diagonal direction, ``None`` where the
+        plaquette touches the boundary.  Keys: ``"nw", "ne", "sw",
+        "se"``.
+    """
+
+    index: int
+    basis: str
+    position: Tuple[float, float]
+    neighbors: Dict[str, Optional[int]]
+
+    @property
+    def data_qubits(self) -> Tuple[int, ...]:
+        """The data qubits this plaquette checks (sorted)."""
+        return tuple(
+            sorted(q for q in self.neighbors.values() if q is not None)
+        )
+
+    @property
+    def local_ancilla(self) -> int:
+        """Local qubit number of the plaquette's ancilla (9..16)."""
+        return NUM_DATA + self.index
+
+
+def _neighbors(position: Tuple[float, float]) -> Dict[str, Optional[int]]:
+    """Data qubits diagonally adjacent to an ancilla position."""
+    row, col = position
+    lookup = {pos: idx for idx, pos in enumerate(DATA_POSITIONS)}
+    return {
+        "nw": lookup.get((row - 0.5, col - 0.5)),
+        "ne": lookup.get((row - 0.5, col + 0.5)),
+        "sw": lookup.get((row + 0.5, col - 0.5)),
+        "se": lookup.get((row + 0.5, col + 0.5)),
+    }
+
+
+#: The four X plaquettes ("red" ancillas) in Table 2.1 order:
+#: X0X1X3X4, X1X2, X4X5X7X8, X6X7.
+X_PLAQUETTES: Tuple[Plaquette, ...] = tuple(
+    Plaquette(index, "x", position, _neighbors(position))
+    for index, position in enumerate(
+        [(0.5, 0.5), (-0.5, 1.5), (1.5, 1.5), (2.5, 0.5)]
+    )
+)
+
+#: The four Z plaquettes ("green" ancillas) in Table 2.1 order:
+#: Z0Z3, Z1Z2Z4Z5, Z3Z4Z6Z7, Z5Z8.
+Z_PLAQUETTES: Tuple[Plaquette, ...] = tuple(
+    Plaquette(index + 4, "z", position, _neighbors(position))
+    for index, position in enumerate(
+        [(0.5, -0.5), (0.5, 1.5), (1.5, 0.5), (1.5, 2.5)]
+    )
+)
+
+ALL_PLAQUETTES: Tuple[Plaquette, ...] = X_PLAQUETTES + Z_PLAQUETTES
+
+
+def _check_matrix(plaquettes: Sequence[Plaquette]) -> np.ndarray:
+    matrix = np.zeros((len(plaquettes), NUM_DATA), dtype=np.uint8)
+    for row, plaquette in enumerate(plaquettes):
+        for qubit in plaquette.data_qubits:
+            matrix[row, qubit] = 1
+    return matrix
+
+
+#: 4x9 binary matrix of the X stabilizers (detect Z errors).
+X_CHECK_MATRIX = _check_matrix(X_PLAQUETTES)
+#: 4x9 binary matrix of the Z stabilizers (detect X errors).
+Z_CHECK_MATRIX = _check_matrix(Z_PLAQUETTES)
+
+#: Support of the logical operators in the *normal* orientation.
+X_LOGICAL_SUPPORT: Tuple[int, ...] = (2, 4, 6)
+Z_LOGICAL_SUPPORT: Tuple[int, ...] = (0, 4, 8)
+
+#: Data-qubit pairing of the transversal CNOT between two ninja stars
+#: in *different* orientations (section 2.6.1): ``A_Dn -> B_[n]``.
+ROTATED_PAIRING: Tuple[int, ...] = (6, 3, 0, 7, 4, 1, 8, 5, 2)
+
+
+def stabilizer_paulis(num_qubits: int = NUM_DATA) -> List[PauliString]:
+    """All eight stabilizers as Pauli strings over the data qubits.
+
+    ``num_qubits`` widens the strings (data qubits occupy 0..8) so the
+    operators can be evaluated on registers that also hold ancillas.
+    """
+    stabilizers = []
+    for plaquette in ALL_PLAQUETTES:
+        kind = "X" if plaquette.basis == "x" else "Z"
+        support = plaquette.data_qubits
+        pauli = PauliString.identity(num_qubits)
+        for qubit in support:
+            if kind == "X":
+                pauli.x[qubit] = True
+            else:
+                pauli.z[qubit] = True
+        stabilizers.append(pauli)
+    return stabilizers
+
+
+def logical_x(num_qubits: int = NUM_DATA, rotated: bool = False) -> PauliString:
+    """The logical X operator (rotation-aware, Fig. 2.5)."""
+    support = Z_LOGICAL_SUPPORT if rotated else X_LOGICAL_SUPPORT
+    return PauliString.from_support(num_qubits, x_support=support)
+
+
+def logical_z(num_qubits: int = NUM_DATA, rotated: bool = False) -> PauliString:
+    """The logical Z operator (rotation-aware, Fig. 2.5)."""
+    support = X_LOGICAL_SUPPORT if rotated else Z_LOGICAL_SUPPORT
+    return PauliString.from_support(num_qubits, z_support=support)
+
+
+def cnot_pairing(same_orientation: bool) -> Tuple[Tuple[int, int], ...]:
+    """Data-qubit pairs ``(A_Dn, B_Dm)`` for a transversal CNOT.
+
+    Ninja stars sharing an orientation pair ``(n, n)``; differing
+    orientations use the rotated pairing of section 2.6.1.
+    """
+    if same_orientation:
+        return tuple((n, n) for n in range(NUM_DATA))
+    return tuple((n, ROTATED_PAIRING[n]) for n in range(NUM_DATA))
+
+
+def cz_pairing(same_orientation: bool) -> Tuple[Tuple[int, int], ...]:
+    """Data-qubit pairs for a transversal CZ.
+
+    The CZ convention is the mirror image of the CNOT one
+    (section 2.6.1): *different* orientations pair ``(n, n)``, the
+    *same* orientation uses the rotated pairing.
+    """
+    return cnot_pairing(not same_orientation)

@@ -1,0 +1,146 @@
+"""Logical-operation conversion for ninja stars (paper section 5.1.2).
+
+Implements Table 2.3: every fault-tolerant logical operation of
+Surface Code 17 as a circuit over physical qubits, parameterised by
+the run-time properties of the involved :class:`NinjaStarQubit`
+objects (the paper's ``NinjaStarGate`` responsibility, Table 5.4):
+
+==============  =========================================================
+``X_L``          chain of X gates across the lattice (rotation-aware)
+``Z_L``          chain of Z gates across the lattice (rotation-aware)
+``H_L``          transversal H; rotates the lattice afterwards
+``CNOT_L``       transversal CNOT with orientation-dependent pairing
+``CZ_L``         transversal CZ with orientation-dependent pairing
+``reset |0>_L``  transversal data reset (ESM + decoding added by caller)
+``M_ZL``         transversal data measurement; parity gives the result
+==============  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...circuits.circuit import Circuit
+from ...circuits.operation import Operation
+from .layout import NUM_DATA, cnot_pairing, cz_pairing
+from .qubit import NinjaStarQubit
+
+
+def reset_circuit(qubit: NinjaStarQubit) -> Circuit:
+    """Transversal reset of all data qubits (step 1 of initialisation).
+
+    The caller must follow up with ESM rounds and decoding to complete
+    the fault-tolerant preparation of ``|0>_L`` (section 2.6.1).
+    """
+    circuit = Circuit("reset_L")
+    slot = circuit.new_slot()
+    for physical in qubit.data_qubits:
+        slot.add(Operation("prep_z", (physical,)))
+    return circuit
+
+
+def logical_x_circuit(qubit: NinjaStarQubit) -> Circuit:
+    """The X_L chain for the current orientation (Fig. 2.4a/2.5)."""
+    circuit = Circuit("x_L")
+    slot = circuit.new_slot()
+    for data_index in qubit.x_logical_support:
+        slot.add(Operation("x", (qubit.physical(data_index),)))
+    return circuit
+
+
+def logical_z_circuit(qubit: NinjaStarQubit) -> Circuit:
+    """The Z_L chain for the current orientation (Fig. 2.4b/2.5)."""
+    circuit = Circuit("z_L")
+    slot = circuit.new_slot()
+    for data_index in qubit.z_logical_support:
+        slot.add(Operation("z", (qubit.physical(data_index),)))
+    return circuit
+
+
+def logical_h_circuit(qubit: NinjaStarQubit) -> Circuit:
+    """Transversal Hadamard on all nine data qubits."""
+    circuit = Circuit("h_L")
+    slot = circuit.new_slot()
+    for physical in qubit.data_qubits:
+        slot.add(Operation("h", (physical,)))
+    return circuit
+
+
+def logical_cnot_circuit(
+    control: NinjaStarQubit, target: NinjaStarQubit
+) -> Circuit:
+    """Transversal CNOT between two ninja stars.
+
+    The data-qubit pairing depends on whether the two lattices share
+    an orientation (section 2.6.1).
+    """
+    same = control.rotation is target.rotation
+    circuit = Circuit("cnot_L")
+    slot = circuit.new_slot()
+    for control_index, target_index in cnot_pairing(same):
+        slot.add(
+            Operation(
+                "cnot",
+                (
+                    control.physical(control_index),
+                    target.physical(target_index),
+                ),
+            )
+        )
+    return circuit
+
+
+def logical_cz_circuit(
+    control: NinjaStarQubit, target: NinjaStarQubit
+) -> Circuit:
+    """Transversal CZ between two ninja stars (mirrored pairing rule)."""
+    same = control.rotation is target.rotation
+    circuit = Circuit("cz_L")
+    slot = circuit.new_slot()
+    for control_index, target_index in cz_pairing(same):
+        slot.add(
+            Operation(
+                "cz",
+                (
+                    control.physical(control_index),
+                    target.physical(target_index),
+                ),
+            )
+        )
+    return circuit
+
+
+def measurement_circuit(qubit: NinjaStarQubit) -> Circuit:
+    """Transversal Z measurement of all nine data qubits.
+
+    Returns the circuit; the measurement operations appear in data
+    order so the caller can recover the nine bits and compute the
+    logical result (their overall parity, section 2.6.1).
+    """
+    circuit = Circuit("measure_L")
+    slot = circuit.new_slot()
+    for physical in qubit.data_qubits:
+        slot.add(Operation("measure", (physical,)))
+    return circuit
+
+
+def measurement_operations(circuit: Circuit) -> List[Operation]:
+    """The measurement operations of a ``measure_L`` circuit, in order."""
+    return [
+        operation
+        for operation in circuit.operations()
+        if operation.is_measurement
+    ]
+
+
+def logical_result_from_bits(bits: List[int]) -> int:
+    """Logical Z result (0/1) from the nine data-qubit bits.
+
+    The product of the ±1 outcomes -- i.e. the parity of the bits --
+    yields the logical measurement result regardless of the lattice
+    orientation (section 5.1.4 discusses why the nine-qubit variant is
+    rotation-independent).
+    """
+    if len(bits) != NUM_DATA:
+        raise ValueError(f"need {NUM_DATA} data bits")
+    return sum(bits) % 2

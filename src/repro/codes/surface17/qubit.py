@@ -1,0 +1,196 @@
+"""Run-time state of one ninja-star logical qubit (paper Table 5.2).
+
+A :class:`NinjaStarQubit` tracks the three run-time properties the
+paper identifies -- lattice ``rotation``, ``dance mode`` and binary
+``state`` -- together with the physical address table of its qubits,
+ESM-circuit generation and the decoder instance (Table 5.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...decoders.lut import TwoLutDecoder
+from .esm import EsmRound, parallel_esm, serialized_esm
+from .layout import (
+    NUM_ANCILLA,
+    NUM_DATA,
+    X_CHECK_MATRIX,
+    X_LOGICAL_SUPPORT,
+    Z_CHECK_MATRIX,
+    Z_LOGICAL_SUPPORT,
+)
+
+
+class Rotation(enum.Enum):
+    """Lattice orientation (toggled by every logical Hadamard)."""
+
+    NORMAL = "normal"
+    ROTATED = "rotated"
+
+    def toggled(self) -> "Rotation":
+        """The opposite orientation."""
+        return (
+            Rotation.ROTATED if self is Rotation.NORMAL else Rotation.NORMAL
+        )
+
+
+class DanceMode(enum.Enum):
+    """Which ancillas participate in ESM rounds (Table 5.2)."""
+
+    ALL = "all"
+    Z_ONLY = "z_only"
+
+
+class LogicalState(enum.Enum):
+    """Classical knowledge of the logical qubit's Z-basis value."""
+
+    ZERO = "0"
+    ONE = "1"
+    UNKNOWN = "x"
+
+
+class NinjaStarQubit:
+    """One logical qubit encoded in Surface Code 17.
+
+    Parameters
+    ----------
+    data_qubits:
+        Physical indices of the nine data qubits (``D0..D8``).
+    ancilla_qubits:
+        Physical indices of the eight plaquette ancillas (parallel ESM
+        mode) or ``None`` when using a shared serialized ancilla.
+    shared_ancilla:
+        Physical index of the single reusable ancilla (serialized ESM
+        mode); exactly one of ``ancilla_qubits``/``shared_ancilla``
+        must be given.
+    """
+
+    def __init__(
+        self,
+        data_qubits: Sequence[int],
+        ancilla_qubits: Optional[Sequence[int]] = None,
+        shared_ancilla: Optional[int] = None,
+    ) -> None:
+        if len(data_qubits) != NUM_DATA:
+            raise ValueError(f"need {NUM_DATA} data qubits")
+        if (ancilla_qubits is None) == (shared_ancilla is None):
+            raise ValueError(
+                "give exactly one of ancilla_qubits or shared_ancilla"
+            )
+        if ancilla_qubits is not None and len(ancilla_qubits) != NUM_ANCILLA:
+            raise ValueError(f"need {NUM_ANCILLA} ancilla qubits")
+        self.data_qubits: List[int] = [int(q) for q in data_qubits]
+        self.ancilla_qubits: Optional[List[int]] = (
+            [int(q) for q in ancilla_qubits]
+            if ancilla_qubits is not None
+            else None
+        )
+        self.shared_ancilla = shared_ancilla
+        # Run-time properties with their Table 5.2 initial values.
+        self.rotation = Rotation.NORMAL
+        self.dance_mode = DanceMode.Z_ONLY
+        self.state = LogicalState.UNKNOWN
+        # Per-orientation decoders (section 5.1.3).
+        self._decoder_normal = TwoLutDecoder(X_CHECK_MATRIX, Z_CHECK_MATRIX)
+        self._decoder_rotated = TwoLutDecoder(Z_CHECK_MATRIX, X_CHECK_MATRIX)
+
+    # ------------------------------------------------------------------
+    @property
+    def rotated(self) -> bool:
+        """Whether the lattice is in the rotated orientation."""
+        return self.rotation is Rotation.ROTATED
+
+    @property
+    def decoder(self) -> TwoLutDecoder:
+        """The two-LUT decoder matching the current orientation."""
+        return self._decoder_rotated if self.rotated else self._decoder_normal
+
+    @property
+    def x_check_matrix(self) -> np.ndarray:
+        """Check matrix of the current X-type checks (detect Z errors)."""
+        return Z_CHECK_MATRIX if self.rotated else X_CHECK_MATRIX
+
+    @property
+    def z_check_matrix(self) -> np.ndarray:
+        """Check matrix of the current Z-type checks (detect X errors)."""
+        return X_CHECK_MATRIX if self.rotated else Z_CHECK_MATRIX
+
+    @property
+    def x_logical_support(self) -> Sequence[int]:
+        """Data qubits of the current logical X chain (Fig. 2.5)."""
+        return Z_LOGICAL_SUPPORT if self.rotated else X_LOGICAL_SUPPORT
+
+    @property
+    def z_logical_support(self) -> Sequence[int]:
+        """Data qubits of the current logical Z chain (Fig. 2.5)."""
+        return X_LOGICAL_SUPPORT if self.rotated else Z_LOGICAL_SUPPORT
+
+    # ------------------------------------------------------------------
+    def esm_round(self, name: str = "esm") -> EsmRound:
+        """Generate one ESM round honouring the run-time properties."""
+        dance = self.dance_mode.value
+        if self.ancilla_qubits is not None:
+            qubit_map = self.data_qubits + self.ancilla_qubits
+            return parallel_esm(
+                qubit_map,
+                rotated=self.rotated,
+                dance_mode=dance,
+                name=name,
+            )
+        return serialized_esm(
+            self.data_qubits,
+            self.shared_ancilla,
+            rotated=self.rotated,
+            dance_mode=dance,
+            name=name,
+        )
+
+    def physical(self, data_index: int) -> int:
+        """Physical index of data qubit ``D<data_index>``."""
+        return self.data_qubits[data_index]
+
+    # ------------------------------------------------------------------
+    # Property post-processing (Table 5.3)
+    # ------------------------------------------------------------------
+    def on_reset(self) -> None:
+        """Reset to ``|0>_L``: normal rotation, full dance, state 0."""
+        self.rotation = Rotation.NORMAL
+        self.dance_mode = DanceMode.ALL
+        self.state = LogicalState.ZERO
+
+    def on_logical_x(self) -> None:
+        """Logical X flips a known binary state."""
+        if self.state is LogicalState.ZERO:
+            self.state = LogicalState.ONE
+        elif self.state is LogicalState.ONE:
+            self.state = LogicalState.ZERO
+
+    def on_logical_z(self) -> None:
+        """Logical Z keeps a known binary state (phase only)."""
+
+    def on_logical_h(self) -> None:
+        """Logical Hadamard rotates the lattice and scrambles state."""
+        self.rotation = self.rotation.toggled()
+        self.state = LogicalState.UNKNOWN
+
+    def on_two_qubit_gate(self) -> None:
+        """CNOT/CZ leave rotation alone; binary state becomes unknown."""
+        self.state = LogicalState.UNKNOWN
+
+    def on_logical_measurement(self, result_bit: int) -> None:
+        """Measurement stores the state and drops to z-only dancing."""
+        self.dance_mode = DanceMode.Z_ONLY
+        self.state = (
+            LogicalState.ONE if result_bit else LogicalState.ZERO
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NinjaStarQubit(data={self.data_qubits}, "
+            f"rotation={self.rotation.value}, "
+            f"dance={self.dance_mode.value}, state={self.state.value})"
+        )

@@ -1,0 +1,39 @@
+"""Error-syndrome decoders: LUT-based and matching-based."""
+
+from .lut import (
+    LutDecoder,
+    TwoLutDecoder,
+    build_lut,
+    correction_operations,
+    pack_syndrome,
+    syndrome_of,
+    unpack_syndrome,
+)
+from .mwpm import MatchingGraph, MwpmDecoder, boundary_qubits_for
+from .spacetime import SpaceTimeMatchingDecoder
+from .rule_based import (
+    SyndromeRound,
+    WindowedMatchingDecoder,
+    WindowDecision,
+    WindowedLutDecoder,
+    majority_vote,
+)
+
+__all__ = [
+    "LutDecoder",
+    "TwoLutDecoder",
+    "build_lut",
+    "pack_syndrome",
+    "unpack_syndrome",
+    "syndrome_of",
+    "correction_operations",
+    "SyndromeRound",
+    "WindowDecision",
+    "WindowedLutDecoder",
+    "majority_vote",
+    "MwpmDecoder",
+    "MatchingGraph",
+    "boundary_qubits_for",
+    "SpaceTimeMatchingDecoder",
+    "WindowedMatchingDecoder",
+]

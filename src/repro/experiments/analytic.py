@@ -1,0 +1,123 @@
+"""Analytic model of the Pauli frame's LER benefit (Eqs 5.5-5.12).
+
+The paper closes with a quantitative argument for why a Pauli frame
+cannot measurably improve the Logical Error Rate of surface codes:
+given a window of ``(d-1)`` ESM rounds of ``ts_ESM`` time slots each
+plus at most one correction slot, the frame can remove only the
+correction slot.  Approximating ``P_L ~ ts_window / d`` (Eq. 5.5), the
+*upper bound* on the relative improvement is
+
+    B(d) = 1 / ((d - 1) * ts_ESM + 1)        (Eq. 5.12)
+
+which drops below 3% already for ``d >= 5`` with ``ts_ESM = 8``
+(Fig. 5.27).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Time slots of one ESM round in the paper's schedule (Table 5.8).
+DEFAULT_TS_ESM = 8
+
+
+def window_time_slots(
+    distance: int,
+    with_pauli_frame: bool,
+    ts_esm: int = DEFAULT_TS_ESM,
+    corrections_pending: bool = True,
+) -> int:
+    """Time slots of one decoding window (Eqs 5.6-5.9).
+
+    ``(d - 1) * ts_ESM`` slots of ESM plus one correction slot when
+    corrections are pending and no Pauli frame absorbs them.
+    """
+    if distance < 2:
+        raise ValueError("distance must be at least 2")
+    rounds = (distance - 1) * ts_esm
+    correction = 0 if with_pauli_frame or not corrections_pending else 1
+    return rounds + correction
+
+
+def approximate_ler(
+    distance: int,
+    with_pauli_frame: bool,
+    ts_esm: int = DEFAULT_TS_ESM,
+    constant: float = 1.0,
+) -> float:
+    """The proportional LER estimate ``C * ts_window / d`` (Eq. 5.5).
+
+    Only *ratios* of this quantity are meaningful; the constant ``C``
+    absorbs everything the paper's reasoning deliberately ignores.
+    """
+    return (
+        constant
+        * window_time_slots(distance, with_pauli_frame, ts_esm)
+        / distance
+    )
+
+
+def relative_improvement_upper_bound(
+    distance: int, ts_esm: int = DEFAULT_TS_ESM
+) -> float:
+    """Eq. 5.12: the best-case relative LER gain of a Pauli frame."""
+    return 1.0 / ((distance - 1) * ts_esm + 1)
+
+
+def upper_bound_series(
+    distances: Sequence[int] = tuple(range(3, 12)),
+    ts_esm: int = DEFAULT_TS_ESM,
+) -> List[Tuple[int, float]]:
+    """(distance, bound) pairs -- the data series of Fig. 5.27."""
+    return [
+        (d, relative_improvement_upper_bound(d, ts_esm)) for d in distances
+    ]
+
+
+@dataclass
+class ImprovementBound:
+    """Summary row of the Fig. 5.27 analysis for one distance."""
+
+    distance: int
+    ts_esm: int
+    ts_window_without_frame: int
+    ts_window_with_frame: int
+    relative_improvement: float
+
+    @classmethod
+    def for_distance(
+        cls, distance: int, ts_esm: int = DEFAULT_TS_ESM
+    ) -> "ImprovementBound":
+        """Evaluate the bound and its ingredients for one distance."""
+        return cls(
+            distance=distance,
+            ts_esm=ts_esm,
+            ts_window_without_frame=window_time_slots(
+                distance, with_pauli_frame=False, ts_esm=ts_esm
+            ),
+            ts_window_with_frame=window_time_slots(
+                distance, with_pauli_frame=True, ts_esm=ts_esm
+            ),
+            relative_improvement=relative_improvement_upper_bound(
+                distance, ts_esm
+            ),
+        )
+
+
+def format_upper_bound_table(
+    distances: Sequence[int] = tuple(range(3, 12)),
+    ts_esm: int = DEFAULT_TS_ESM,
+) -> str:
+    """Render Fig. 5.27 as a text table."""
+    lines = [
+        "distance  ts_window(no PF)  ts_window(PF)  upper bound",
+    ]
+    for distance in distances:
+        bound = ImprovementBound.for_distance(distance, ts_esm)
+        lines.append(
+            f"{bound.distance:8d}  {bound.ts_window_without_frame:16d}  "
+            f"{bound.ts_window_with_frame:13d}  "
+            f"{100.0 * bound.relative_improvement:9.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,405 @@
+"""Logical-error-rate experiment for a SC17 logical qubit (section 5.3).
+
+Implements the paper's Listing 5.7 around the test setup of Fig. 5.8:
+an idling ninja star under symmetric depolarizing noise, decoded in
+windows by the rule-based LUT decoder, with and without a Pauli frame
+layer in the control stack.
+
+One *window* executes ``rounds_per_window`` noisy ESM rounds and ends
+with the decoder's corrections.  After every window two *perfect*
+diagnostic probes run in bypass mode (no noise, no counters,
+section 5.3.1):
+
+1. one noiseless ESM round -- "no observable errors" means every
+   parity check passes;
+2. when clean, the logical stabilizer measurement of Fig. 5.10
+   (``Z0 Z4 Z8`` for X-error runs from ``|0>_L``, ``X2 X4 X6`` for
+   Z-error runs from ``|+>_L``) via an 18th bookkeeping ancilla; a
+   flip of its eigenvalue relative to the previous clean observation
+   counts as one logical error.
+
+The Logical Error Rate for a given Physical Error Rate ``p`` is then
+``P_L = m / R`` with ``m`` logical errors over ``R`` windows (Eq. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import Operation
+from ..codes.surface17.esm import parallel_esm
+from ..codes.surface17.layout import (
+    NUM_QUBITS,
+    X_CHECK_MATRIX,
+    X_LOGICAL_SUPPORT,
+    Z_CHECK_MATRIX,
+    Z_LOGICAL_SUPPORT,
+)
+from ..decoders.lut import correction_operations
+from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
+from ..pauliframe.unit import FrameStatistics
+from ..qpdo.core import Core
+from ..qpdo.cores import StabilizerCore
+from ..qpdo.counter_layer import CounterLayer, StreamCounts
+from ..qpdo.error_layer import DepolarizingErrorLayer
+from ..qpdo.pauli_frame_layer import PauliFrameLayer
+
+#: ESM rounds per decoding window (Fig. 5.9 uses two fresh rounds plus
+#: the carried-over round of the previous window).
+DEFAULT_ROUNDS_PER_WINDOW = 2
+#: Initialization rounds (= code distance, section 2.6.1).
+DEFAULT_INIT_ROUNDS = 3
+
+
+@dataclass
+class LerStack:
+    """The assembled control stack of Fig. 5.8.
+
+    Stack order, bottom-up: simulation core, depolarizing error layer
+    (physical noise), counter below the frame, optional Pauli frame
+    layer, counter above the frame.  The error layer sits directly on
+    the core so that only operations that truly reach the hardware are
+    charged noise and idle time (see the placement note in
+    :mod:`repro.qpdo.error_layer`).
+    """
+
+    core: StabilizerCore
+    error_layer: DepolarizingErrorLayer
+    counter_below: CounterLayer
+    pauli_frame: Optional[PauliFrameLayer]
+    counter_above: CounterLayer
+
+    @property
+    def top(self) -> Core:
+        """The element the experiment drives."""
+        return self.counter_above
+
+
+def build_ler_stack(
+    physical_error_rate: float,
+    use_pauli_frame: bool,
+    seed: Optional[int] = None,
+    frame_placement: str = "physical",
+) -> LerStack:
+    """Assemble the LER control stack (17 code qubits + 1 probe ancilla).
+
+    ``frame_placement`` selects where the Pauli frame sits relative to
+    the noise source:
+
+    * ``"physical"`` (default) -- noise directly above the core, frame
+      above the noise: only operations that truly reach the hardware
+      are charged errors and idle time (this library's reading);
+    * ``"paper"`` -- the literal stacking of Fig. 5.8 (error layer
+      above the frame): commanded corrections are charged noise *even
+      though the frame then absorbs them*.  Kept as an ablation; see
+      ``benchmarks/test_bench_ablation_frame_placement.py``.
+    """
+    if frame_placement not in ("physical", "paper"):
+        raise ValueError("frame_placement must be 'physical' or 'paper'")
+    rng = np.random.default_rng(seed)
+    core = StabilizerCore(rng=rng)
+    core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla (index 17)
+
+    def make_error_layer(lower):
+        return DepolarizingErrorLayer(
+            lower,
+            probability=physical_error_rate,
+            rng=rng,
+            active_qubits=range(NUM_QUBITS),
+        )
+
+    if frame_placement == "physical" or not use_pauli_frame:
+        error_layer = make_error_layer(core)
+        counter_below = CounterLayer(error_layer)
+        pauli_frame = (
+            PauliFrameLayer(counter_below) if use_pauli_frame else None
+        )
+        counter_above = CounterLayer(
+            pauli_frame if pauli_frame is not None else counter_below
+        )
+    else:
+        # Literal Fig. 5.8 order (top to bottom): counter, error
+        # layer, counter, Pauli frame, core.
+        pauli_frame = PauliFrameLayer(core)
+        counter_below = CounterLayer(pauli_frame)
+        error_layer = make_error_layer(counter_below)
+        counter_above = CounterLayer(error_layer)
+    return LerStack(
+        core=core,
+        error_layer=error_layer,
+        counter_below=counter_below,
+        pauli_frame=pauli_frame,
+        counter_above=counter_above,
+    )
+
+
+@dataclass
+class LerResult:
+    """Outcome of one LER simulation run.
+
+    ``logical_error_rate`` is ``logical_errors / windows`` (Eq. 5.1).
+    ``frame_statistics`` is present only for runs with a Pauli frame
+    and feeds the savings analysis of Figs 5.25/5.26.
+    """
+
+    physical_error_rate: float
+    error_kind: str
+    use_pauli_frame: bool
+    windows: int = 0
+    logical_errors: int = 0
+    clean_windows: int = 0
+    corrections_commanded: int = 0
+    frame_statistics: Optional[FrameStatistics] = None
+    counts_above: StreamCounts = field(default_factory=StreamCounts)
+    counts_below: StreamCounts = field(default_factory=StreamCounts)
+
+    @property
+    def logical_error_rate(self) -> float:
+        """``P_L = m / R`` for this run."""
+        if self.windows == 0:
+            return 0.0
+        return self.logical_errors / self.windows
+
+    @property
+    def saved_operations_fraction(self) -> float:
+        """Fraction of commanded operations the frame filtered."""
+        if self.counts_above.operations == 0:
+            return 0.0
+        saved = self.counts_above.operations - self.counts_below.operations
+        return saved / self.counts_above.operations
+
+    @property
+    def saved_slots_fraction(self) -> float:
+        """Fraction of commanded time slots the frame removed."""
+        if self.counts_above.slots == 0:
+            return 0.0
+        saved = self.counts_above.slots - self.counts_below.slots
+        return saved / self.counts_above.slots
+
+
+class LerExperiment:
+    """One LER simulation: fixed PER, error kind, frame choice, seed.
+
+    Parameters
+    ----------
+    physical_error_rate:
+        The PER ``p`` of the symmetric depolarizing model.
+    use_pauli_frame:
+        Whether a Pauli frame layer handles the corrections.
+    error_kind:
+        ``"x"`` -- start from ``|0>_L`` and watch ``Z0 Z4 Z8`` for
+        logical X errors; ``"z"`` -- start from ``|+>_L`` and watch
+        ``X2 X4 X6`` for logical Z errors (Fig. 5.10).
+    max_logical_errors:
+        Stop after this many logical errors (the paper uses 50).
+    max_windows:
+        Safety valve for very low error rates.
+    seed:
+        Seed of the shared RNG (noise + measurement sampling).
+    rounds_per_window, init_rounds:
+        Window geometry (defaults follow the paper).
+    """
+
+    def __init__(
+        self,
+        physical_error_rate: float,
+        use_pauli_frame: bool,
+        error_kind: str = "x",
+        max_logical_errors: int = 50,
+        max_windows: int = 2_000_000,
+        seed: Optional[int] = None,
+        rounds_per_window: int = DEFAULT_ROUNDS_PER_WINDOW,
+        init_rounds: int = DEFAULT_INIT_ROUNDS,
+        use_majority_vote: bool = True,
+        frame_placement: str = "physical",
+    ) -> None:
+        if error_kind not in ("x", "z"):
+            raise ValueError("error_kind must be 'x' or 'z'")
+        self.physical_error_rate = float(physical_error_rate)
+        self.use_pauli_frame = bool(use_pauli_frame)
+        self.error_kind = error_kind
+        self.max_logical_errors = int(max_logical_errors)
+        self.max_windows = int(max_windows)
+        self.seed = seed
+        self.rounds_per_window = int(rounds_per_window)
+        self.init_rounds = int(init_rounds)
+        self.stack = build_ler_stack(
+            self.physical_error_rate,
+            self.use_pauli_frame,
+            seed=seed,
+            frame_placement=frame_placement,
+        )
+        self.decoder = WindowedLutDecoder(
+            X_CHECK_MATRIX,
+            Z_CHECK_MATRIX,
+            use_majority_vote=use_majority_vote,
+        )
+        self.qubit_map = list(range(NUM_QUBITS))
+        self.probe_ancilla = NUM_QUBITS  # physical index 17
+        self._reference_eigenvalue: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _esm_round(self, bypass: bool = False) -> SyndromeRound:
+        """Execute one ESM round; returns its syndrome."""
+        esm = parallel_esm(self.qubit_map, name="esm")
+        esm.circuit.bypass = bypass
+        self.stack.top.add(esm.circuit)
+        result = self.stack.top.execute()
+        x_bits, z_bits = esm.syndromes(result)
+        return SyndromeRound.from_bits(x_bits, z_bits)
+
+    def _apply_corrections(self, decision) -> None:
+        gates = correction_operations(
+            decision.x_corrections,
+            decision.z_corrections,
+            self.qubit_map[:9],
+        )
+        if not gates:
+            return
+        self.corrections_commanded += 1
+        circuit = Circuit("corrections")
+        slot = circuit.new_slot()
+        for gate, physical in gates:
+            slot.add(Operation(gate, (physical,)))
+        self.stack.top.add(circuit)
+        self.stack.top.execute()
+
+    def _logical_probe_circuit(self) -> Tuple[Circuit, Operation]:
+        """The bypass stabilizer circuit of Fig. 5.10 for our kind."""
+        circuit = Circuit("logical_probe", bypass=True)
+        ancilla = self.probe_ancilla
+        circuit.add("prep_z", ancilla)
+        if self.error_kind == "x":
+            # Z0 Z4 Z8: data qubits control CNOTs onto the ancilla.
+            for data in Z_LOGICAL_SUPPORT:
+                circuit.add("cnot", data, ancilla)
+        else:
+            # X2 X4 X6: H-bracketed ancilla controls CNOTs onto data.
+            circuit.add("h", ancilla)
+            for data in X_LOGICAL_SUPPORT:
+                circuit.add("cnot", ancilla, data)
+            circuit.add("h", ancilla)
+        measure = circuit.add("measure", ancilla)
+        return circuit, measure
+
+    def _measure_logical_eigenvalue(self) -> int:
+        circuit, measure = self._logical_probe_circuit()
+        self.stack.top.add(circuit)
+        result = self.stack.top.execute()
+        return result.result_of(measure)
+
+    def _no_observable_errors(self) -> bool:
+        """Perfect diagnostic ESM round: all parities must pass."""
+        return self._esm_round(bypass=True).is_trivial()
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def initialize_logical_qubit(self) -> None:
+        """Noisy FT preparation of ``|0>_L`` / ``|+>_L`` + decoding."""
+        prepare = Circuit("prepare")
+        slot = prepare.new_slot()
+        for data in range(9):
+            slot.add(Operation("prep_z", (data,)))
+        if self.error_kind == "z":
+            slot = prepare.new_slot()
+            for data in range(9):
+                slot.add(Operation("h", (data,)))
+        self.stack.top.add(prepare)
+        self.stack.top.execute()
+        rounds = [self._esm_round() for _ in range(self.init_rounds)]
+        self.decoder.reset()
+        decision = self.decoder.initialize(rounds)
+        self._apply_corrections(decision)
+        self._reference_eigenvalue = self._measure_logical_eigenvalue()
+
+    def execute_window(self) -> None:
+        """One decoding window: noisy ESM rounds + corrections."""
+        rounds = [
+            self._esm_round() for _ in range(self.rounds_per_window)
+        ]
+        decision = self.decoder.decode_window(rounds)
+        self._apply_corrections(decision)
+
+    def check_logical_error(self) -> bool:
+        """Whether the logical eigenvalue flipped since last clean look."""
+        eigenvalue = self._measure_logical_eigenvalue()
+        flipped = eigenvalue != self._reference_eigenvalue
+        self._reference_eigenvalue = eigenvalue
+        return flipped
+
+    # ------------------------------------------------------------------
+    def run(self) -> LerResult:
+        """Execute the full Listing 5.7 loop and collect statistics."""
+        self.corrections_commanded = 0
+        self.initialize_logical_qubit()
+        # Initialization is excluded from the savings statistics.
+        self.stack.counter_above.reset_counts()
+        self.stack.counter_below.reset_counts()
+        if self.stack.pauli_frame is not None:
+            self.stack.pauli_frame.reset_statistics()
+        windows = 0
+        logical_errors = 0
+        clean_windows = 0
+        while (
+            logical_errors < self.max_logical_errors
+            and windows < self.max_windows
+        ):
+            self.execute_window()
+            windows += 1
+            if self._no_observable_errors():
+                clean_windows += 1
+                if self.check_logical_error():
+                    logical_errors += 1
+        frame_stats = (
+            self.stack.pauli_frame.statistics
+            if self.stack.pauli_frame is not None
+            else None
+        )
+        return LerResult(
+            physical_error_rate=self.physical_error_rate,
+            error_kind=self.error_kind,
+            use_pauli_frame=self.use_pauli_frame,
+            windows=windows,
+            logical_errors=logical_errors,
+            clean_windows=clean_windows,
+            corrections_commanded=self.corrections_commanded,
+            frame_statistics=frame_stats,
+            counts_above=self.stack.counter_above.counts.snapshot(),
+            counts_below=self.stack.counter_below.counts.snapshot(),
+        )
+
+
+def run_ler_point(
+    physical_error_rate: float,
+    use_pauli_frame: bool,
+    error_kind: str = "x",
+    samples: int = 10,
+    max_logical_errors: int = 50,
+    seed: int = 0,
+    max_windows: int = 2_000_000,
+) -> List[LerResult]:
+    """Repeat the experiment ``samples`` times with distinct seeds.
+
+    Matches the paper's protocol: 10 (or 20 near the pseudo-threshold)
+    independent simulations per PER value, each terminated at
+    ``max_logical_errors`` logical errors.
+    """
+    results = []
+    for sample in range(samples):
+        experiment = LerExperiment(
+            physical_error_rate,
+            use_pauli_frame,
+            error_kind=error_kind,
+            max_logical_errors=max_logical_errors,
+            max_windows=max_windows,
+            seed=seed + sample,
+        )
+        results.append(experiment.run())
+    return results

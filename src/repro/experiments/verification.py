@@ -1,0 +1,176 @@
+"""Pauli frame verification experiments (paper section 5.2).
+
+Two benches confirm that a system with a Pauli frame is observationally
+identical to one without:
+
+* :func:`run_random_circuit_verification` -- execute random circuits
+  (Pauli + Clifford + T/Tdg) on a bare state-vector stack and on a
+  stack with a Pauli frame layer; after flushing the frame, the final
+  quantum states must match up to global phase (Fig. 5.3, Listings
+  5.3-5.6).
+* :func:`run_odd_bell_state_bench` -- the ninja-star odd Bell state
+  ``(|01> + |10>)/sqrt(2)`` measured many times with and without a
+  frame; both histograms must contain only ``01`` and ``10``
+  (Fig. 5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.random_circuits import DEFAULT_GATE_SET, random_circuit
+from ..codes.surface17.layer import NinjaStarLayer
+from ..qpdo.cores import StateVectorCore
+from ..qpdo.pauli_frame_layer import PauliFrameLayer
+
+
+@dataclass
+class RandomCircuitOutcome:
+    """Result of one random-circuit comparison."""
+
+    iteration: int
+    states_match: bool
+    global_phase: complex
+    frame_was_dirty: bool
+    gates_filtered: int
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate of a random-circuit verification run."""
+
+    outcomes: List[RandomCircuitOutcome] = field(default_factory=list)
+
+    @property
+    def all_match(self) -> bool:
+        """Whether every iteration reproduced the reference state."""
+        return all(outcome.states_match for outcome in self.outcomes)
+
+    @property
+    def iterations(self) -> int:
+        """Number of random circuits compared."""
+        return len(self.outcomes)
+
+    @property
+    def total_gates_filtered(self) -> int:
+        """Pauli gates the frame absorbed across all iterations."""
+        return sum(o.gates_filtered for o in self.outcomes)
+
+
+def run_random_circuit_verification(
+    iterations: int = 20,
+    num_qubits: int = 5,
+    num_gates: int = 60,
+    seed: int = 0,
+    gate_set: Sequence[str] = DEFAULT_GATE_SET,
+) -> VerificationReport:
+    """The random-circuit test bench of Fig. 5.3.
+
+    The paper runs 100 iterations of 10 qubits x 1000 gates; the
+    defaults here are laptop-scale but the parameters expose the full
+    range.  Reference and frame runs share the measurement RNG seed so
+    any stochastic collapse (none in the default gate set) stays
+    aligned.
+    """
+    rng = np.random.default_rng(seed)
+    report = VerificationReport()
+    for iteration in range(iterations):
+        circuit = random_circuit(
+            num_qubits, num_gates, rng=rng, gate_set=gate_set
+        )
+        measurement_seed = int(rng.integers(2**31))
+
+        reference = StateVectorCore(seed=measurement_seed)
+        reference.createqubit(num_qubits)
+        reference.run(_prep_all(num_qubits))
+        reference.run(circuit.copy())
+        reference_state = reference.getquantumstate()
+
+        core = StateVectorCore(seed=measurement_seed)
+        frame_layer = PauliFrameLayer(core)
+        frame_layer.createqubit(num_qubits)
+        frame_layer.run(_prep_all(num_qubits))
+        frame_layer.run(circuit.copy())
+        dirty = not frame_layer.frame.is_clean()
+        filtered = frame_layer.statistics.pauli_gates_filtered
+        frame_layer.flush()
+        frame_state = core.getquantumstate()
+
+        matches = frame_state.equal_up_to_global_phase(reference_state)
+        phase = (
+            frame_state.global_phase_relative_to(reference_state)
+            if matches
+            else complex("nan")
+        )
+        report.outcomes.append(
+            RandomCircuitOutcome(
+                iteration=iteration,
+                states_match=matches,
+                global_phase=phase,
+                frame_was_dirty=dirty,
+                gates_filtered=filtered,
+            )
+        )
+    return report
+
+
+def _prep_all(num_qubits: int) -> Circuit:
+    circuit = Circuit("prep")
+    for qubit in range(num_qubits):
+        circuit.add("prep_z", qubit)
+    return circuit
+
+
+@dataclass
+class OddBellReport:
+    """Histograms of the odd-Bell-state bench (Fig. 5.7)."""
+
+    histogram_with_frame: Dict[str, int] = field(default_factory=dict)
+    histogram_without_frame: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def both_valid(self) -> bool:
+        """Whether only the odd outcomes ``01``/``10`` ever occurred."""
+        valid = {"01", "10"}
+        return set(self.histogram_with_frame) <= valid and set(
+            self.histogram_without_frame
+        ) <= valid
+
+
+def run_odd_bell_state_bench(
+    iterations: int = 25, seed: int = 0
+) -> OddBellReport:
+    """The ninja-star odd Bell state bench of section 5.2.3.
+
+    Prepares ``(|01> + |10>)/sqrt(2)`` on two logical qubits via
+    ``H_L``, ``CNOT_L`` and ``X_L`` (Fig. 5.6) and measures both, on a
+    stack with a Pauli frame layer (Fig. 5.5) and on one without.
+    """
+    report = OddBellReport()
+    for use_frame in (True, False):
+        histogram = (
+            report.histogram_with_frame
+            if use_frame
+            else report.histogram_without_frame
+        )
+        for iteration in range(iterations):
+            core = StateVectorCore(seed=seed * 100_003 + iteration)
+            lower = PauliFrameLayer(core) if use_frame else core
+            layer = NinjaStarLayer(lower)
+            layer.createqubit(2)
+            circuit = Circuit("odd_bell")
+            circuit.add("prep_z", 0)
+            circuit.add("prep_z", 1)
+            circuit.add("h", 0)
+            circuit.add("cnot", 0, 1)
+            circuit.add("x", 0)
+            first = circuit.add("measure", 0)
+            second = circuit.add("measure", 1)
+            result = layer.run(circuit)
+            key = f"{result.result_of(second)}{result.result_of(first)}"
+            histogram[key] = histogram.get(key, 0) + 1
+    return report

@@ -1,0 +1,35 @@
+"""Gate library: metadata, classification and unitary matrices."""
+
+from .gateset import (
+    CLIFFORD_GENERATORS,
+    GATE_TABLE,
+    PAULI_GENERATORS,
+    UNIVERSAL_SET,
+    GateClass,
+    GateInfo,
+    canonical_name,
+    classify,
+    gate_info,
+    is_supported,
+)
+from .matrices import (
+    matrices_equal_up_to_phase,
+    matrix_for,
+    is_unitary,
+)
+
+__all__ = [
+    "GateClass",
+    "GateInfo",
+    "GATE_TABLE",
+    "gate_info",
+    "canonical_name",
+    "classify",
+    "is_supported",
+    "UNIVERSAL_SET",
+    "CLIFFORD_GENERATORS",
+    "PAULI_GENERATORS",
+    "matrix_for",
+    "is_unitary",
+    "matrices_equal_up_to_phase",
+]

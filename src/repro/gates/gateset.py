@@ -1,0 +1,135 @@
+"""Gate metadata: arity, classification, and the supported gate set.
+
+The Pauli frame dispatches on five operation categories (Table 3.1):
+initialization, measurement, Pauli gates, Clifford gates and
+non-Clifford gates.  This module is the single source of truth for that
+classification across simulators, layers and the architecture model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class GateClass(enum.Enum):
+    """Operation category used by the Pauli arbiter (Table 3.1)."""
+
+    PREPARE = "prepare"
+    MEASURE = "measure"
+    PAULI = "pauli"
+    CLIFFORD = "clifford"
+    NON_CLIFFORD = "non_clifford"
+
+
+@dataclass(frozen=True)
+class GateInfo:
+    """Static description of one gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name used throughout the library.
+    num_qubits:
+        Arity of the gate; ``1`` for preparations and measurements.
+    gate_class:
+        The Pauli-arbiter category of the gate.
+    num_params:
+        Number of real parameters (0 for all static gates).
+    aliases:
+        Alternative names accepted by :func:`gate_info`.
+    """
+
+    name: str
+    num_qubits: int
+    gate_class: GateClass
+    num_params: int = 0
+    aliases: Tuple[str, ...] = ()
+
+    @property
+    def is_pauli(self) -> bool:
+        """Whether the gate is in the Pauli group (section 2.3.3)."""
+        return self.gate_class is GateClass.PAULI
+
+    @property
+    def is_clifford(self) -> bool:
+        """Whether the gate is Clifford (Pauli gates included).
+
+        The Pauli group is a subgroup of the Clifford group, so every
+        Pauli gate is also Clifford; the arbiter distinguishes them
+        only because Pauli gates never need to reach the hardware.
+        """
+        return self.gate_class in (GateClass.PAULI, GateClass.CLIFFORD)
+
+    @property
+    def is_unitary(self) -> bool:
+        """Whether the operation is a unitary gate (not prep/measure)."""
+        return self.gate_class not in (GateClass.PREPARE, GateClass.MEASURE)
+
+
+_GATES = [
+    GateInfo("prep_z", 1, GateClass.PREPARE, aliases=("reset", "prepz")),
+    GateInfo("measure", 1, GateClass.MEASURE, aliases=("measz", "mz")),
+    GateInfo("i", 1, GateClass.PAULI, aliases=("id", "identity")),
+    GateInfo("x", 1, GateClass.PAULI, aliases=("pauli_x",)),
+    GateInfo("y", 1, GateClass.PAULI, aliases=("pauli_y",)),
+    GateInfo("z", 1, GateClass.PAULI, aliases=("pauli_z",)),
+    GateInfo("h", 1, GateClass.CLIFFORD, aliases=("hadamard",)),
+    GateInfo("s", 1, GateClass.CLIFFORD, aliases=("phase",)),
+    GateInfo("sdg", 1, GateClass.CLIFFORD, aliases=("sdag", "phasedag")),
+    GateInfo("cnot", 2, GateClass.CLIFFORD, aliases=("cx",)),
+    GateInfo("cz", 2, GateClass.CLIFFORD),
+    GateInfo("swap", 2, GateClass.CLIFFORD),
+    GateInfo("t", 1, GateClass.NON_CLIFFORD),
+    GateInfo("tdg", 1, GateClass.NON_CLIFFORD, aliases=("tdag",)),
+    GateInfo("rz", 1, GateClass.NON_CLIFFORD, num_params=1),
+    GateInfo("rx", 1, GateClass.NON_CLIFFORD, num_params=1),
+    GateInfo("ry", 1, GateClass.NON_CLIFFORD, num_params=1),
+    GateInfo("toffoli", 3, GateClass.NON_CLIFFORD, aliases=("ccx", "ccnot")),
+]
+
+GATE_TABLE: Dict[str, GateInfo] = {}
+for _gate in _GATES:
+    GATE_TABLE[_gate.name] = _gate
+    for _alias in _gate.aliases:
+        GATE_TABLE[_alias] = _gate
+
+
+def gate_info(name: str) -> GateInfo:
+    """Resolve a gate name (or alias) to its :class:`GateInfo`.
+
+    Raises
+    ------
+    KeyError
+        If the gate is unknown to the library.
+    """
+    try:
+        return GATE_TABLE[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}") from None
+
+
+def canonical_name(name: str) -> str:
+    """Canonical lower-case name of a gate (resolving aliases)."""
+    return gate_info(name).name
+
+
+def classify(name: str) -> GateClass:
+    """The Pauli-arbiter category of gate ``name``."""
+    return gate_info(name).gate_class
+
+
+def is_supported(name: str) -> bool:
+    """Whether ``name`` resolves to a gate the library knows."""
+    return name.lower() in GATE_TABLE
+
+
+#: Universal gate set discussed in section 2.4: ``{H, T, CNOT}``.
+UNIVERSAL_SET = ("h", "t", "cnot")
+
+#: Clifford group generators for two qubits (Eq. 2.17).
+CLIFFORD_GENERATORS = ("h", "s", "cnot")
+
+#: Pauli group generators with global phase dropped (Eq. 2.15).
+PAULI_GENERATORS = ("x", "z")

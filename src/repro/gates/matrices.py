@@ -1,0 +1,131 @@
+"""Unitary matrices for the supported gate set.
+
+Provides the explicit matrix form of every gate in the library
+(section 2.2 of the paper).  The matrices are used by the dense
+state-vector simulator and by the test suite to cross-validate the
+symbolic Pauli-record mapping tables against real conjugation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+I_MATRIX = np.eye(2, dtype=complex)
+X_MATRIX = np.array([[0, 1], [1, 0]], dtype=complex)
+Y_MATRIX = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z_MATRIX = np.array([[1, 0], [0, -1]], dtype=complex)
+H_MATRIX = SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+S_MATRIX = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG_MATRIX = np.array([[1, 0], [0, -1j]], dtype=complex)
+T_MATRIX = np.array(
+    [[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex
+)
+TDG_MATRIX = np.array(
+    [[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex
+)
+
+CNOT_MATRIX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP_MATRIX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+TOFFOLI_MATRIX = np.eye(8, dtype=complex)
+TOFFOLI_MATRIX[6:8, 6:8] = X_MATRIX
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Z-axis rotation ``RZ(theta) = diag(1, e^{i theta})`` (Eq. 2.5)."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """X-axis rotation ``exp(-i theta X / 2)``."""
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Y-axis rotation ``exp(-i theta Y / 2)``."""
+    c = math.cos(theta / 2)
+    s = math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+#: Static (parameter-free) gate name -> matrix.
+STATIC_MATRICES: Dict[str, np.ndarray] = {
+    "i": I_MATRIX,
+    "x": X_MATRIX,
+    "y": Y_MATRIX,
+    "z": Z_MATRIX,
+    "h": H_MATRIX,
+    "s": S_MATRIX,
+    "sdg": SDG_MATRIX,
+    "t": T_MATRIX,
+    "tdg": TDG_MATRIX,
+    "cnot": CNOT_MATRIX,
+    "cx": CNOT_MATRIX,
+    "cz": CZ_MATRIX,
+    "swap": SWAP_MATRIX,
+    "toffoli": TOFFOLI_MATRIX,
+    "ccx": TOFFOLI_MATRIX,
+}
+
+
+def matrix_for(name: str, *params: float) -> np.ndarray:
+    """Look up or construct the unitary matrix of gate ``name``.
+
+    Parameterised gates (``rz``, ``rx``, ``ry``) take the rotation
+    angle as the single parameter.
+    """
+    name = name.lower()
+    if name in STATIC_MATRICES:
+        return STATIC_MATRICES[name]
+    if name == "rz":
+        return rz_matrix(params[0])
+    if name == "rx":
+        return rx_matrix(params[0])
+    if name == "ry":
+        return ry_matrix(params[0])
+    raise KeyError(f"no matrix known for gate {name!r}")
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Whether ``matrix`` satisfies ``U U^dagger = I`` (Eq. 2.2)."""
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def matrices_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """Whether two matrices differ only by a global phase factor."""
+    if a.shape != b.shape:
+        return False
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[index]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[index] / b[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))

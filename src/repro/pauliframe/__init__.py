@@ -1,0 +1,12 @@
+"""Pauli frame unit: record storage, mapping logic and stream arbiter."""
+
+from .frame import PauliFrame, format_frame
+from .unit import FrameStatistics, PauliFrameUnit, ProcessedCircuit
+
+__all__ = [
+    "PauliFrame",
+    "format_frame",
+    "PauliFrameUnit",
+    "ProcessedCircuit",
+    "FrameStatistics",
+]

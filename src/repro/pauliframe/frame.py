@@ -1,0 +1,173 @@
+"""The Pauli frame: per-qubit records plus mapping logic.
+
+A Pauli frame is "a combination of classical memory and logic that can
+track the errors of qubits" (paper ch. 3).  :class:`PauliFrame` is the
+software model of the *PF data* + *PF logic* blocks of the Pauli Frame
+Unit (Fig. 3.11): a 2-bit record per qubit and the mapping tables of
+Tables 3.2-3.5.
+
+The frame is deliberately a pure classical object: it never touches a
+simulator.  Stream processing (deciding which operations reach the
+hardware) lives in :class:`repro.pauliframe.unit.PauliArbiter` and in
+the QPDO layer :class:`repro.qpdo.pauli_frame_layer.PauliFrameLayer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..paulis.record import PauliRecord
+from ..paulis.tables import (
+    MEASUREMENT_FLIP_TABLE,
+    SINGLE_QUBIT_MAP_TABLES,
+    TWO_QUBIT_MAP_TABLES,
+)
+
+
+class PauliFrame:
+    """Pauli records for ``num_qubits`` qubits with table-driven logic.
+
+    All record updates go through the literal lookup tables of the
+    paper so that the software model matches a hardware realisation
+    bit for bit (the tables are 2-bit-in/2-bit-out ROMs).
+    """
+
+    def __init__(self, num_qubits: int):
+        self.records: List[PauliRecord] = [
+            PauliRecord.I for _ in range(int(num_qubits))
+        ]
+
+    # ------------------------------------------------------------------
+    # Register management
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits with a record."""
+        return len(self.records)
+
+    def resize(self, num_qubits: int) -> None:
+        """Grow (new records start at ``I``) or shrink the frame."""
+        current = len(self.records)
+        if num_qubits > current:
+            self.records.extend(
+                PauliRecord.I for _ in range(num_qubits - current)
+            )
+        else:
+            del self.records[num_qubits:]
+
+    def __getitem__(self, qubit: int) -> PauliRecord:
+        return self.records[qubit]
+
+    def __setitem__(self, qubit: int, record: PauliRecord) -> None:
+        self.records[qubit] = record
+
+    def is_clean(self) -> bool:
+        """Whether every record is ``I`` (nothing tracked)."""
+        return all(record is PauliRecord.I for record in self.records)
+
+    def nontrivial(self) -> Dict[int, PauliRecord]:
+        """qubit -> record for all non-identity records."""
+        return {
+            qubit: record
+            for qubit, record in enumerate(self.records)
+            if record is not PauliRecord.I
+        }
+
+    # ------------------------------------------------------------------
+    # Table 3.1 operation handling
+    # ------------------------------------------------------------------
+    def on_reset(self, qubit: int) -> None:
+        """Initialization to ``|0>``: the record is cleared to ``I``.
+
+        Working principle 1 (section 3.1): a reset erases all history,
+        so whatever was tracked becomes irrelevant.
+        """
+        self.records[qubit] = PauliRecord.I
+
+    def map_measurement(self, qubit: int, result: int) -> int:
+        """Modify a Z-basis measurement result per Table 3.2.
+
+        ``result`` is the classical bit (0/1); it is inverted when the
+        record contains an ``X`` component.
+        """
+        if MEASUREMENT_FLIP_TABLE[self.records[qubit]]:
+            return result ^ 1
+        return result
+
+    def flips_measurement(self, qubit: int) -> bool:
+        """Whether a measurement of ``qubit`` would be inverted now."""
+        return MEASUREMENT_FLIP_TABLE[self.records[qubit]]
+
+    def track_pauli(self, gate: str, qubit: int) -> None:
+        """Absorb a Pauli gate into the record (Table 3.3).
+
+        The gate is *not* forwarded to hardware; this is the whole
+        point of the mechanism.
+        """
+        table = SINGLE_QUBIT_MAP_TABLES[gate]
+        self.records[qubit] = table[self.records[qubit]]
+
+    def map_single_clifford(self, gate: str, qubit: int) -> None:
+        """Conjugate the record through a 1-qubit Clifford (Table 3.4)."""
+        table = SINGLE_QUBIT_MAP_TABLES[gate]
+        self.records[qubit] = table[self.records[qubit]]
+
+    def map_two_qubit_clifford(
+        self, gate: str, first: int, second: int
+    ) -> None:
+        """Conjugate two records through a 2-qubit Clifford (Table 3.5).
+
+        Supports ``cnot``/``cx``, ``cz`` and ``swap``; the first qubit
+        is the control for the controlled gates.
+        """
+        table = TWO_QUBIT_MAP_TABLES[gate]
+        pair = (self.records[first], self.records[second])
+        self.records[first], self.records[second] = table[pair]
+
+    def supports(self, gate: str) -> bool:
+        """Whether a mapping table exists for ``gate``.
+
+        Gates without a table are treated as non-Clifford by the
+        arbiter and force a record flush (section 3.1).
+        """
+        return gate in SINGLE_QUBIT_MAP_TABLES or gate in TWO_QUBIT_MAP_TABLES
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def flush(self, qubits: Iterable[int]) -> List[Tuple[str, int]]:
+        """Flush the records of ``qubits`` (Table 3.1, non-Clifford row).
+
+        Returns the list of ``(gate, qubit)`` Pauli gates that must now
+        be applied physically, in application order, and resets the
+        flushed records to ``I``.
+        """
+        pending: List[Tuple[str, int]] = []
+        for qubit in qubits:
+            for gate in self.records[qubit].generators():
+                pending.append((gate, qubit))
+            self.records[qubit] = PauliRecord.I
+        return pending
+
+    def flush_all(self) -> List[Tuple[str, int]]:
+        """Flush every record (used to realign state for comparison)."""
+        return self.flush(range(self.num_qubits))
+
+    def snapshot(self) -> Tuple[PauliRecord, ...]:
+        """An immutable copy of all records."""
+        return tuple(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{qubit}: {record.name}"
+            for qubit, record in self.nontrivial().items()
+        )
+        return f"PauliFrame({self.num_qubits} qubits; {body or 'clean'})"
+
+
+def format_frame(frame: PauliFrame) -> str:
+    """Render a frame like the paper's Listing 5.5."""
+    lines = ["Pauli frame with Pauli records:"]
+    for qubit, record in enumerate(frame.records):
+        lines.append(f"  {qubit}: {record.name}")
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""The Pauli Frame Unit and Pauli arbiter (paper section 3.5.2).
+
+The :class:`PauliFrameUnit` combines a :class:`~repro.pauliframe.frame.
+PauliFrame` (PF data + PF logic) with the *Pauli arbiter*: the stream
+processor that decides, per operation category, what reaches the
+Physical Execution Layer (Fig. 3.12):
+
+* reset            -> forwarded; record cleared (Fig. 3.12a)
+* measurement      -> forwarded; result mapped on the way back up
+  (Fig. 3.12b)
+* Pauli gate       -> absorbed; record mapped; *nothing* forwarded
+  (Fig. 3.12c)
+* Clifford gate    -> forwarded; record(s) mapped (Fig. 3.12d)
+* non-Clifford     -> records flushed as physical Pauli gates, then the
+  gate is forwarded (Fig. 3.12e)
+
+Operations flagged ``is_error`` model physical noise and pass through
+untouched: noise happens *below* the frame, the frame only learns about
+it through decoded corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.circuit import Circuit, TimeSlot
+from ..circuits.operation import Operation
+from ..gates.gateset import GateClass
+from .frame import PauliFrame
+
+
+@dataclass
+class FrameStatistics:
+    """Counters describing what the arbiter did to the command stream.
+
+    All counts exclude error-injected operations; ``*_in`` refers to
+    the stream arriving at the arbiter and ``*_out`` to what was
+    forwarded towards the hardware.  These are the quantities behind
+    the paper's Figs 5.25/5.26 ("saved gates" and "saved time slots").
+    """
+
+    operations_in: int = 0
+    operations_out: int = 0
+    slots_in: int = 0
+    slots_out: int = 0
+    pauli_gates_filtered: int = 0
+    flush_gates_emitted: int = 0
+    flush_events: int = 0
+    measurements_mapped: int = 0
+    measurements_inverted: int = 0
+
+    @property
+    def operations_saved(self) -> int:
+        """Net reduction in forwarded operations."""
+        return self.operations_in - self.operations_out
+
+    @property
+    def slots_saved(self) -> int:
+        """Net reduction in forwarded time slots."""
+        return self.slots_in - self.slots_out
+
+    @property
+    def saved_operations_fraction(self) -> float:
+        """Fraction of incoming operations removed from the stream."""
+        if self.operations_in == 0:
+            return 0.0
+        return self.operations_saved / self.operations_in
+
+    @property
+    def saved_slots_fraction(self) -> float:
+        """Fraction of incoming time slots removed from the stream."""
+        if self.slots_in == 0:
+            return 0.0
+        return self.slots_saved / self.slots_in
+
+    def merged_with(self, other: "FrameStatistics") -> "FrameStatistics":
+        """Element-wise sum of two statistics records."""
+        return FrameStatistics(
+            operations_in=self.operations_in + other.operations_in,
+            operations_out=self.operations_out + other.operations_out,
+            slots_in=self.slots_in + other.slots_in,
+            slots_out=self.slots_out + other.slots_out,
+            pauli_gates_filtered=(
+                self.pauli_gates_filtered + other.pauli_gates_filtered
+            ),
+            flush_gates_emitted=(
+                self.flush_gates_emitted + other.flush_gates_emitted
+            ),
+            flush_events=self.flush_events + other.flush_events,
+            measurements_mapped=(
+                self.measurements_mapped + other.measurements_mapped
+            ),
+            measurements_inverted=(
+                self.measurements_inverted + other.measurements_inverted
+            ),
+        )
+
+
+@dataclass
+class ProcessedCircuit:
+    """Outcome of passing one circuit through the arbiter.
+
+    Attributes
+    ----------
+    circuit:
+        The filtered circuit to forward to the hardware/back-end.
+    measurement_flips:
+        uid -> ``True`` for measurement operations whose result must be
+        inverted on the way back up (Table 3.2).
+    """
+
+    circuit: Circuit
+    measurement_flips: Dict[int, bool] = field(default_factory=dict)
+
+
+class PauliFrameUnit:
+    """Stateful stream processor: Pauli frame + Pauli arbiter.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of physical qubits tracked (resizable later).
+    """
+
+    def __init__(self, num_qubits: int = 0):
+        self.frame = PauliFrame(num_qubits)
+        self.statistics = FrameStatistics()
+
+    # ------------------------------------------------------------------
+    def resize(self, num_qubits: int) -> None:
+        """Track a different number of qubits (new records are ``I``)."""
+        self.frame.resize(num_qubits)
+
+    def reset_statistics(self) -> None:
+        """Zero all stream counters (the frame content is untouched)."""
+        self.statistics = FrameStatistics()
+
+    # ------------------------------------------------------------------
+    def process_circuit(self, circuit: Circuit) -> ProcessedCircuit:
+        """Run one circuit through the arbiter.
+
+        Slot structure is preserved for forwarded operations; slots
+        whose every commanded operation was absorbed are deleted
+        (that deletion is the "saved time slots" of Fig. 5.26).
+        Error-flagged operations ride along untouched and do not keep
+        an otherwise-empty slot alive for accounting purposes, but are
+        still forwarded.
+        """
+        output = Circuit(circuit.name, bypass=circuit.bypass)
+        flips: Dict[int, bool] = {}
+        # Diagnostic (bypass) circuits are processed normally -- their
+        # records map and their measurement results are adjusted --
+        # but they must not affect any counters (section 5.3.1), so
+        # they are tallied into a throwaway statistics object.
+        stats = (
+            FrameStatistics() if circuit.bypass else self.statistics
+        )
+        for slot in circuit:
+            commanded = [o for o in slot if not o.is_error]
+            errors = [o for o in slot if o.is_error]
+            if commanded:
+                stats.slots_in += 1
+                stats.operations_in += len(commanded)
+            flush_gates: List[Tuple[str, int]] = []
+            forwarded: List[Operation] = []
+            for operation in commanded:
+                forwarded_op = self._dispatch(
+                    operation, flush_gates, flips, stats
+                )
+                if forwarded_op is not None:
+                    forwarded.append(forwarded_op)
+            self._emit_flush_slots(output, flush_gates, stats)
+            if forwarded or errors:
+                out_slot = output.new_slot()
+                for operation in forwarded:
+                    out_slot.add(operation)
+                for operation in errors:
+                    out_slot.add(operation)
+            if forwarded:
+                stats.slots_out += 1
+                stats.operations_out += len(forwarded)
+        return ProcessedCircuit(output, flips)
+
+    def _dispatch(
+        self,
+        operation: Operation,
+        flush_gates: List[Tuple[str, int]],
+        flips: Dict[int, bool],
+        stats: FrameStatistics,
+    ) -> Optional[Operation]:
+        """Apply Table 3.1 to one operation; return what to forward."""
+        gate_class = operation.gate_class
+        if gate_class is GateClass.PREPARE:
+            self.frame.on_reset(operation.qubits[0])
+            return operation
+        if gate_class is GateClass.MEASURE:
+            qubit = operation.qubits[0]
+            flip = self.frame.flips_measurement(qubit)
+            flips[operation.uid] = flip
+            stats.measurements_mapped += 1
+            if flip:
+                stats.measurements_inverted += 1
+            return operation
+        if gate_class is GateClass.PAULI:
+            self.frame.track_pauli(operation.name, operation.qubits[0])
+            stats.pauli_gates_filtered += 1
+            return None
+        if gate_class is GateClass.CLIFFORD:
+            if len(operation.qubits) == 1:
+                self.frame.map_single_clifford(
+                    operation.name, operation.qubits[0]
+                )
+            else:
+                self.frame.map_two_qubit_clifford(
+                    operation.name, operation.qubits[0], operation.qubits[1]
+                )
+            return operation
+        # Non-Clifford: flush the records of all target qubits first.
+        pending = self.frame.flush(operation.qubits)
+        if pending:
+            stats.flush_events += 1
+            stats.flush_gates_emitted += len(pending)
+            flush_gates.extend(pending)
+        return operation
+
+    def _emit_flush_slots(
+        self,
+        output: Circuit,
+        flush_gates: List[Tuple[str, int]],
+        stats: Optional[FrameStatistics] = None,
+    ) -> None:
+        """Emit flushed Pauli gates as extra slots preceding the gate.
+
+        A flushed record can hold up to two gates per qubit (``x`` then
+        ``z``); the first gate of every qubit shares one slot and the
+        second gates share a following slot, preserving per-qubit
+        ordering.
+        """
+        if not flush_gates:
+            return
+        first_seen: Dict[int, int] = {}
+        slots: List[List[Tuple[str, int]]] = [[], []]
+        for gate, qubit in flush_gates:
+            position = first_seen.get(qubit, 0)
+            slots[position].append((gate, qubit))
+            first_seen[qubit] = position + 1
+        if stats is None:
+            stats = self.statistics
+        for group in slots:
+            if not group:
+                continue
+            slot = output.new_slot()
+            for gate, qubit in group:
+                slot.add(Operation(gate, (qubit,)))
+            stats.slots_out += 1
+            stats.operations_out += len(group)
+
+    # ------------------------------------------------------------------
+    def flush_frame_circuit(self) -> Circuit:
+        """A circuit applying every tracked record physically.
+
+        Used by the verification benches (section 5.2.2): executing
+        this circuit after a run restores the exact quantum state a
+        frame-less system would have, up to global phase.  The frame is
+        reset to all-``I``.
+        """
+        circuit = Circuit("flush_pauli_frame")
+        pending = self.frame.flush_all()
+        grouped: Dict[int, List[str]] = {}
+        for gate, qubit in pending:
+            grouped.setdefault(qubit, []).append(gate)
+        depth = max((len(gates) for gates in grouped.values()), default=0)
+        for level in range(depth):
+            slot = circuit.new_slot()
+            for qubit, gates in grouped.items():
+                if level < len(gates):
+                    slot.add(Operation(gates[level], (qubit,)))
+        return circuit

@@ -1,0 +1,27 @@
+"""Pauli algebra substrate: records, strings, and mapping tables.
+
+This package provides the classical Pauli bookkeeping the rest of the
+library is built on:
+
+* :class:`~repro.paulis.record.PauliRecord` -- the 2-bit per-qubit
+  record stored by a Pauli frame (paper section 3.2),
+* :mod:`~repro.paulis.tables` -- the literal mapping tables of
+  Tables 3.2-3.5, as held by the PF-logic block of the Pauli Frame Unit,
+* :class:`~repro.paulis.pauli_string.PauliString` -- n-qubit Pauli
+  operators in symplectic form, used for stabilizers, syndromes and
+  decoder construction.
+"""
+
+from .record import PAULI_GATE_RECORDS, PauliRecord, record_after_pauli
+from .pauli_string import PauliString, as_pauli_string, random_pauli_string
+from . import tables
+
+__all__ = [
+    "PauliRecord",
+    "PAULI_GATE_RECORDS",
+    "record_after_pauli",
+    "PauliString",
+    "as_pauli_string",
+    "random_pauli_string",
+    "tables",
+]

@@ -1,0 +1,178 @@
+"""Single-qubit Pauli records.
+
+A *Pauli record* is the per-qubit unit of storage in a Pauli frame
+(paper section 3.2).  Any product of Pauli gates on one qubit can be
+compressed, up to an unobservable global phase, into one of four
+canonical forms ``{I, X, Z, XZ}``.  A record therefore fits in two
+classical bits: one "has X" bit and one "has Z" bit.
+
+The record composition law is bitwise XOR: applying another Pauli gate
+toggles the corresponding bit(s).  Clifford gates conjugate records to
+other records; the conjugation rules are exposed both as explicit
+lookup tables (mirroring Tables 3.3-3.5 of the paper, used by the
+hardware-faithful :mod:`repro.pauliframe` implementation) and as
+bit-level methods on :class:`PauliRecord`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class PauliRecord(enum.IntEnum):
+    """Canonical compressed Pauli record of one qubit.
+
+    The integer value encodes the record in two bits:
+
+    * bit 0 -- the record contains an ``X`` generator,
+    * bit 1 -- the record contains a ``Z`` generator.
+
+    ``Y`` never appears explicitly because ``Y = iXZ`` and global phase
+    is dropped (paper section 3.1, working principle 2).
+    """
+
+    I = 0  # noqa: E741 - the paper's name for the identity record
+    X = 1
+    Z = 2
+    XZ = 3
+
+    @property
+    def has_x(self) -> bool:
+        """Whether an ``X`` generator is tracked in this record."""
+        return bool(self.value & 1)
+
+    @property
+    def has_z(self) -> bool:
+        """Whether a ``Z`` generator is tracked in this record."""
+        return bool(self.value & 2)
+
+    def compose(self, other: "PauliRecord") -> "PauliRecord":
+        """Return the record after additionally tracking ``other``.
+
+        Composition of Pauli operators is XOR of the generator bits;
+        all phases produced by reordering/cancellation are global and
+        dropped (Equation 2.9-2.11 of the paper).
+        """
+        return PauliRecord(self.value ^ other.value)
+
+    def flips_measurement(self) -> bool:
+        """Whether a Z-basis measurement result must be inverted.
+
+        Only the ``X`` component of a record anti-commutes with a
+        computational-basis measurement (Table 3.2): records ``X`` and
+        ``XZ`` invert the outcome, ``I`` and ``Z`` leave it unchanged.
+        """
+        return self.has_x
+
+    def after_hadamard(self) -> "PauliRecord":
+        """Record after conjugation by a Hadamard gate (Table 3.4).
+
+        ``H`` exchanges the ``X`` and ``Z`` generators: ``HXH = Z`` and
+        ``HZH = X``, hence the two bits swap.
+        """
+        x = self.has_x
+        z = self.has_z
+        return PauliRecord((1 if z else 0) | (2 if x else 0))
+
+    def after_phase(self) -> "PauliRecord":
+        """Record after conjugation by the phase gate ``S`` (Table 3.4).
+
+        ``S X S^dag = Y ~ XZ`` and ``S Z S^dag = Z``: the ``Z`` bit is
+        toggled when the ``X`` bit is set.
+        """
+        value = self.value
+        if value & 1:
+            value ^= 2
+        return PauliRecord(value)
+
+    def after_phase_dagger(self) -> "PauliRecord":
+        """Record after conjugation by ``S^dagger``.
+
+        ``S^dag X S = -Y ~ XZ`` up to global phase, so the compressed
+        mapping is identical to :meth:`after_phase`.
+        """
+        return self.after_phase()
+
+    @staticmethod
+    def after_cnot(
+        control: "PauliRecord", target: "PauliRecord"
+    ) -> Tuple["PauliRecord", "PauliRecord"]:
+        """Records of (control, target) after conjugation by CNOT.
+
+        ``X`` on the control propagates to the target and ``Z`` on the
+        target propagates to the control (Table 3.5):
+
+        * ``target.x ^= control.x``
+        * ``control.z ^= target.z``
+        """
+        c = control.value
+        t = target.value
+        t ^= c & 1
+        c ^= t & 2
+        return PauliRecord(c), PauliRecord(t)
+
+    @staticmethod
+    def after_cz(
+        control: "PauliRecord", target: "PauliRecord"
+    ) -> Tuple["PauliRecord", "PauliRecord"]:
+        """Records of (control, target) after conjugation by CZ.
+
+        CZ maps ``X_c -> X_c Z_t`` and ``X_t -> Z_c X_t`` while both
+        ``Z`` components commute through unchanged:
+
+        * ``target.z ^= control.x``
+        * ``control.z ^= target.x``
+        """
+        c = control.value
+        t = target.value
+        new_t = t ^ ((c & 1) << 1)
+        new_c = c ^ ((t & 1) << 1)
+        return PauliRecord(new_c), PauliRecord(new_t)
+
+    @staticmethod
+    def after_swap(
+        first: "PauliRecord", second: "PauliRecord"
+    ) -> Tuple["PauliRecord", "PauliRecord"]:
+        """Records of the two qubits after conjugation by SWAP."""
+        return second, first
+
+    def generators(self) -> Tuple[str, ...]:
+        """The sequence of Pauli generators stored in this record.
+
+        Returns the gates that must be physically applied, in order,
+        when the record is flushed before a non-Clifford gate
+        (Table 3.1, step "Flush Pauli record(s)").
+        """
+        gates = []
+        if self.has_x:
+            gates.append("x")
+        if self.has_z:
+            gates.append("z")
+        return tuple(gates)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Mapping of a Pauli *gate* name to the record it contributes.  ``Y``
+#: contributes both generators because ``Y = iXZ`` up to global phase.
+PAULI_GATE_RECORDS = {
+    "i": PauliRecord.I,
+    "x": PauliRecord.X,
+    "y": PauliRecord.XZ,
+    "z": PauliRecord.Z,
+}
+
+
+def record_after_pauli(record: PauliRecord, gate: str) -> PauliRecord:
+    """Map ``record`` after tracking the Pauli gate ``gate``.
+
+    This implements Table 3.3 of the paper (extended with ``Y`` and the
+    trivial ``I``) through the XOR composition law.
+    """
+    try:
+        contribution = PAULI_GATE_RECORDS[gate]
+    except KeyError:
+        raise ValueError(f"{gate!r} is not a Pauli gate") from None
+    return record.compose(contribution)

@@ -1,0 +1,155 @@
+"""Literal Pauli-record mapping tables from the paper.
+
+The Pauli Frame Unit proposed in the paper (section 3.5.2) is a piece
+of classical hardware whose "PF logic" block holds *lookup tables*, not
+bit-twiddling ALUs.  This module spells those tables out exactly as the
+paper prints them:
+
+* Table 3.2 -- measurement-result modification,
+* Table 3.3 -- record mapping under the Pauli generators ``X``/``Z``,
+* Table 3.4 -- record mapping under the Clifford generators ``H``/``S``,
+* Table 3.5 -- record mapping under ``CNOT``,
+
+plus the derived tables for ``Y``, ``CZ`` and ``SWAP`` that the QPDO
+Pauli frame layer supports (section 5.2.1).
+
+The tables are cross-validated against the bit-level arithmetic of
+:class:`repro.paulis.record.PauliRecord` in the test suite, and against
+explicit matrix conjugation in ``tests/test_pauli_tables.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .record import PauliRecord
+
+I = PauliRecord.I  # noqa: E741 - matches the paper's notation
+X = PauliRecord.X
+Z = PauliRecord.Z
+XZ = PauliRecord.XZ
+
+#: Table 3.2 -- whether the Z-basis measurement result of a qubit with
+#: the given record must be inverted (``m -> -m``).
+MEASUREMENT_FLIP_TABLE: Dict[PauliRecord, bool] = {
+    I: False,
+    X: True,
+    Z: False,
+    XZ: True,
+}
+
+#: Table 3.3 -- ``(input record, tracked Pauli gate) -> output record``.
+PAULI_MAP_TABLE: Dict[Tuple[PauliRecord, str], PauliRecord] = {
+    (I, "x"): X,
+    (I, "z"): Z,
+    (X, "x"): I,
+    (X, "z"): XZ,
+    (Z, "x"): XZ,
+    (Z, "z"): I,
+    (XZ, "x"): Z,
+    (XZ, "z"): X,
+}
+
+#: Derived rows for the remaining Pauli gates: ``I`` never changes a
+#: record and ``Y ~ XZ`` toggles both generator bits.
+PAULI_MAP_TABLE.update(
+    {
+        (I, "i"): I,
+        (X, "i"): X,
+        (Z, "i"): Z,
+        (XZ, "i"): XZ,
+        (I, "y"): XZ,
+        (X, "y"): Z,
+        (Z, "y"): X,
+        (XZ, "y"): I,
+    }
+)
+
+#: Table 3.4 -- ``(input record, applied Clifford gate) -> output
+#: record`` for the single-qubit Clifford generators.
+SINGLE_CLIFFORD_MAP_TABLE: Dict[Tuple[PauliRecord, str], PauliRecord] = {
+    (I, "h"): I,
+    (I, "s"): I,
+    (X, "h"): Z,
+    (X, "s"): XZ,
+    (Z, "h"): X,
+    (Z, "s"): Z,
+    (XZ, "h"): XZ,
+    (XZ, "s"): X,
+}
+
+#: Derived rows for ``S^dagger``; the compressed mapping coincides with
+#: ``S`` because the two conjugations differ only by global phase.
+SINGLE_CLIFFORD_MAP_TABLE.update(
+    {
+        (I, "sdg"): I,
+        (X, "sdg"): XZ,
+        (Z, "sdg"): Z,
+        (XZ, "sdg"): X,
+    }
+)
+
+#: Table 3.5 -- ``(control record, target record) -> (control', target')``
+#: under conjugation by CNOT.
+CNOT_MAP_TABLE: Dict[
+    Tuple[PauliRecord, PauliRecord], Tuple[PauliRecord, PauliRecord]
+] = {
+    (I, I): (I, I),
+    (I, X): (I, X),
+    (I, Z): (Z, Z),
+    (I, XZ): (Z, XZ),
+    (X, I): (X, X),
+    (X, X): (X, I),
+    (X, Z): (XZ, XZ),
+    (X, XZ): (XZ, Z),
+    (Z, I): (Z, I),
+    (Z, X): (Z, X),
+    (Z, Z): (I, Z),
+    (Z, XZ): (I, XZ),
+    (XZ, I): (XZ, X),
+    (XZ, X): (XZ, I),
+    (XZ, Z): (X, XZ),
+    (XZ, XZ): (X, Z),
+}
+
+#: Derived table for CZ (section 5.2.1): ``X_c -> X_c Z_t`` and
+#: ``X_t -> Z_c X_t``.
+CZ_MAP_TABLE: Dict[
+    Tuple[PauliRecord, PauliRecord], Tuple[PauliRecord, PauliRecord]
+] = {
+    (c, t): PauliRecord.after_cz(c, t)
+    for c in PauliRecord
+    for t in PauliRecord
+}
+
+#: Derived table for SWAP (section 5.2.1): the records exchange places.
+SWAP_MAP_TABLE: Dict[
+    Tuple[PauliRecord, PauliRecord], Tuple[PauliRecord, PauliRecord]
+] = {
+    (a, b): (b, a) for a in PauliRecord for b in PauliRecord
+}
+
+#: All single-qubit gate names with a record-mapping table.  A Pauli
+#: frame treats any gate *not* listed here (and not in
+#: :data:`TWO_QUBIT_MAP_TABLES`) as non-Clifford and flushes records.
+SINGLE_QUBIT_MAP_TABLES: Dict[str, Dict[PauliRecord, PauliRecord]] = {}
+for (_record, _gate), _out in PAULI_MAP_TABLE.items():
+    SINGLE_QUBIT_MAP_TABLES.setdefault(_gate, {})[_record] = _out
+for (_record, _gate), _out in SINGLE_CLIFFORD_MAP_TABLE.items():
+    SINGLE_QUBIT_MAP_TABLES.setdefault(_gate, {})[_record] = _out
+
+#: Two-qubit gates with a record-mapping table.
+TWO_QUBIT_MAP_TABLES: Dict[
+    str, Dict[Tuple[PauliRecord, PauliRecord], Tuple[PauliRecord, PauliRecord]]
+] = {
+    "cnot": CNOT_MAP_TABLE,
+    "cx": CNOT_MAP_TABLE,
+    "cz": CZ_MAP_TABLE,
+    "swap": SWAP_MAP_TABLE,
+}
+
+#: Gate names the Pauli frame absorbs without forwarding to hardware.
+PAULI_GATE_NAMES = frozenset({"i", "x", "y", "z"})
+
+#: Gate names the Pauli frame maps *and* forwards to hardware.
+CLIFFORD_GATE_NAMES = frozenset({"h", "s", "sdg", "cnot", "cx", "cz", "swap"})

@@ -1,0 +1,164 @@
+"""Simulation cores: the bottom elements of QPDO control stacks.
+
+Two cores mirror the paper's back-ends (section 4.2.3):
+
+* :class:`StabilizerCore` -- the ChpCore analogue, backed by the
+  from-scratch CHP-style tableau simulator.  Clifford-only, scales to
+  many qubits, used for all logical-error-rate experiments.
+* :class:`StateVectorCore` -- the QxCore analogue, backed by the dense
+  state-vector simulator.  Universal, supports ``getquantumstate``,
+  used for functional verification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..sim.state import QuantumState, State
+from ..sim.stabilizer import StabilizerSimulator
+from ..sim.statevector import StateVectorSimulator
+from .core import Core, ExecutionResult, UnsupportedFeatureError
+
+
+class _SimulatorCore(Core):
+    """Shared queue/execute machinery for both simulation cores."""
+
+    def __init__(self) -> None:
+        self._queue: List[Circuit] = []
+        self._state = State(0)
+        self._num_qubits = 0
+
+    # -- register -------------------------------------------------------
+    def createqubit(self, size: int = 1) -> int:
+        first = self._num_qubits
+        self._num_qubits += int(size)
+        self._grow_backend(int(size))
+        self._state.resize(self._num_qubits)
+        for qubit in range(first, self._num_qubits):
+            self._state.set_bit(qubit, 0)
+        return first
+
+    def removequbit(self, size: int = 1) -> None:
+        if size > self._num_qubits:
+            raise ValueError("cannot remove more qubits than allocated")
+        self._num_qubits -= int(size)
+        self._state.resize(self._num_qubits)
+        # Back-ends keep the physical registers around; removed qubits
+        # are simply no longer addressable from above.
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    # -- execution ------------------------------------------------------
+    def add(self, circuit: Circuit) -> None:
+        self._check_addressable(circuit)
+        self._queue.append(circuit)
+
+    def execute(self) -> ExecutionResult:
+        result = ExecutionResult()
+        for circuit in self._queue:
+            for slot in circuit:
+                for operation in slot:
+                    self._apply(operation, result)
+        self._queue.clear()
+        return result
+
+    def getstate(self) -> State:
+        return self._state.copy()
+
+    # -- hooks ----------------------------------------------------------
+    def _check_addressable(self, circuit: Circuit) -> None:
+        top = circuit.max_qubit()
+        if top >= self._num_qubits:
+            raise ValueError(
+                f"circuit addresses qubit {top} but only "
+                f"{self._num_qubits} are allocated"
+            )
+
+    def _grow_backend(self, count: int) -> None:
+        raise NotImplementedError
+
+    def _apply(self, operation, result: ExecutionResult) -> None:
+        raise NotImplementedError
+
+
+class StabilizerCore(_SimulatorCore):
+    """Clifford-only core on the CHP-style tableau simulator.
+
+    Parameters
+    ----------
+    rng, seed:
+        Randomness for measurement outcomes.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.simulator = StabilizerSimulator(0, rng=rng, seed=seed)
+
+    def _grow_backend(self, count: int) -> None:
+        self.simulator.add_qubits(count)
+
+    def _apply(self, operation, result: ExecutionResult) -> None:
+        if operation.is_preparation:
+            self.simulator.reset(operation.qubits[0])
+            self._state.set_bit(operation.qubits[0], 0)
+            return
+        if operation.is_measurement:
+            bit = self.simulator.measure(operation.qubits[0])
+            self._state.set_bit(operation.qubits[0], bit)
+            result.measurements[operation.uid] = bit
+            return
+        self.simulator.apply_gate(operation.name, operation.qubits)
+        if operation.name != "i":
+            for qubit in operation.qubits:
+                self._state.invalidate(qubit)
+
+
+class StateVectorCore(_SimulatorCore):
+    """Universal core on the dense state-vector simulator."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.simulator = StateVectorSimulator(0, rng=rng, seed=seed)
+
+    def _grow_backend(self, count: int) -> None:
+        self.simulator.add_qubits(count)
+
+    def _apply(self, operation, result: ExecutionResult) -> None:
+        if operation.is_preparation:
+            self.simulator.reset(operation.qubits[0])
+            self._state.set_bit(operation.qubits[0], 0)
+            return
+        if operation.is_measurement:
+            bit = self.simulator.measure(operation.qubits[0])
+            self._state.set_bit(operation.qubits[0], bit)
+            result.measurements[operation.uid] = bit
+            return
+        self.simulator.apply_gate(
+            operation.name, operation.qubits, operation.params
+        )
+        if operation.name != "i":
+            for qubit in operation.qubits:
+                self._state.invalidate(qubit)
+
+    def getquantumstate(self) -> QuantumState:
+        if self._queue:
+            raise UnsupportedFeatureError(
+                "execute() pending circuits before reading the state"
+            )
+        # Expose only the allocated prefix of the register.
+        if self._num_qubits == self.simulator.num_qubits:
+            return self.simulator.quantum_state()
+        return self.simulator.quantum_state_of(range(self._num_qubits))

@@ -1,0 +1,90 @@
+"""Diagnostic counter layer (paper section 4.2.3).
+
+A counter layer is transparent to the command stream and execution
+results; it only tallies what passes through.  Placing a counter above
+and another below a Pauli frame layer measures exactly what the frame
+filtered -- this is the instrumentation behind Figs 5.25/5.26.
+
+Bypass circuits (diagnostics) are forwarded but not counted, matching
+the paper's requirement that diagnostic ESM rounds "not affect any
+counters in the experiment" (section 5.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from .core import Core, ExecutionResult
+from .layer import Layer
+
+
+@dataclass
+class StreamCounts:
+    """Tallies of the command stream seen at one stack position."""
+
+    circuits: int = 0
+    slots: int = 0
+    operations: int = 0
+    measurements: int = 0
+    error_operations: int = 0
+    bypass_circuits: int = 0
+
+    def snapshot(self) -> "StreamCounts":
+        """An independent copy of the current tallies."""
+        return StreamCounts(
+            circuits=self.circuits,
+            slots=self.slots,
+            operations=self.operations,
+            measurements=self.measurements,
+            error_operations=self.error_operations,
+            bypass_circuits=self.bypass_circuits,
+        )
+
+    def minus(self, other: "StreamCounts") -> "StreamCounts":
+        """Per-field difference (``self - other``)."""
+        return StreamCounts(
+            circuits=self.circuits - other.circuits,
+            slots=self.slots - other.slots,
+            operations=self.operations - other.operations,
+            measurements=self.measurements - other.measurements,
+            error_operations=self.error_operations - other.error_operations,
+            bypass_circuits=self.bypass_circuits - other.bypass_circuits,
+        )
+
+
+class CounterLayer(Layer):
+    """Count circuits, slots, operations and results flowing past."""
+
+    def __init__(self, lower: Core):
+        super().__init__(lower)
+        self.counts = StreamCounts()
+        self.results_seen = 0
+
+    def reset_counts(self) -> None:
+        """Zero all tallies."""
+        self.counts = StreamCounts()
+        self.results_seen = 0
+
+    def process_down(self, circuit: Circuit) -> Circuit:
+        if circuit.bypass:
+            self.counts.bypass_circuits += 1
+            return circuit
+        self.counts.circuits += 1
+        for slot in circuit:
+            commanded = 0
+            for operation in slot:
+                if operation.is_error:
+                    self.counts.error_operations += 1
+                    continue
+                commanded += 1
+                self.counts.operations += 1
+                if operation.is_measurement:
+                    self.counts.measurements += 1
+            if commanded:
+                self.counts.slots += 1
+        return circuit
+
+    def process_up(self, result: ExecutionResult) -> ExecutionResult:
+        self.results_seen += len(result.measurements)
+        return result

@@ -1,0 +1,112 @@
+"""The layer base class and control-stack assembly (paper section 4.2.1).
+
+A :class:`Layer` implements the shared Core interface and forwards to a
+lower element, optionally rewriting circuits on the way down
+(:meth:`Layer.process_down`) and execution results on the way back up
+(:meth:`Layer.process_up`).  Layers can be stacked freely; the bottom
+element must be a simulation core.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..circuits.circuit import Circuit
+from ..sim.state import QuantumState, State
+from .core import Core, ExecutionResult
+
+
+class Layer(Core):
+    """A transparent stack element wrapping a lower :class:`Core`.
+
+    Subclasses override :meth:`process_down` and/or :meth:`process_up`;
+    the default implementation is a pure pass-through, so an unmodified
+    ``Layer`` is invisible in a stack.
+    """
+
+    def __init__(self, lower: Core):
+        self.lower = lower
+
+    # -- hooks ----------------------------------------------------------
+    def process_down(self, circuit: Circuit) -> Circuit:
+        """Rewrite a circuit travelling towards the hardware."""
+        return circuit
+
+    def process_up(self, result: ExecutionResult) -> ExecutionResult:
+        """Rewrite an execution result travelling towards the user."""
+        return result
+
+    def on_createqubit(self, first_index: int, size: int) -> None:
+        """Notification after qubits were allocated below."""
+
+    def on_removequbit(self, size: int) -> None:
+        """Notification after qubits were removed below."""
+
+    # -- Core interface ---------------------------------------------------
+    def createqubit(self, size: int = 1) -> int:
+        first = self.lower.createqubit(size)
+        self.on_createqubit(first, size)
+        return first
+
+    def removequbit(self, size: int = 1) -> None:
+        self.lower.removequbit(size)
+        self.on_removequbit(size)
+
+    def add(self, circuit: Circuit) -> None:
+        self.lower.add(self.process_down(circuit))
+
+    def execute(self) -> ExecutionResult:
+        return self.process_up(self.lower.execute())
+
+    def getstate(self) -> State:
+        return self.lower.getstate()
+
+    def getquantumstate(self) -> QuantumState:
+        return self.lower.getquantumstate()
+
+    @property
+    def num_qubits(self) -> int:
+        return self.lower.num_qubits
+
+
+class ControlStack:
+    """A convenience wrapper assembling core + layers (Fig. 4.3a).
+
+    Parameters
+    ----------
+    core:
+        The bottom simulation core.
+    layer_factories:
+        Callables taking the element below and returning the next
+        layer, listed bottom-up.  Example::
+
+            stack = ControlStack(
+                StabilizerCore(seed=1),
+                [PauliFrameLayer, CounterLayer],
+            )
+    """
+
+    def __init__(self, core: Core, layer_factories: Sequence = ()):
+        self.core = core
+        self.layers: List[Layer] = []
+        element: Core = core
+        for factory in layer_factories:
+            element = factory(element)
+            self.layers.append(element)
+        self.top: Core = element
+
+    def __iter__(self) -> Iterable[Core]:
+        yield self.core
+        yield from self.layers
+
+    def find(self, layer_type: type) -> Layer:
+        """The unique layer of ``layer_type`` in this stack."""
+        matches = [
+            layer for layer in self.layers if isinstance(layer, layer_type)
+        ]
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one {layer_type.__name__}, found "
+                f"{len(matches)}"
+            )
+        return matches[0]

@@ -1,0 +1,99 @@
+"""Pauli frame layer for QPDO control stacks (paper section 5.2.1).
+
+Wraps a :class:`~repro.pauliframe.unit.PauliFrameUnit` as a transparent
+stack layer: circuits travelling down are filtered by the Pauli
+arbiter and measurement results travelling up are mapped by the frame
+(Table 3.2).  The layer can be inserted at any level of a stack; the
+paper places it directly above the simulation core, which in this
+library is the only physically meaningful position (see
+``DepolarizingErrorLayer`` for the placement discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..circuits.circuit import Circuit
+from ..pauliframe.frame import PauliFrame
+from ..pauliframe.unit import FrameStatistics, PauliFrameUnit
+from ..sim.state import BinaryValue, State
+from .core import Core, ExecutionResult
+from .layer import Layer
+
+
+class PauliFrameLayer(Layer):
+    """Insert a Pauli Frame Unit into a control stack."""
+
+    def __init__(self, lower: Core):
+        super().__init__(lower)
+        self.unit = PauliFrameUnit(lower.num_qubits)
+        self._pending_flips: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def frame(self) -> PauliFrame:
+        """The underlying Pauli frame (records)."""
+        return self.unit.frame
+
+    @property
+    def statistics(self) -> FrameStatistics:
+        """Stream statistics of the arbiter (savings accounting)."""
+        return self.unit.statistics
+
+    def reset_statistics(self) -> None:
+        """Zero the savings counters."""
+        self.unit.reset_statistics()
+
+    # ------------------------------------------------------------------
+    def on_createqubit(self, first_index: int, size: int) -> None:
+        self.unit.resize(self.lower.num_qubits)
+
+    def on_removequbit(self, size: int) -> None:
+        self.unit.resize(self.lower.num_qubits)
+
+    def process_down(self, circuit: Circuit) -> Circuit:
+        processed = self.unit.process_circuit(circuit)
+        self._pending_flips.update(processed.measurement_flips)
+        return processed.circuit
+
+    def process_up(self, result: ExecutionResult) -> ExecutionResult:
+        mapped = ExecutionResult()
+        for uid, bit in result.measurements.items():
+            if self._pending_flips.get(uid, False):
+                bit ^= 1
+            mapped.measurements[uid] = bit
+        self._pending_flips.clear()
+        return mapped
+
+    def getstate(self) -> State:
+        """Binary state with frame corrections applied.
+
+        Known bits of qubits whose record holds an ``X`` component are
+        inverted, consistently with how measurement results would be
+        mapped (Table 3.2).
+        """
+        state = self.lower.getstate()
+        for qubit in range(state.num_qubits):
+            value = state[qubit]
+            if value is BinaryValue.UNKNOWN:
+                continue
+            if self.frame.flips_measurement(qubit):
+                state.set_bit(
+                    qubit, 1 - (1 if value is BinaryValue.ONE else 0)
+                )
+        return state
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Physically apply and clear every tracked record.
+
+        Pushes the flush circuit to the lower element and executes it.
+        Afterwards the quantum state below matches what a frame-less
+        stack would hold, up to global phase (section 5.2.2) -- the
+        property the random-circuit bench verifies.
+        """
+        circuit = self.unit.flush_frame_circuit()
+        if circuit.num_operations() == 0:
+            return
+        self.lower.add(circuit)
+        self.lower.execute()

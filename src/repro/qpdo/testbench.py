@@ -1,0 +1,263 @@
+"""Test-bench environment (paper section 4.2.4).
+
+Test benches drive a control stack through the generic Core interface:
+an initialisation procedure, a repeated single-test procedure, and a
+shutdown/report procedure.  The ready-to-use benches mirror the
+paper's:
+
+* :class:`BellStateHistoTb` -- prepares a Bell state, measures, and
+  histograms the outcomes;
+* :class:`GateSupportTb` -- probes which gates a stack supports and
+  whether deterministic outcomes are correct;
+* :class:`RandomCircuitTb` -- the Pauli-frame verification bench of
+  section 5.2.2 (implemented in :mod:`repro.experiments.verification`,
+  re-exported here).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from .core import Core
+
+
+class TestBench(abc.ABC):
+    """Base class implementing generic test-bench control.
+
+    Subclasses implement :meth:`initialize`, :meth:`single_test` and
+    :meth:`shutdown`; :meth:`run` loops ``iterations`` times and
+    collects the per-iteration outcomes.
+    """
+
+    def __init__(self, stack: Core, iterations: int = 1):
+        self.stack = stack
+        self.iterations = int(iterations)
+        self.outcomes: List[object] = []
+
+    def initialize(self) -> None:
+        """One-time setup before the first test iteration."""
+
+    @abc.abstractmethod
+    def single_test(self) -> object:
+        """One test iteration; the return value is collected."""
+
+    def shutdown(self) -> None:
+        """One-time teardown after the last iteration."""
+
+    def run(self) -> List[object]:
+        """Execute the bench and return all collected outcomes."""
+        self.outcomes = []
+        self.initialize()
+        try:
+            for _ in range(self.iterations):
+                self.outcomes.append(self.single_test())
+        finally:
+            self.shutdown()
+        return self.outcomes
+
+
+class BellStateHistoTb(TestBench):
+    """Prepare ``(|00> + |11>)/sqrt(2)``, measure, histogram results.
+
+    With an ideal stack the histogram concentrates on ``"00"`` and
+    ``"11"`` with near-equal frequencies.
+    """
+
+    def __init__(self, stack: Core, iterations: int = 100):
+        super().__init__(stack, iterations)
+        self.histogram: Dict[str, int] = {}
+
+    def initialize(self) -> None:
+        if self.stack.num_qubits < 2:
+            self.stack.createqubit(2 - self.stack.num_qubits)
+        self.histogram = {}
+
+    def single_test(self) -> str:
+        circuit = Circuit("bell")
+        circuit.add("prep_z", 0)
+        circuit.add("prep_z", 1)
+        circuit.add("h", 0)
+        circuit.add("cnot", 0, 1)
+        first = circuit.add("measure", 0)
+        second = circuit.add("measure", 1)
+        result = self.stack.run(circuit)
+        key = f"{result.result_of(second)}{result.result_of(first)}"
+        self.histogram[key] = self.histogram.get(key, 0) + 1
+        return key
+
+
+@dataclass
+class GateSupportReport:
+    """Outcome of probing one gate on a stack."""
+
+    gate: str
+    supported: bool
+    correct: Optional[bool]
+    detail: str = ""
+
+
+class GateSupportTb(TestBench):
+    """Probe a stack for gate support and basic correctness.
+
+    Each probe prepares a simple known state, applies the gate, and
+    measures a qubit whose outcome is deterministic; mismatches and
+    raised errors are reported per gate.
+    """
+
+    #: gate -> (circuit builder, expected deterministic bit of qubit 0)
+    _PROBES: Dict[str, Tuple[Callable[[Circuit], None], int]] = {}
+
+    def __init__(self, stack: Core):
+        super().__init__(stack, iterations=1)
+        self.reports: List[GateSupportReport] = []
+
+    def initialize(self) -> None:
+        if self.stack.num_qubits < 2:
+            self.stack.createqubit(2 - self.stack.num_qubits)
+
+    def single_test(self) -> List[GateSupportReport]:
+        self.reports = []
+        for gate, (builder, expected) in self._probe_table().items():
+            circuit = Circuit(f"probe_{gate}")
+            circuit.add("prep_z", 0)
+            circuit.add("prep_z", 1)
+            try:
+                builder(circuit)
+                measure = circuit.add("measure", 0)
+                result = self.stack.run(circuit)
+                observed = result.result_of(measure)
+                self.reports.append(
+                    GateSupportReport(
+                        gate,
+                        supported=True,
+                        correct=(observed == expected),
+                        detail=f"observed {observed}, expected {expected}",
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - report, not crash
+                self.reports.append(
+                    GateSupportReport(
+                        gate, supported=False, correct=None, detail=str(error)
+                    )
+                )
+        return self.reports
+
+    @staticmethod
+    def _probe_table() -> Dict[str, Tuple[Callable[[Circuit], None], int]]:
+        def x(c: Circuit) -> None:
+            c.add("x", 0)
+
+        def y(c: Circuit) -> None:
+            c.add("y", 0)
+
+        def z(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("z", 0)
+
+        def h(c: Circuit) -> None:
+            c.add("h", 0)
+            c.add("h", 0)
+            c.add("x", 0)
+
+        def s(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("s", 0)
+            c.add("s", 0)
+            c.add("x", 0)
+
+        def sdg(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("s", 0)
+            c.add("sdg", 0)
+
+        def cnot(c: Circuit) -> None:
+            c.add("x", 1)
+            c.add("cnot", 1, 0)
+
+        def cz(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("cz", 1, 0)
+
+        def swap(c: Circuit) -> None:
+            c.add("x", 1)
+            c.add("swap", 1, 0)
+
+        def t(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("t", 0)
+            c.add("tdg", 0)
+
+        def tdg(c: Circuit) -> None:
+            c.add("x", 0)
+            c.add("tdg", 0)
+            c.add("t", 0)
+
+        return {
+            "x": (x, 1),
+            "y": (y, 1),
+            "z": (z, 1),
+            "h": (h, 1),
+            "s": (s, 0),
+            "sdg": (sdg, 1),
+            "cnot": (cnot, 1),
+            "cz": (cz, 1),
+            "swap": (swap, 1),
+            "t": (t, 1),
+            "tdg": (tdg, 1),
+        }
+
+    def format_report(self) -> str:
+        """Render the support report as text."""
+        lines = ["gate support report:"]
+        for report in self.reports:
+            if not report.supported:
+                status = "UNSUPPORTED"
+            elif report.correct:
+                status = "ok"
+            else:
+                status = "WRONG RESULT"
+            lines.append(f"  {report.gate:6s} {status:12s} {report.detail}")
+        return "\n".join(lines)
+
+
+class RandomCircuitTb(TestBench):
+    """The random-circuit Pauli-frame verification bench (§5.2.2).
+
+    Thin test-bench wrapper around
+    :func:`repro.experiments.verification.run_random_circuit_verification`
+    so the paper's named bench exists in the QPDO bench environment:
+    each iteration compares one random circuit's final state with and
+    without a Pauli frame layer (up to global phase, after flushing).
+
+    The ``stack`` argument of the base class is unused -- this bench
+    builds its own paired stacks per iteration, exactly like the
+    paper's Fig. 5.3 setup.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 10,
+        num_qubits: int = 5,
+        num_gates: int = 100,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(stack=None, iterations=1)
+        self.config = (iterations, num_qubits, num_gates, seed)
+        self.report = None
+
+    def single_test(self):
+        from ..experiments.verification import (
+            run_random_circuit_verification,
+        )
+
+        iterations, num_qubits, num_gates, seed = self.config
+        self.report = run_random_circuit_verification(
+            iterations=iterations,
+            num_qubits=num_qubits,
+            num_gates=num_gates,
+            seed=seed,
+        )
+        return self.report.all_match

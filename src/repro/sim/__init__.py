@@ -1,0 +1,21 @@
+"""Quantum simulators and shared state structures (paper section 4.1)."""
+
+from .state import (
+    BinaryValue,
+    QuantumState,
+    State,
+    basis_state_label,
+    index_from_bits,
+)
+from .stabilizer import StabilizerSimulator
+from .statevector import StateVectorSimulator
+
+__all__ = [
+    "BinaryValue",
+    "State",
+    "QuantumState",
+    "basis_state_label",
+    "index_from_bits",
+    "StabilizerSimulator",
+    "StateVectorSimulator",
+]

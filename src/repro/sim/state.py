@@ -1,0 +1,181 @@
+"""Shared state data structures (paper section 4.2.2).
+
+Two structures travel up QPDO control stacks:
+
+* :class:`State` -- per-qubit *binary* values.  A qubit is ``0`` or
+  ``1`` right after a reset or measurement and ``x`` (unknown) once any
+  gate has acted on it.
+* :class:`QuantumState` -- the full complex state vector, retrievable
+  only from back-ends that support it (the state-vector core).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class BinaryValue(enum.Enum):
+    """Classical knowledge about a single qubit."""
+
+    ZERO = "0"
+    ONE = "1"
+    UNKNOWN = "x"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class State:
+    """Binary values of all qubits in a control stack.
+
+    The semantics follow the paper exactly: reset sets a qubit to
+    ``0``, measurement sets it to the observed result, and any gate
+    degrades it to ``x`` until the next reset or measurement.
+    """
+
+    def __init__(self, num_qubits: int):
+        self._values: List[BinaryValue] = [
+            BinaryValue.UNKNOWN for _ in range(num_qubits)
+        ]
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits tracked."""
+        return len(self._values)
+
+    def resize(self, num_qubits: int) -> None:
+        """Grow or shrink the register (new qubits start unknown)."""
+        current = len(self._values)
+        if num_qubits > current:
+            self._values.extend(
+                BinaryValue.UNKNOWN for _ in range(num_qubits - current)
+            )
+        else:
+            del self._values[num_qubits:]
+
+    def __getitem__(self, qubit: int) -> BinaryValue:
+        return self._values[qubit]
+
+    def __setitem__(self, qubit: int, value: BinaryValue) -> None:
+        self._values[qubit] = value
+
+    def set_bit(self, qubit: int, bit: int) -> None:
+        """Record a known classical bit for ``qubit``."""
+        self._values[qubit] = BinaryValue.ONE if bit else BinaryValue.ZERO
+
+    def invalidate(self, qubit: int) -> None:
+        """Mark ``qubit`` as unknown (a gate acted on it)."""
+        self._values[qubit] = BinaryValue.UNKNOWN
+
+    def known_bits(self) -> Dict[int, int]:
+        """Mapping of qubit -> bit for all qubits with known values."""
+        known = {}
+        for qubit, value in enumerate(self._values):
+            if value is BinaryValue.ZERO:
+                known[qubit] = 0
+            elif value is BinaryValue.ONE:
+                known[qubit] = 1
+        return known
+
+    def copy(self) -> "State":
+        """An independent copy."""
+        duplicate = State(self.num_qubits)
+        duplicate._values = list(self._values)
+        return duplicate
+
+    def __iter__(self) -> Iterator[BinaryValue]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "State(" + "".join(str(v) for v in self._values) + ")"
+
+
+class QuantumState:
+    """A dense state vector with pretty-printing and comparison.
+
+    Amplitudes are indexed by computational basis states; the bit
+    order convention matches the paper's listings: *qubit 0 is the
+    rightmost bit* of the printed ket.
+    """
+
+    def __init__(self, amplitudes: np.ndarray):
+        amplitudes = np.asarray(amplitudes, dtype=complex)
+        size = amplitudes.size
+        num_qubits = int(round(math.log2(size))) if size else 0
+        if 2**num_qubits != size:
+            raise ValueError("amplitude vector length must be a power of 2")
+        self.amplitudes = amplitudes.reshape(size).copy()
+        self.num_qubits = num_qubits
+
+    def probability(self, basis_state: int) -> float:
+        """Measurement probability of ``basis_state``."""
+        return float(abs(self.amplitudes[basis_state]) ** 2)
+
+    def probabilities(self) -> np.ndarray:
+        """All basis-state probabilities."""
+        return np.abs(self.amplitudes) ** 2
+
+    def nonzero_terms(
+        self, tol: float = 1e-9
+    ) -> List[Tuple[int, complex]]:
+        """(basis_state, amplitude) pairs above ``tol`` magnitude."""
+        return [
+            (int(index), complex(amplitude))
+            for index, amplitude in enumerate(self.amplitudes)
+            if abs(amplitude) > tol
+        ]
+
+    def equal_up_to_global_phase(
+        self, other: "QuantumState", atol: float = 1e-8
+    ) -> bool:
+        """State equality modulo a global phase (paper section 5.2.2).
+
+        This is the acceptance criterion of the random-circuit Pauli
+        frame verification: after flushing the frame, the state must
+        match the frame-less reference up to ``e^{i delta}``.
+        """
+        if self.num_qubits != other.num_qubits:
+            return False
+        a = self.amplitudes
+        b = other.amplitudes
+        index = int(np.argmax(np.abs(b)))
+        if abs(b[index]) < atol:
+            return bool(np.allclose(a, b, atol=atol))
+        phase = a[index] / b[index]
+        if abs(abs(phase) - 1.0) > 1e-6:
+            return False
+        return bool(np.allclose(a, phase * b, atol=atol))
+
+    def global_phase_relative_to(self, other: "QuantumState") -> complex:
+        """The phase ``c`` with ``self = c * other`` (if states match)."""
+        index = int(np.argmax(np.abs(other.amplitudes)))
+        return complex(self.amplitudes[index] / other.amplitudes[index])
+
+    def format_terms(self, tol: float = 1e-9) -> str:
+        """Render the state like the paper's listings (qubit 0 rightmost)."""
+        lines = []
+        for basis_state, amplitude in self.nonzero_terms(tol):
+            bits = format(basis_state, f"0{self.num_qubits}b")
+            lines.append(f"({amplitude:.6g}) |{bits}>")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumState({self.num_qubits} qubits)"
+
+
+def basis_state_label(index: int, num_qubits: int) -> str:
+    """Bit string of a basis-state index (qubit 0 rightmost)."""
+    return format(index, f"0{num_qubits}b")
+
+
+def index_from_bits(bits: Iterable[int]) -> int:
+    """Basis-state index from per-qubit bits (bits[0] is qubit 0)."""
+    index = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            index |= 1 << position
+    return index

@@ -1,0 +1,5 @@
+"""Small shared helpers (ASCII figure rendering)."""
+
+from . import ascii_plot
+
+__all__ = ["ascii_plot"]

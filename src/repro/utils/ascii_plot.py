@@ -1,0 +1,147 @@
+"""Terminal scatter plots for experiment results.
+
+The paper's figures are log-log scatter plots (PER vs LER, rho vs PER,
+...).  Offline environments rarely have a plotting stack, so this
+module renders the same figures as text: a character grid with
+per-series markers, optional log axes, and an optional ``y = x``
+diagonal (the pseudo-threshold reference line of Figs 5.11-5.16).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Marker characters assigned to series in insertion order.
+DEFAULT_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def _axis_range(
+    values: Sequence[float], log: bool
+) -> Tuple[float, float]:
+    transformed = [_transform(v, log) for v in values]
+    low, high = min(transformed), max(transformed)
+    if low == high:
+        low -= 0.5
+        high += 0.5
+    pad = 0.05 * (high - low)
+    return low - pad, high + pad
+
+
+def scatter_plot(
+    series: Dict[str, List[Point]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+    diagonal: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled point series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        label -> list of (x, y) points; each label gets a marker.
+    width, height:
+        Plot area size in characters.
+    log_x, log_y:
+        Use logarithmic axes (all values must then be positive;
+        non-positive points are silently dropped, matching how the
+        paper's log plots cannot show zero-LER samples).
+    diagonal:
+        Draw the ``y = x`` reference line (requires both axes log or
+        both linear).
+    """
+    cleaned: Dict[str, List[Point]] = {}
+    for label, points in series.items():
+        kept = [
+            (x, y)
+            for x, y in points
+            if (not log_x or x > 0) and (not log_y or y > 0)
+        ]
+        if kept:
+            cleaned[label] = kept
+    if not cleaned:
+        return title + "\n(no plottable points)"
+    all_x = [x for points in cleaned.values() for x, _y in points]
+    all_y = [y for points in cleaned.values() for _x, y in points]
+    if diagonal:
+        all_y.extend(all_x)
+        all_x.extend(all_y[: len(all_x)])
+    x_low, x_high = _axis_range(all_x, log_x)
+    y_low, y_high = _axis_range(all_y, log_y)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        tx = _transform(x, log_x)
+        ty = _transform(y, log_y)
+        col = int((tx - x_low) / (x_high - x_low) * (width - 1))
+        row = int((ty - y_low) / (y_high - y_low) * (height - 1))
+        row = height - 1 - row  # origin at bottom-left
+        if grid[row][col] == " " or grid[row][col] == ".":
+            grid[row][col] = marker
+
+    if diagonal and log_x == log_y:
+        for col in range(width):
+            tx = x_low + (x_high - x_low) * col / (width - 1)
+            ty = tx
+            if y_low <= ty <= y_high:
+                row = int(
+                    (ty - y_low) / (y_high - y_low) * (height - 1)
+                )
+                grid[height - 1 - row][col] = "."
+
+    legend = []
+    for index, (label, points) in enumerate(cleaned.items()):
+        marker = DEFAULT_MARKERS[index % len(DEFAULT_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in points:
+            place(x, y, marker)
+
+    def fmt(value: float, log: bool) -> str:
+        raw = 10**value if log else value
+        return f"{raw:.2e}" if log else f"{raw:g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  (top: {fmt(y_high, log_y)})")
+    for row in grid:
+        lines.append("| " + "".join(row))
+    lines.append("+" + "-" * (width + 1))
+    lines.append(
+        f"  {x_label}: {fmt(x_low, log_x)} .. {fmt(x_high, log_x)}"
+        f"   (bottom: {fmt(y_low, log_y)})"
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def sweep_figure(sweep, title: str = "") -> str:
+    """Figs 5.15/5.16 as ASCII: both LER series over the PER axis."""
+    per = sweep.per_values()
+    series = {
+        "without Pauli frame": list(zip(per, sweep.series(False))),
+        "with Pauli frame": list(zip(per, sweep.series(True))),
+    }
+    return scatter_plot(
+        series,
+        title=title or "PER vs LER (Figs 5.15/5.16)",
+        diagonal=True,
+        x_label="physical error rate",
+        y_label="logical error rate",
+    )

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20160623)  # the thesis' date
+
+
+@pytest.fixture
+def stabilizer_core():
+    """A fresh seeded stabilizer core."""
+    from repro.qpdo import StabilizerCore
+
+    return StabilizerCore(seed=17)
+
+
+@pytest.fixture
+def statevector_core():
+    """A fresh seeded state-vector core."""
+    from repro.qpdo import StateVectorCore
+
+    return StateVectorCore(seed=17)

@@ -1,0 +1,221 @@
+"""Tests for the QISA, symbol table, compiler and QCU (section 3.5)."""
+
+import pytest
+
+from repro.architecture import (
+    AllocateLogical,
+    Halt,
+    LogicalMeasure,
+    PhysicalGate,
+    PhysicalMeasure,
+    PhysicalReset,
+    Program,
+    QSymbolTable,
+    QecSlot,
+    QuantumControlUnit,
+    RecordRotation,
+    Sc17Compiler,
+)
+from repro.circuits import Circuit
+from repro.qpdo import StabilizerCore
+
+
+class TestSymbolTable:
+    def test_allocation_assigns_tiles(self):
+        table = QSymbolTable()
+        first = table.allocate(0)
+        second = table.allocate(1)
+        assert first.physical_base == 0
+        assert second.physical_base == 17
+        assert first.data_qubits == list(range(9))
+        assert first.ancilla_qubits == list(range(9, 17))
+
+    def test_double_allocation_rejected(self):
+        table = QSymbolTable()
+        table.allocate(0)
+        with pytest.raises(ValueError):
+            table.allocate(0)
+
+    def test_translation(self):
+        table = QSymbolTable()
+        table.allocate(0)
+        table.allocate(3)
+        assert table.translate(0) == 0
+        assert table.translate(8) == 8
+        # Logical qubit 3 owns virtual addresses 51..67.
+        assert table.translate(3 * 17 + 4) == 17 + 4
+
+    def test_dead_qubit_translation_rejected(self):
+        table = QSymbolTable()
+        table.allocate(0)
+        table.deallocate(0)
+        with pytest.raises(ValueError):
+            table.translate(0)
+        assert table.alive_entries() == []
+
+    def test_unknown_qubit(self):
+        table = QSymbolTable()
+        with pytest.raises(KeyError):
+            table.entry(5)
+
+    def test_rotation_recording(self):
+        table = QSymbolTable()
+        entry = table.allocate(0)
+        assert not entry.rotated
+        table.record_rotation(0)
+        assert entry.rotated
+        table.record_rotation(0)
+        assert not entry.rotated
+
+
+class TestCompiler:
+    def test_reset_emits_allocation_and_qec(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        program = Sc17Compiler().compile(logical)
+        kinds = [type(i).__name__ for i in program]
+        assert kinds[0] == "AllocateLogical"
+        assert kinds.count("PhysicalReset") == 9
+        assert "QecSlot" in kinds
+        assert kinds[-1] == "Halt"
+
+    def test_x_chain_respects_compiled_rotation(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("h", 0)
+        logical.add("x", 0)
+        program = Sc17Compiler(
+            insert_qec_between_gates=False
+        ).compile(logical)
+        x_gates = [
+            i
+            for i in program
+            if isinstance(i, PhysicalGate) and i.gate == "x"
+        ]
+        # Rotated X_L acts on D0, D4, D8.
+        assert sorted(i.qubits[0] for i in x_gates) == [0, 4, 8]
+
+    def test_hadamard_emits_rotation_record(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("h", 0)
+        program = Sc17Compiler().compile(logical)
+        assert any(isinstance(i, RecordRotation) for i in program)
+
+    def test_cnot_pairing_depends_on_rotations(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("prep_z", 1)
+        logical.add("h", 0)
+        logical.add("cnot", 0, 1)
+        program = Sc17Compiler(
+            insert_qec_between_gates=False
+        ).compile(logical)
+        cnots = [
+            i
+            for i in program
+            if isinstance(i, PhysicalGate) and i.gate == "cnot"
+        ]
+        assert len(cnots) == 9
+        # Different orientations -> rotated pairing (A0 -> B6).
+        pairs = {
+            (i.qubits[0] % 17, i.qubits[1] % 17) for i in cnots
+        }
+        assert (0, 6) in pairs
+
+    def test_use_before_init_rejected(self):
+        logical = Circuit()
+        logical.add("x", 0)
+        with pytest.raises(ValueError):
+            Sc17Compiler().compile(logical)
+
+    def test_unsupported_gate_rejected(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("t", 0)
+        with pytest.raises(ValueError):
+            Sc17Compiler().compile(logical)
+
+
+class TestQcuExecution:
+    def _run(self, logical, use_pauli_frame=True, seed=21, **compiler_kw):
+        program = Sc17Compiler(**compiler_kw).compile(logical)
+        qcu = QuantumControlUnit(
+            StabilizerCore(seed=seed), use_pauli_frame=use_pauli_frame
+        )
+        return qcu.execute_program(program)
+
+    @pytest.mark.parametrize("use_pauli_frame", [True, False])
+    def test_x_h_h_measure(self, use_pauli_frame):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("x", 0)
+        logical.add("h", 0)
+        logical.add("h", 0)
+        logical.add("measure", 0)
+        trace = self._run(logical, use_pauli_frame=use_pauli_frame)
+        assert list(trace.results.values()) == [1]
+        assert trace.qec_slots_processed >= 1
+
+    def test_cnot_program(self):
+        logical = Circuit()
+        logical.add("prep_z", 0)
+        logical.add("prep_z", 1)
+        logical.add("x", 0)
+        logical.add("cnot", 0, 1)
+        logical.add("measure", 0)
+        logical.add("measure", 1)
+        trace = self._run(logical)
+        assert list(trace.results.values()) == [1, 1]
+
+    def test_halt_stops_execution(self):
+        program = Program()
+        program.emit(Halt())
+        program.emit(AllocateLogical(0))  # must never run
+        qcu = QuantumControlUnit(StabilizerCore(seed=0))
+        trace = qcu.execute_program(program)
+        assert trace.instructions_executed == 1
+        assert qcu.symbol_table.alive_entries() == []
+
+    def test_physical_instructions(self):
+        program = Program()
+        program.emit(AllocateLogical(0))
+        program.emit(PhysicalReset(0))
+        program.emit(PhysicalGate("x", (0,)))
+        program.emit(PhysicalMeasure(0, tag="bit"))
+        program.emit(PhysicalMeasure(1))
+        program.emit(Halt())
+        qcu = QuantumControlUnit(StabilizerCore(seed=0))
+        trace = qcu.execute_program(program)
+        assert trace.results["bit"] == 1
+        assert trace.anonymous_results == [0]
+
+    def test_unknown_instruction_rejected(self):
+        class Bogus:
+            pass
+
+        program = Program()
+        program.emit(AllocateLogical(0))
+        program.emit(Bogus())
+        qcu = QuantumControlUnit(StabilizerCore(seed=0))
+        with pytest.raises(TypeError):
+            qcu.execute_program(program)
+
+    def test_qec_slot_corrects_injected_error(self):
+        program = Program()
+        program.emit(AllocateLogical(0))
+        for data in range(9):
+            program.emit(PhysicalReset(data))
+        program.emit(QecSlot(1))
+        # Inject a bit-flip as a physical instruction, then let QEC fix
+        # it before the logical readout.
+        program.emit(PhysicalGate("x", (4,)))
+        program.emit(QecSlot(1))
+        program.emit(LogicalMeasure(0, tag="m"))
+        program.emit(Halt())
+        qcu = QuantumControlUnit(
+            StabilizerCore(seed=2), use_pauli_frame=False
+        )
+        trace = qcu.execute_program(program)
+        assert trace.results["m"] == 0
+        assert trace.corrections_commanded >= 1

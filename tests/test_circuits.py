@@ -1,0 +1,164 @@
+"""Unit tests for operations, time slots and circuits (Fig. 4.4)."""
+
+import pytest
+
+from repro.circuits import Circuit, Operation, TimeSlot, circuit_from_ops, op
+from repro.gates import GateClass
+
+
+class TestOperation:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            op("cnot", 0)
+        with pytest.raises(ValueError):
+            op("h", 0, 1)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            op("cnot", 1, 1)
+
+    def test_params_checked(self):
+        with pytest.raises(ValueError):
+            op("rz", 0)
+        operation = Operation("rz", (0,), (0.5,))
+        assert operation.params == (0.5,)
+
+    def test_uids_are_unique(self):
+        a, b = op("x", 0), op("x", 0)
+        assert a.uid != b.uid
+
+    def test_copy_gets_fresh_uid(self):
+        operation = op("h", 2)
+        duplicate = operation.copy()
+        assert duplicate.uid != operation.uid
+        assert duplicate.name == "h" and duplicate.qubits == (2,)
+
+    def test_with_qubits_retargets(self):
+        operation = op("cnot", 0, 1)
+        moved = operation.with_qubits((5, 7))
+        assert moved.qubits == (5, 7)
+
+    def test_classification_properties(self):
+        assert op("measure", 0).is_measurement
+        assert op("prep_z", 0).is_preparation
+        assert op("y", 0).is_pauli
+        assert op("t", 0).gate_class is GateClass.NON_CLIFFORD
+
+    def test_error_flag(self):
+        noisy = op("x", 0, is_error=True)
+        assert noisy.is_error
+        assert not op("x", 0).is_error
+
+
+class TestTimeSlot:
+    def test_conflicting_qubits_rejected(self):
+        slot = TimeSlot()
+        slot.add(op("cnot", 0, 1))
+        with pytest.raises(ValueError):
+            slot.add(op("h", 1))
+
+    def test_can_accept(self):
+        slot = TimeSlot([op("h", 0)])
+        assert slot.can_accept(op("h", 1))
+        assert not slot.can_accept(op("cnot", 0, 2))
+
+    def test_qubit_set(self):
+        slot = TimeSlot([op("cnot", 3, 5), op("h", 1)])
+        assert slot.qubits() == {1, 3, 5}
+
+
+class TestCircuit:
+    def test_greedy_slot_packing(self):
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.add("h", 1)  # fits in slot 0
+        circuit.add("cnot", 0, 1)  # conflicts -> new slot
+        assert circuit.num_slots() == 2
+        assert len(circuit.slots[0]) == 2
+
+    def test_same_slot_enforced(self):
+        circuit = Circuit()
+        circuit.add("h", 0)
+        with pytest.raises(ValueError):
+            circuit.add("x", 0, same_slot=True)
+
+    def test_barrier_forces_new_slot(self):
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.barrier()
+        circuit.add("h", 1)
+        assert circuit.num_slots() == 2
+
+    def test_barrier_on_empty_is_noop(self):
+        circuit = Circuit()
+        circuit.barrier()
+        circuit.add("h", 0)
+        assert circuit.num_slots() == 1
+
+    def test_extend_preserves_slots(self):
+        a = Circuit()
+        a.add("h", 0)
+        b = Circuit()
+        b.add("x", 0)
+        b.barrier()
+        b.add("z", 0)
+        a.extend(b)
+        assert a.num_slots() == 3
+
+    def test_counts_and_census(self):
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.add("x", 1)
+        circuit.add("x", 0)
+        census = circuit.gate_census()
+        assert census == {"h": 1, "x": 2}
+        assert circuit.num_operations() == 3
+
+    def test_num_operations_excluding_errors(self):
+        circuit = Circuit()
+        circuit.append(op("h", 0))
+        circuit.append(op("x", 0, is_error=True))
+        assert circuit.num_operations() == 2
+        assert circuit.num_operations(include_errors=False) == 1
+
+    def test_measurements_in_order(self):
+        circuit = Circuit()
+        circuit.add("measure", 0)
+        circuit.add("h", 1)
+        circuit.add("measure", 1)
+        measures = circuit.measurements()
+        assert [m.qubits[0] for m in measures] == [0, 1]
+
+    def test_qubits_and_max_qubit(self):
+        circuit = Circuit()
+        circuit.add("cnot", 2, 7)
+        assert circuit.qubits() == {2, 7}
+        assert circuit.max_qubit() == 7
+        assert Circuit().max_qubit() == -1
+
+    def test_copy_shares_operations_by_default(self):
+        circuit = Circuit()
+        operation = circuit.add("h", 0)
+        duplicate = circuit.copy()
+        assert next(duplicate.operations()) is operation
+
+    def test_copy_fresh_uids(self):
+        circuit = Circuit()
+        operation = circuit.add("h", 0)
+        duplicate = circuit.copy(fresh_uids=True)
+        copied = next(duplicate.operations())
+        assert copied.uid != operation.uid
+
+    def test_remapped(self):
+        circuit = Circuit()
+        circuit.add("cnot", 0, 1)
+        mapped = circuit.remapped({0: 10, 1: 11})
+        assert next(mapped.operations()).qubits == (10, 11)
+
+    def test_bypass_flag_propagates_to_copies(self):
+        circuit = Circuit("diag", bypass=True)
+        assert circuit.copy().bypass
+
+    def test_circuit_from_ops(self):
+        circuit = circuit_from_ops([op("h", 0), op("x", 1), op("x", 0)])
+        assert circuit.num_slots() == 2

@@ -1,0 +1,164 @@
+"""Tests for the LUT decoders (sections 5.1.3 / 5.3.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.steane import HAMMING_CHECK_MATRIX
+from repro.codes.surface17 import X_CHECK_MATRIX, Z_CHECK_MATRIX
+from repro.decoders import (
+    LutDecoder,
+    TwoLutDecoder,
+    build_lut,
+    correction_operations,
+    pack_syndrome,
+    syndrome_of,
+    unpack_syndrome,
+)
+
+
+class TestSyndromePacking:
+    def test_round_trip(self):
+        for packed in range(16):
+            bits = unpack_syndrome(packed, 4)
+            assert pack_syndrome(bits) == packed
+
+    def test_syndrome_of(self):
+        error = np.zeros(9, dtype=np.uint8)
+        error[4] = 1
+        syndrome = syndrome_of(Z_CHECK_MATRIX, error)
+        # D4 participates in Z1Z2Z4Z5 and Z3Z4Z6Z7 (rows 1 and 2).
+        assert list(syndrome) == [0, 1, 1, 0]
+
+
+class TestLutConstruction:
+    @pytest.mark.parametrize(
+        "matrix", [X_CHECK_MATRIX, Z_CHECK_MATRIX, HAMMING_CHECK_MATRIX]
+    )
+    def test_lut_covers_all_syndromes(self, matrix):
+        lut = build_lut(matrix)
+        assert len(lut) == 2 ** matrix.shape[0]
+
+    @pytest.mark.parametrize(
+        "matrix", [X_CHECK_MATRIX, Z_CHECK_MATRIX, HAMMING_CHECK_MATRIX]
+    )
+    def test_lut_entries_reproduce_their_syndrome(self, matrix):
+        lut = build_lut(matrix)
+        for packed, error in lut.items():
+            syndrome = syndrome_of(matrix, error.astype(np.uint8))
+            assert pack_syndrome(syndrome) == packed
+
+    def test_lut_entries_are_minimum_weight(self):
+        """No error of lower weight may share a stored syndrome."""
+        lut = build_lut(Z_CHECK_MATRIX)
+        for packed, stored in lut.items():
+            weight = int(stored.sum())
+            for lower_weight in range(weight):
+                for support in itertools.combinations(
+                    range(9), lower_weight
+                ):
+                    error = np.zeros(9, dtype=np.uint8)
+                    error[list(support)] = 1
+                    assert (
+                        pack_syndrome(syndrome_of(Z_CHECK_MATRIX, error))
+                        != packed
+                    )
+
+    def test_trivial_syndrome_maps_to_no_error(self):
+        decoder = LutDecoder(Z_CHECK_MATRIX)
+        assert not decoder.decode([0, 0, 0, 0]).any()
+
+
+def _logically_corrected(check_matrix, logical_support, error, correction):
+    """Residual must be a stabilizer: trivial syndrome, even overlap
+    with the logical operator (degenerate decoding is allowed)."""
+    residual = (error.astype(bool) ^ correction).astype(np.uint8)
+    if syndrome_of(check_matrix, residual).any():
+        return False
+    return residual[list(logical_support)].sum() % 2 == 0
+
+
+class TestSingleErrorCorrection:
+    """Distance 3: every weight-1 error must be corrected *up to a
+    stabilizer* -- SC17 decoding is degenerate (e.g. Z on D0 and Z on
+    D3 share a syndrome and differ by the stabilizer Z0Z3)."""
+
+    @pytest.mark.parametrize("qubit", range(9))
+    def test_sc17_x_errors(self, qubit):
+        decoder = LutDecoder(Z_CHECK_MATRIX)
+        error = np.zeros(9, dtype=np.uint8)
+        error[qubit] = 1
+        correction = decoder.decode(syndrome_of(Z_CHECK_MATRIX, error))
+        # X residuals must commute with Z_L = Z0 Z4 Z8.
+        assert _logically_corrected(
+            Z_CHECK_MATRIX, (0, 4, 8), error, correction
+        )
+
+    @pytest.mark.parametrize("qubit", range(9))
+    def test_sc17_z_errors(self, qubit):
+        decoder = LutDecoder(X_CHECK_MATRIX)
+        error = np.zeros(9, dtype=np.uint8)
+        error[qubit] = 1
+        correction = decoder.decode(syndrome_of(X_CHECK_MATRIX, error))
+        # Z residuals must commute with X_L = X2 X4 X6.
+        assert _logically_corrected(
+            X_CHECK_MATRIX, (2, 4, 6), error, correction
+        )
+
+    @pytest.mark.parametrize("qubit", range(7))
+    def test_steane_errors(self, qubit):
+        decoder = LutDecoder(HAMMING_CHECK_MATRIX)
+        error = np.zeros(7, dtype=np.uint8)
+        error[qubit] = 1
+        correction = decoder.decode(
+            syndrome_of(HAMMING_CHECK_MATRIX, error)
+        )
+        assert not (error.astype(bool) ^ correction).any()
+
+
+class TestTwoLutDecoder:
+    def test_independent_decoding(self):
+        decoder = TwoLutDecoder(X_CHECK_MATRIX, Z_CHECK_MATRIX)
+        # X error on D4 -> only the Z syndrome fires.
+        x_corr, z_corr = decoder.decode([0, 0, 0, 0], [0, 1, 1, 0])
+        assert list(np.flatnonzero(x_corr)) == [4]
+        assert not z_corr.any()
+        # Z error on D4 -> only the X syndrome fires.
+        x_corr, z_corr = decoder.decode([1, 0, 1, 0], [0, 0, 0, 0])
+        assert list(np.flatnonzero(z_corr)) == [4]
+        assert not x_corr.any()
+
+    @given(st.integers(0, 8), st.integers(0, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_y_errors_fully_corrected(self, x_qubit, z_qubit):
+        decoder = TwoLutDecoder(X_CHECK_MATRIX, Z_CHECK_MATRIX)
+        x_error = np.zeros(9, dtype=np.uint8)
+        x_error[x_qubit] = 1
+        z_error = np.zeros(9, dtype=np.uint8)
+        z_error[z_qubit] = 1
+        x_syndrome = syndrome_of(X_CHECK_MATRIX, z_error)
+        z_syndrome = syndrome_of(Z_CHECK_MATRIX, x_error)
+        x_corr, z_corr = decoder.decode(x_syndrome, z_syndrome)
+        assert _logically_corrected(
+            Z_CHECK_MATRIX, (0, 4, 8), x_error, x_corr
+        )
+        assert _logically_corrected(
+            X_CHECK_MATRIX, (2, 4, 6), z_error, z_corr
+        )
+
+
+class TestCorrectionOperations:
+    def test_xz_combines_into_y(self):
+        x_corr = np.array([1, 0, 1], dtype=bool)
+        z_corr = np.array([1, 1, 0], dtype=bool)
+        gates = correction_operations(x_corr, z_corr, [10, 11, 12])
+        assert gates == [("y", 10), ("z", 11), ("x", 12)]
+
+    def test_empty_corrections(self):
+        gates = correction_operations(
+            np.zeros(2, dtype=bool), np.zeros(2, dtype=bool), [0, 1]
+        )
+        assert gates == []

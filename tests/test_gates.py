@@ -1,0 +1,127 @@
+"""Unit tests for the gate library (metadata + matrices)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    GateClass,
+    canonical_name,
+    classify,
+    gate_info,
+    is_supported,
+    is_unitary,
+    matrices_equal_up_to_phase,
+    matrix_for,
+)
+from repro.gates.gateset import (
+    CLIFFORD_GENERATORS,
+    PAULI_GENERATORS,
+    UNIVERSAL_SET,
+)
+from repro.gates.matrices import STATIC_MATRICES
+
+
+class TestClassification:
+    @pytest.mark.parametrize("gate", ["i", "x", "y", "z"])
+    def test_pauli_gates(self, gate):
+        assert classify(gate) is GateClass.PAULI
+        assert gate_info(gate).is_clifford  # Pauli subset of Clifford
+
+    @pytest.mark.parametrize(
+        "gate", ["h", "s", "sdg", "cnot", "cz", "swap"]
+    )
+    def test_clifford_gates(self, gate):
+        assert classify(gate) is GateClass.CLIFFORD
+        assert not gate_info(gate).is_pauli
+
+    @pytest.mark.parametrize(
+        "gate", ["t", "tdg", "rz", "rx", "ry", "toffoli"]
+    )
+    def test_non_clifford_gates(self, gate):
+        assert classify(gate) is GateClass.NON_CLIFFORD
+
+    def test_prepare_and_measure(self):
+        assert classify("prep_z") is GateClass.PREPARE
+        assert classify("measure") is GateClass.MEASURE
+        assert not gate_info("measure").is_unitary
+
+    def test_aliases_resolve(self):
+        assert canonical_name("cx") == "cnot"
+        assert canonical_name("ccx") == "toffoli"
+        assert canonical_name("reset") == "prep_z"
+        assert canonical_name("hadamard") == "h"
+
+    def test_unknown_gate(self):
+        assert not is_supported("frobnicate")
+        with pytest.raises(KeyError):
+            gate_info("frobnicate")
+
+    def test_arity_metadata(self):
+        assert gate_info("cnot").num_qubits == 2
+        assert gate_info("toffoli").num_qubits == 3
+        assert gate_info("rz").num_params == 1
+
+    def test_canonical_sets(self):
+        assert set(UNIVERSAL_SET) == {"h", "t", "cnot"}
+        assert set(CLIFFORD_GENERATORS) == {"h", "s", "cnot"}
+        assert set(PAULI_GENERATORS) == {"x", "z"}
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", sorted(STATIC_MATRICES))
+    def test_all_static_matrices_are_unitary(self, name):
+        assert is_unitary(STATIC_MATRICES[name])
+
+    def test_rotation_gates_are_unitary(self):
+        for theta in (0.1, math.pi / 3, 2.5):
+            assert is_unitary(matrix_for("rz", theta))
+            assert is_unitary(matrix_for("rx", theta))
+            assert is_unitary(matrix_for("ry", theta))
+
+    def test_rz_special_angles(self):
+        """Eq. 2.6: S = RZ(pi/2), T = RZ(pi/4), Z = RZ(pi)."""
+        assert np.allclose(matrix_for("rz", math.pi / 2), matrix_for("s"))
+        assert np.allclose(matrix_for("rz", math.pi / 4), matrix_for("t"))
+        assert np.allclose(matrix_for("rz", math.pi), matrix_for("z"))
+
+    def test_pauli_gates_are_hermitian(self):
+        """Eq. 2.8: the Pauli gates and H are Hermitian."""
+        for name in ("x", "y", "z", "h"):
+            matrix = matrix_for(name)
+            assert np.allclose(matrix, matrix.conj().T)
+
+    def test_xz_anticommute(self):
+        """Eq. 2.10: XZ = -ZX."""
+        x, z = matrix_for("x"), matrix_for("z")
+        assert np.allclose(x @ z, -(z @ x))
+
+    def test_y_decomposition(self):
+        """Eq. 2.11: Y = iXZ."""
+        assert np.allclose(
+            matrix_for("y"), 1j * matrix_for("x") @ matrix_for("z")
+        )
+
+    def test_hadamard_relations(self):
+        """Eqs 2.13/2.14: HX = ZH and HZ = XH."""
+        h, x, z = matrix_for("h"), matrix_for("x"), matrix_for("z")
+        assert np.allclose(h @ x, z @ h)
+        assert np.allclose(h @ z, x @ h)
+
+    def test_t_squared_is_s(self):
+        assert matrices_equal_up_to_phase(
+            matrix_for("t") @ matrix_for("t"), matrix_for("s")
+        )
+
+    def test_equality_up_to_phase_detects_difference(self):
+        assert matrices_equal_up_to_phase(
+            matrix_for("x"), -matrix_for("x")
+        )
+        assert not matrices_equal_up_to_phase(
+            matrix_for("x"), matrix_for("z")
+        )
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            matrix_for("nope")

@@ -1,0 +1,158 @@
+"""Tests for logical state injection and the teleported T gate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import NinjaStarLayer
+from repro.codes.surface17.injection import (
+    expected_bloch_vector,
+    inject_logical_state,
+    injection_circuit,
+    logical_bloch_vector,
+    teleport_t_gate,
+)
+from repro.qpdo import StabilizerCore, StateVectorCore
+
+
+def make_layer(seed=1, logical_qubits=1):
+    core = StateVectorCore(seed=seed)
+    layer = NinjaStarLayer(core)
+    layer.createqubit(logical_qubits)
+    return core, layer
+
+
+class TestInjection:
+    @pytest.mark.parametrize(
+        "theta,phi",
+        [
+            (0.0, 0.0),
+            (math.pi, 0.0),
+            (math.pi / 2, 0.0),
+            (math.pi / 2, math.pi / 2),
+            (math.pi / 2, math.pi / 4),
+            (1.234, -2.1),
+        ],
+    )
+    def test_injected_bloch_vector_is_exact(self, theta, phi):
+        _core, layer = make_layer(seed=11)
+        inject_logical_state(layer, 0, theta, phi)
+        observed = logical_bloch_vector(layer, 0)
+        expected = expected_bloch_vector(theta, phi)
+        assert np.allclose(observed, expected, atol=1e-8)
+
+    def test_injected_state_is_in_codespace(self):
+        """All stabilizers must hold exactly after the fixup."""
+        core, layer = make_layer(seed=3)
+        inject_logical_state(layer, 0, 1.0, 0.5)
+        from repro.codes.surface17 import ALL_PLAQUETTES
+        from repro.paulis import PauliString
+
+        simulator = core.simulator
+        data = layer.logical_qubits[0].data_qubits
+        state = simulator.amplitudes
+        for plaquette in ALL_PLAQUETTES:
+            support = [data[q] for q in plaquette.data_qubits]
+            transformed = simulator.copy()
+            for physical in support:
+                transformed.apply_gate(plaquette.basis, (physical,))
+            overlap = np.vdot(state, transformed.amplitudes)
+            assert overlap == pytest.approx(1.0, abs=1e-8)
+
+    def test_injection_then_logical_gates(self):
+        """X_L after injecting |+> must leave the state invariant."""
+        _core, layer = make_layer(seed=5)
+        inject_logical_state(layer, 0, math.pi / 2, 0.0)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        layer.run(circuit)
+        observed = logical_bloch_vector(layer, 0)
+        assert np.allclose(observed, (1.0, 0.0, 0.0), atol=1e-8)
+
+    def test_injection_then_measurement_statistics(self):
+        """Injected theta gives P(1) = sin^2(theta/2)."""
+        theta = 2.0
+        ones = 0
+        shots = 40
+        for shot in range(shots):
+            _core, layer = make_layer(seed=1000 + shot)
+            inject_logical_state(layer, 0, theta, 0.0)
+            circuit = Circuit()
+            measure = circuit.add("measure", 0)
+            result = layer.run(circuit)
+            ones += result.result_of(measure)
+        probability = math.sin(theta / 2) ** 2  # ~0.708
+        assert abs(ones / shots - probability) < 0.25
+
+    def test_rotated_lattice_rejected(self):
+        _core, layer = make_layer(seed=2)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("h", 0)
+        layer.run(circuit)
+        with pytest.raises(ValueError):
+            inject_logical_state(layer, 0, 1.0)
+
+    def test_injection_circuit_structure(self):
+        qubit_layer = make_layer(seed=1)[1]
+        circuit = injection_circuit(
+            qubit_layer.logical_qubits[0], 1.0, 2.0
+        )
+        names = [o.name for o in circuit.operations()]
+        assert names.count("prep_z") == 9
+        assert names.count("h") == 4
+        assert "ry" in names and "rz" in names
+
+
+class TestBlochDiagnostics:
+    def test_rotation_aware(self):
+        """|+>_L via H_L reads Bloch (1, 0, 0) in the rotated frame."""
+        _core, layer = make_layer(seed=9)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("h", 0)
+        layer.run(circuit)
+        observed = logical_bloch_vector(layer, 0)
+        assert np.allclose(observed, (1.0, 0.0, 0.0), atol=1e-8)
+
+    def test_zero_state(self):
+        _core, layer = make_layer(seed=9)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        layer.run(circuit)
+        assert np.allclose(
+            logical_bloch_vector(layer, 0), (0.0, 0.0, 1.0), atol=1e-8
+        )
+
+    def test_requires_statevector(self):
+        core = StabilizerCore(seed=0)
+        layer = NinjaStarLayer(core)
+        layer.createqubit(1)
+        with pytest.raises(TypeError):
+            logical_bloch_vector(layer, 0)
+
+
+class TestTeleportedTGate:
+    def test_t_on_plus_gives_magic_state(self):
+        _core, layer = make_layer(seed=8, logical_qubits=2)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("h", 0)
+        layer.run(circuit)
+        attempts = teleport_t_gate(layer, data_index=0, magic_index=1)
+        assert attempts >= 1
+        observed = logical_bloch_vector(layer, 0)
+        expected = (math.cos(math.pi / 4), math.sin(math.pi / 4), 0.0)
+        assert np.allclose(observed, expected, atol=1e-6)
+
+    def test_t_on_zero_is_trivial(self):
+        """T|0> = |0>: the teleported gate must preserve it."""
+        _core, layer = make_layer(seed=4, logical_qubits=2)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        layer.run(circuit)
+        teleport_t_gate(layer, data_index=0, magic_index=1)
+        observed = logical_bloch_vector(layer, 0)
+        assert np.allclose(observed, (0.0, 0.0, 1.0), atol=1e-6)

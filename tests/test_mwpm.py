@@ -1,0 +1,125 @@
+"""Tests for the MWPM (Blossom) decoder on rotated surface codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.rotated import RotatedSurfaceCode
+from repro.decoders import MwpmDecoder, boundary_qubits_for, syndrome_of
+
+
+@pytest.fixture(scope="module")
+def code3():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def code5():
+    return RotatedSurfaceCode(5)
+
+
+def make_decoder(code):
+    return MwpmDecoder(
+        code.z_check_matrix, boundary_qubits_for(code, "z")
+    )
+
+
+class TestSingleErrors:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_every_single_x_error_corrected_up_to_stabilizer(
+        self, distance
+    ):
+        code = RotatedSurfaceCode(distance)
+        decoder = make_decoder(code)
+        z_logical = np.zeros(code.num_data, dtype=np.uint8)
+        for qubit in code.logical_z_support():
+            z_logical[qubit] = 1
+        for qubit in range(code.num_data):
+            error = np.zeros(code.num_data, dtype=np.uint8)
+            error[qubit] = 1
+            syndrome = syndrome_of(code.z_check_matrix, error)
+            correction = decoder.decode(syndrome)
+            residual = error.astype(bool) ^ correction
+            assert not syndrome_of(
+                code.z_check_matrix, residual.astype(np.uint8)
+            ).any()
+            overlap = int((residual & z_logical.astype(bool)).sum())
+            assert overlap % 2 == 0, f"logical residual for qubit {qubit}"
+
+    def test_trivial_syndrome_no_correction(self, code5):
+        decoder = make_decoder(code5)
+        assert not decoder.decode(
+            np.zeros(len(code5.z_plaquettes), dtype=int)
+        ).any()
+
+
+class TestWeightTwoErrors:
+    def test_adjacent_pair_corrected(self, code5):
+        decoder = make_decoder(code5)
+        error = np.zeros(code5.num_data, dtype=np.uint8)
+        error[code5.data_index(1, 1)] = 1
+        error[code5.data_index(2, 1)] = 1
+        syndrome = syndrome_of(code5.z_check_matrix, error)
+        correction = decoder.decode(syndrome)
+        residual = error.astype(bool) ^ correction
+        assert not syndrome_of(
+            code5.z_check_matrix, residual.astype(np.uint8)
+        ).any()
+        z_mask = np.zeros(code5.num_data, dtype=bool)
+        for qubit in code5.logical_z_support():
+            z_mask[qubit] = True
+        assert int((residual & z_mask).sum()) % 2 == 0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_correction_always_matches_syndrome(self, seed):
+        """Property: decode() output always reproduces the syndrome."""
+        code = RotatedSurfaceCode(5)
+        decoder = make_decoder(code)
+        rng = np.random.default_rng(seed)
+        error = (rng.random(code.num_data) < 0.1).astype(np.uint8)
+        syndrome = syndrome_of(code.z_check_matrix, error)
+        correction = decoder.decode(syndrome)
+        assert np.array_equal(
+            syndrome_of(code.z_check_matrix, correction.astype(np.uint8)),
+            syndrome,
+        )
+
+    def test_distance_minus_one_over_two_errors_never_logical(self, code5):
+        """d=5 corrects any 2 X errors: residual never flips Z_L."""
+        decoder = make_decoder(code5)
+        z_mask = np.zeros(code5.num_data, dtype=bool)
+        for qubit in code5.logical_z_support():
+            z_mask[qubit] = True
+        rng = np.random.default_rng(1)
+        for _ in range(120):
+            pair = rng.choice(code5.num_data, size=2, replace=False)
+            error = np.zeros(code5.num_data, dtype=np.uint8)
+            error[pair] = 1
+            syndrome = syndrome_of(code5.z_check_matrix, error)
+            correction = decoder.decode(syndrome)
+            residual = error.astype(bool) ^ correction
+            assert int((residual & z_mask).sum()) % 2 == 0, pair
+
+
+class TestMatchingGraph:
+    def test_distances_are_symmetric(self, code3):
+        decoder = make_decoder(code3)
+        graph = decoder.graph
+        for a in range(graph.num_checks):
+            for b in range(graph.num_checks):
+                assert graph.distance(a, b) == graph.distance(b, a)
+
+    def test_boundary_reachable_from_every_check(self, code3):
+        decoder = make_decoder(code3)
+        for check in range(decoder.graph.num_checks):
+            assert decoder.graph.distance(check, -1) >= 1
+
+    def test_correction_path_length_matches_distance(self, code5):
+        decoder = make_decoder(code5)
+        graph = decoder.graph
+        for a in range(graph.num_checks):
+            for b in range(a + 1, graph.num_checks):
+                path = graph.correction_path(a, b)
+                assert len(path) == graph.distance(a, b)

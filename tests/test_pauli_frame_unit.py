@@ -1,0 +1,222 @@
+"""Tests for the Pauli frame, the arbiter dispatch and its statistics."""
+
+import pytest
+
+from repro.circuits import Circuit, op
+from repro.paulis import PauliRecord
+from repro.pauliframe import PauliFrame, PauliFrameUnit, format_frame
+
+
+class TestPauliFrame:
+    def test_initial_records_are_identity(self):
+        frame = PauliFrame(3)
+        assert frame.is_clean()
+        assert frame[0] is PauliRecord.I
+
+    def test_reset_clears_record(self):
+        frame = PauliFrame(1)
+        frame.track_pauli("x", 0)
+        frame.on_reset(0)
+        assert frame[0] is PauliRecord.I
+
+    def test_measurement_mapping(self):
+        frame = PauliFrame(1)
+        assert frame.map_measurement(0, 1) == 1
+        frame.track_pauli("x", 0)
+        assert frame.map_measurement(0, 1) == 0
+        frame.track_pauli("z", 0)  # XZ still flips
+        assert frame.map_measurement(0, 0) == 1
+
+    def test_pauli_tracking_example_figures_3_6_and_3_7(self):
+        """Reproduce the worked example of section 3.4."""
+        frame = PauliFrame(9)
+        # Fig 3.6: X on D2, Z on D4.
+        frame.track_pauli("x", 2)
+        frame.track_pauli("z", 4)
+        assert frame[2] is PauliRecord.X
+        assert frame[4] is PauliRecord.Z
+        # Fig 3.7: a combined XZ error on D4: X cancels, Z remains...
+        frame.track_pauli("x", 4)
+        frame.track_pauli("z", 4)
+        assert frame[4] is PauliRecord.X  # Z+XZ -> X (two Zs cancel)
+
+    def test_hadamard_mapping_example_figure_3_8(self):
+        frame = PauliFrame(9)
+        frame.track_pauli("x", 2)
+        frame.track_pauli("x", 4)
+        for qubit in range(9):
+            frame.map_single_clifford("h", qubit)
+        assert frame[2] is PauliRecord.Z
+        assert frame[4] is PauliRecord.Z
+        assert frame.nontrivial() == {
+            2: PauliRecord.Z,
+            4: PauliRecord.Z,
+        }
+
+    def test_cnot_mapping(self):
+        frame = PauliFrame(2)
+        frame.track_pauli("x", 0)
+        frame.map_two_qubit_clifford("cnot", 0, 1)
+        assert frame[0] is PauliRecord.X
+        assert frame[1] is PauliRecord.X
+
+    def test_flush_returns_generators_and_clears(self):
+        frame = PauliFrame(2)
+        frame.track_pauli("x", 0)
+        frame.track_pauli("z", 0)
+        frame.track_pauli("z", 1)
+        pending = frame.flush([0, 1])
+        assert pending == [("x", 0), ("z", 0), ("z", 1)]
+        assert frame.is_clean()
+
+    def test_resize(self):
+        frame = PauliFrame(1)
+        frame.track_pauli("x", 0)
+        frame.resize(3)
+        assert frame.num_qubits == 3
+        assert frame[0] is PauliRecord.X
+        assert frame[2] is PauliRecord.I
+        frame.resize(1)
+        assert frame.num_qubits == 1
+
+    def test_supports(self):
+        frame = PauliFrame(1)
+        assert frame.supports("h")
+        assert frame.supports("cnot")
+        assert not frame.supports("t")
+
+    def test_format_frame_lists_records(self):
+        frame = PauliFrame(2)
+        frame.track_pauli("x", 1)
+        text = format_frame(frame)
+        assert "0: I" in text and "1: X" in text
+
+
+class TestArbiterDispatch:
+    """Table 3.1 / Fig 3.12 behaviour of the Pauli Frame Unit."""
+
+    def test_pauli_gates_are_absorbed(self):
+        unit = PauliFrameUnit(2)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.add("y", 1)
+        processed = unit.process_circuit(circuit)
+        assert processed.circuit.num_operations() == 0
+        assert unit.statistics.pauli_gates_filtered == 2
+        assert unit.frame[0] is PauliRecord.X
+        assert unit.frame[1] is PauliRecord.XZ
+
+    def test_empty_slots_are_deleted(self):
+        unit = PauliFrameUnit(2)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.barrier()
+        circuit.add("h", 0)
+        processed = unit.process_circuit(circuit)
+        assert processed.circuit.num_slots() == 1
+        assert unit.statistics.slots_saved == 1
+
+    def test_clifford_gates_forwarded_and_mapped(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.add("h", 0)
+        processed = unit.process_circuit(circuit)
+        names = [o.name for o in processed.circuit.operations()]
+        assert names == ["h"]
+        assert unit.frame[0] is PauliRecord.Z  # H maps X -> Z
+
+    def test_reset_forwarded_and_record_cleared(self):
+        unit = PauliFrameUnit(1)
+        unit.frame.track_pauli("x", 0)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        processed = unit.process_circuit(circuit)
+        assert [o.name for o in processed.circuit.operations()] == [
+            "prep_z"
+        ]
+        assert unit.frame.is_clean()
+
+    def test_measurement_flip_recorded(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        measure = circuit.add("measure", 0)
+        processed = unit.process_circuit(circuit)
+        assert processed.measurement_flips[measure.uid] is True
+        assert unit.statistics.measurements_inverted == 1
+
+    def test_non_clifford_flushes_records_first(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.add("z", 0)
+        circuit.add("t", 0)
+        processed = unit.process_circuit(circuit)
+        names = [o.name for o in processed.circuit.operations()]
+        assert names == ["x", "z", "t"]
+        assert unit.frame.is_clean()
+        assert unit.statistics.flush_events == 1
+        assert unit.statistics.flush_gates_emitted == 2
+
+    def test_flush_gates_precede_gate_in_separate_slots(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("y", 0)
+        circuit.add("t", 0)
+        processed = unit.process_circuit(circuit)
+        slots = processed.circuit.slots
+        assert len(slots) == 3  # x | z | t (per-qubit order kept)
+        assert [o.name for o in slots[0]] == ["x"]
+        assert [o.name for o in slots[1]] == ["z"]
+        assert [o.name for o in slots[2]] == ["t"]
+
+    def test_error_operations_pass_untouched(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.append(op("x", 0, is_error=True))
+        processed = unit.process_circuit(circuit)
+        forwarded = list(processed.circuit.operations())
+        assert len(forwarded) == 1 and forwarded[0].is_error
+        # The frame must NOT track physical noise.
+        assert unit.frame.is_clean()
+        assert unit.statistics.operations_in == 0
+
+    def test_statistics_fractions(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.barrier()
+        circuit.add("h", 0)
+        unit.process_circuit(circuit)
+        stats = unit.statistics
+        assert stats.saved_operations_fraction == pytest.approx(0.5)
+        assert stats.saved_slots_fraction == pytest.approx(0.5)
+
+    def test_statistics_merge(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        unit.process_circuit(circuit)
+        merged = unit.statistics.merged_with(unit.statistics)
+        assert merged.pauli_gates_filtered == 2
+
+    def test_flush_frame_circuit(self):
+        unit = PauliFrameUnit(2)
+        unit.frame.track_pauli("y", 0)
+        unit.frame.track_pauli("z", 1)
+        circuit = unit.flush_frame_circuit()
+        names = sorted(
+            (o.name, o.qubits[0]) for o in circuit.operations()
+        )
+        assert names == [("x", 0), ("z", 0), ("z", 1)]
+        assert unit.frame.is_clean()
+
+    def test_reset_statistics_keeps_frame(self):
+        unit = PauliFrameUnit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        unit.process_circuit(circuit)
+        unit.reset_statistics()
+        assert unit.statistics.pauli_gates_filtered == 0
+        assert unit.frame[0] is PauliRecord.X

@@ -1,0 +1,152 @@
+"""Unit tests for single-qubit Pauli records (paper section 3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paulis.record import (
+    PAULI_GATE_RECORDS,
+    PauliRecord,
+    record_after_pauli,
+)
+
+ALL_RECORDS = list(PauliRecord)
+
+
+class TestRecordBasics:
+    def test_exactly_four_records(self):
+        assert len(ALL_RECORDS) == 4
+
+    def test_two_bit_encoding(self):
+        assert PauliRecord.I.value == 0
+        assert PauliRecord.X.value == 1
+        assert PauliRecord.Z.value == 2
+        assert PauliRecord.XZ.value == 3
+
+    def test_has_x_bit(self):
+        assert not PauliRecord.I.has_x
+        assert PauliRecord.X.has_x
+        assert not PauliRecord.Z.has_x
+        assert PauliRecord.XZ.has_x
+
+    def test_has_z_bit(self):
+        assert not PauliRecord.I.has_z
+        assert not PauliRecord.X.has_z
+        assert PauliRecord.Z.has_z
+        assert PauliRecord.XZ.has_z
+
+
+class TestComposition:
+    def test_identity_is_neutral(self):
+        for record in ALL_RECORDS:
+            assert record.compose(PauliRecord.I) is record
+            assert PauliRecord.I.compose(record) is record
+
+    def test_self_composition_cancels(self):
+        """Pauli gates are Hermitian: even sequences cancel (Eq. 2.9)."""
+        for record in ALL_RECORDS:
+            assert record.compose(record) is PauliRecord.I
+
+    def test_composition_is_commutative_up_to_phase(self):
+        """Reordering only changes global phase, not the record."""
+        for a in ALL_RECORDS:
+            for b in ALL_RECORDS:
+                assert a.compose(b) is b.compose(a)
+
+    @given(
+        st.lists(st.sampled_from(["x", "y", "z", "i"]), max_size=30)
+    )
+    def test_any_gate_sequence_compresses_to_one_record(self, gates):
+        """Working principle: R''_q in {I, X, Z, XZ} always."""
+        record = PauliRecord.I
+        x_parity = 0
+        z_parity = 0
+        for gate in gates:
+            record = record_after_pauli(record, gate)
+            if gate in ("x", "y"):
+                x_parity ^= 1
+            if gate in ("z", "y"):
+                z_parity ^= 1
+        assert record.has_x == bool(x_parity)
+        assert record.has_z == bool(z_parity)
+
+
+class TestMeasurementMapping:
+    def test_flips_only_with_x_component(self):
+        """Table 3.2: only X/XZ invert the measurement result."""
+        assert not PauliRecord.I.flips_measurement()
+        assert PauliRecord.X.flips_measurement()
+        assert not PauliRecord.Z.flips_measurement()
+        assert PauliRecord.XZ.flips_measurement()
+
+
+class TestCliffordMappings:
+    def test_hadamard_swaps_x_and_z(self):
+        assert PauliRecord.I.after_hadamard() is PauliRecord.I
+        assert PauliRecord.X.after_hadamard() is PauliRecord.Z
+        assert PauliRecord.Z.after_hadamard() is PauliRecord.X
+        assert PauliRecord.XZ.after_hadamard() is PauliRecord.XZ
+
+    def test_hadamard_is_involution(self):
+        for record in ALL_RECORDS:
+            assert record.after_hadamard().after_hadamard() is record
+
+    def test_phase_gate_table_3_4(self):
+        assert PauliRecord.I.after_phase() is PauliRecord.I
+        assert PauliRecord.X.after_phase() is PauliRecord.XZ
+        assert PauliRecord.Z.after_phase() is PauliRecord.Z
+        assert PauliRecord.XZ.after_phase() is PauliRecord.X
+
+    def test_phase_dagger_matches_phase(self):
+        for record in ALL_RECORDS:
+            assert record.after_phase_dagger() is record.after_phase()
+
+    def test_cnot_x_propagates_to_target(self):
+        control, target = PauliRecord.after_cnot(
+            PauliRecord.X, PauliRecord.I
+        )
+        assert control is PauliRecord.X
+        assert target is PauliRecord.X
+
+    def test_cnot_z_propagates_to_control(self):
+        control, target = PauliRecord.after_cnot(
+            PauliRecord.I, PauliRecord.Z
+        )
+        assert control is PauliRecord.Z
+        assert target is PauliRecord.Z
+
+    def test_cnot_is_involution(self):
+        for a in ALL_RECORDS:
+            for b in ALL_RECORDS:
+                once = PauliRecord.after_cnot(a, b)
+                twice = PauliRecord.after_cnot(*once)
+                assert twice == (a, b)
+
+    def test_cz_symmetry(self):
+        """CZ is symmetric under exchanging control and target."""
+        for a in ALL_RECORDS:
+            for b in ALL_RECORDS:
+                c1, t1 = PauliRecord.after_cz(a, b)
+                t2, c2 = PauliRecord.after_cz(b, a)
+                assert (c1, t1) == (c2, t2)
+
+    def test_swap_exchanges_records(self):
+        for a in ALL_RECORDS:
+            for b in ALL_RECORDS:
+                assert PauliRecord.after_swap(a, b) == (b, a)
+
+
+class TestGenerators:
+    def test_flush_order_is_x_then_z(self):
+        assert PauliRecord.XZ.generators() == ("x", "z")
+        assert PauliRecord.X.generators() == ("x",)
+        assert PauliRecord.Z.generators() == ("z",)
+        assert PauliRecord.I.generators() == ()
+
+    def test_pauli_gate_records_cover_y(self):
+        """Y contributes both generators (Y = iXZ up to phase)."""
+        assert PAULI_GATE_RECORDS["y"] is PauliRecord.XZ
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            record_after_pauli(PauliRecord.I, "h")

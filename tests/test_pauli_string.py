@@ -1,0 +1,160 @@
+"""Unit and property tests for n-qubit Pauli strings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.matrices import matrix_for
+from repro.paulis import PauliString, as_pauli_string, random_pauli_string
+
+LABEL_CHARS = "IXYZ"
+
+
+def labels(min_size=1, max_size=6):
+    return st.text(alphabet=LABEL_CHARS, min_size=min_size, max_size=max_size)
+
+
+def dense_matrix(pauli: PauliString) -> np.ndarray:
+    """Dense matrix of a Pauli string (for cross-validation)."""
+    phase = 1j**pauli.phase
+    result = np.array([[1.0 + 0j]])
+    # Qubit 0 is the leftmost label character; build matrix with qubit 0
+    # as the most significant factor for an arbitrary-but-fixed order.
+    for xb, zb in zip(pauli.x, pauli.z):
+        factor = np.eye(2, dtype=complex)
+        if xb:
+            factor = matrix_for("x") @ factor
+        if zb:
+            factor = factor @ matrix_for("z")
+        result = np.kron(result, factor)
+    return phase * result
+
+
+class TestConstruction:
+    def test_from_label_round_trip(self):
+        pauli = PauliString.from_label("XIZY")
+        assert pauli.to_label() == "XIZY"
+        assert pauli.weight == 3
+
+    def test_y_contributes_phase(self):
+        y = PauliString.from_label("Y")
+        assert y.phase == 1
+        assert bool(y.x[0]) and bool(y.z[0])
+
+    def test_single_constructor(self):
+        pauli = PauliString.single(4, 2, "Z")
+        assert pauli.to_label() == "IIZI"
+
+    def test_from_support(self):
+        pauli = PauliString.from_support(5, x_support=[0, 2], z_support=[2])
+        assert pauli.to_label() == "XIYII"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    def test_as_pauli_string_coerces(self):
+        assert as_pauli_string("XX") == PauliString.from_label("XX")
+
+
+class TestAlgebra:
+    @given(labels(2, 5), labels(2, 5))
+    @settings(max_examples=60)
+    def test_commutation_matches_matrices(self, label_a, label_b):
+        if len(label_a) != len(label_b):
+            label_b = (label_b * len(label_a))[: len(label_a)]
+        a = PauliString.from_label(label_a)
+        b = PauliString.from_label(label_b)
+        ma, mb = dense_matrix(a), dense_matrix(b)
+        commute = np.allclose(ma @ mb, mb @ ma)
+        assert a.commutes_with(b) == commute
+
+    @given(labels(1, 4))
+    @settings(max_examples=40)
+    def test_self_product_is_identity(self, label):
+        pauli = PauliString.from_label(label)
+        square = pauli * pauli
+        assert square.is_identity()
+        # Hermitian Paulis square to +I exactly.
+        assert square.phase == 0
+
+    @given(labels(2, 4), labels(2, 4))
+    @settings(max_examples=40)
+    def test_product_phase_matches_matrices(self, label_a, label_b):
+        n = min(len(label_a), len(label_b))
+        a = PauliString.from_label(label_a[:n])
+        b = PauliString.from_label(label_b[:n])
+        product = a * b
+        expected = dense_matrix(a) @ dense_matrix(b)
+        assert np.allclose(dense_matrix(product), expected)
+
+    def test_anticommutation_example(self):
+        x = PauliString.from_label("X")
+        z = PauliString.from_label("Z")
+        assert not x.commutes_with(z)
+        assert (x * z).phase != (z * x).phase
+
+    def test_weight_and_support(self):
+        pauli = PauliString.from_label("IXIYZ")
+        assert pauli.weight == 3
+        assert list(pauli.support()) == [1, 3, 4]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XX") * PauliString.from_label("X")
+
+
+class TestConjugation:
+    def test_h_swaps_x_and_z(self):
+        pauli = PauliString.from_label("XZ")
+        pauli.apply_h(0)
+        pauli.apply_h(1)
+        assert pauli.to_label() == "ZX"
+
+    def test_cnot_propagation(self):
+        pauli = PauliString.from_label("XI")
+        pauli.apply_cnot(0, 1)
+        assert pauli.to_label() == "XX"
+        pauli = PauliString.from_label("IZ")
+        pauli.apply_cnot(0, 1)
+        assert pauli.to_label() == "ZZ"
+
+    def test_cz_propagation(self):
+        pauli = PauliString.from_label("XI")
+        pauli.apply_cz(0, 1)
+        assert pauli.to_label() == "XZ"
+
+    def test_swap(self):
+        pauli = PauliString.from_label("XZ")
+        pauli.apply_swap(0, 1)
+        assert pauli.to_label() == "ZX"
+
+    def test_s_maps_x_to_y_support(self):
+        pauli = PauliString.from_label("X")
+        pauli.apply_s(0)
+        assert pauli.to_label() == "Y"
+
+
+class TestSyndrome:
+    def test_syndrome_flags_anticommuting_checks(self):
+        stabilizers = [
+            PauliString.from_label("ZZI"),
+            PauliString.from_label("IZZ"),
+        ]
+        error = PauliString.from_label("XII")
+        assert list(error.syndrome(stabilizers)) == [True, False]
+        error = PauliString.from_label("IXI")
+        assert list(error.syndrome(stabilizers)) == [True, True]
+
+
+class TestRandom:
+    def test_random_respects_allow_identity(self, rng):
+        for _ in range(20):
+            pauli = random_pauli_string(3, rng=rng, allow_identity=False)
+            assert not pauli.is_identity()
+
+    def test_random_is_reproducible(self):
+        a = random_pauli_string(6, rng=np.random.default_rng(5))
+        b = random_pauli_string(6, rng=np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,174 @@
+"""Cross-validation of the paper's mapping tables against matrices.
+
+Every row of Tables 3.2-3.5 is checked against explicit matrix
+conjugation: for a record ``R`` and gate ``C``, the table's output
+``R'`` must satisfy ``C @ M(R) = phase * M(R') @ C`` for some unit
+phase -- i.e. commuting the record through the gate reproduces the
+mapped record up to the global phase the paper drops.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.gates.matrices import (
+    CNOT_MATRIX,
+    CZ_MATRIX,
+    H_MATRIX,
+    I_MATRIX,
+    S_MATRIX,
+    SDG_MATRIX,
+    SWAP_MATRIX,
+    X_MATRIX,
+    Z_MATRIX,
+    matrices_equal_up_to_phase,
+)
+from repro.paulis.record import PauliRecord
+from repro.paulis.tables import (
+    CNOT_MAP_TABLE,
+    CZ_MAP_TABLE,
+    MEASUREMENT_FLIP_TABLE,
+    PAULI_MAP_TABLE,
+    SINGLE_CLIFFORD_MAP_TABLE,
+    SINGLE_QUBIT_MAP_TABLES,
+    SWAP_MAP_TABLE,
+    TWO_QUBIT_MAP_TABLES,
+)
+
+RECORD_MATRICES = {
+    PauliRecord.I: I_MATRIX,
+    PauliRecord.X: X_MATRIX,
+    PauliRecord.Z: Z_MATRIX,
+    PauliRecord.XZ: X_MATRIX @ Z_MATRIX,
+}
+
+GATE_MATRICES = {
+    "i": I_MATRIX,
+    "x": X_MATRIX,
+    "y": X_MATRIX @ Z_MATRIX,  # up to phase, the tracked form of Y
+    "z": Z_MATRIX,
+    "h": H_MATRIX,
+    "s": S_MATRIX,
+    "sdg": SDG_MATRIX,
+}
+
+
+class TestPauliMapTable:
+    """Table 3.3: tracking a Pauli gate composes the records."""
+
+    @pytest.mark.parametrize(
+        "record,gate",
+        list(itertools.product(list(PauliRecord), ["i", "x", "y", "z"])),
+    )
+    def test_row_matches_matrix_product(self, record, gate):
+        output = PAULI_MAP_TABLE[(record, gate)]
+        product = GATE_MATRICES[gate] @ RECORD_MATRICES[record]
+        assert matrices_equal_up_to_phase(
+            product, RECORD_MATRICES[output]
+        )
+
+
+class TestSingleCliffordMapTable:
+    """Table 3.4: C R = R' C up to global phase."""
+
+    @pytest.mark.parametrize(
+        "record,gate",
+        list(itertools.product(list(PauliRecord), ["h", "s", "sdg"])),
+    )
+    def test_row_matches_conjugation(self, record, gate):
+        output = SINGLE_CLIFFORD_MAP_TABLE[(record, gate)]
+        lhs = GATE_MATRICES[gate] @ RECORD_MATRICES[record]
+        rhs = RECORD_MATRICES[output] @ GATE_MATRICES[gate]
+        assert matrices_equal_up_to_phase(lhs, rhs)
+
+
+def _two_qubit_record_matrix(control, target):
+    return np.kron(RECORD_MATRICES[control], RECORD_MATRICES[target])
+
+
+class TestTwoQubitMapTables:
+    """Tables 3.5 (CNOT) and the derived CZ/SWAP tables."""
+
+    @pytest.mark.parametrize(
+        "table,gate_matrix",
+        [
+            (CNOT_MAP_TABLE, CNOT_MATRIX),
+            (CZ_MAP_TABLE, CZ_MATRIX),
+            (SWAP_MAP_TABLE, SWAP_MATRIX),
+        ],
+        ids=["cnot", "cz", "swap"],
+    )
+    def test_all_rows_match_conjugation(self, table, gate_matrix):
+        for (control, target), (out_c, out_t) in table.items():
+            lhs = gate_matrix @ _two_qubit_record_matrix(control, target)
+            rhs = _two_qubit_record_matrix(out_c, out_t) @ gate_matrix
+            assert matrices_equal_up_to_phase(lhs, rhs), (
+                control,
+                target,
+                out_c,
+                out_t,
+            )
+
+    def test_cnot_table_is_complete(self):
+        assert len(CNOT_MAP_TABLE) == 16
+
+    def test_cnot_table_printed_rows(self):
+        """Spot-check the exact rows printed in Table 3.5."""
+        I, X, Z, XZ = (
+            PauliRecord.I,
+            PauliRecord.X,
+            PauliRecord.Z,
+            PauliRecord.XZ,
+        )
+        assert CNOT_MAP_TABLE[(I, Z)] == (Z, Z)
+        assert CNOT_MAP_TABLE[(X, X)] == (X, I)
+        assert CNOT_MAP_TABLE[(X, Z)] == (XZ, XZ)
+        assert CNOT_MAP_TABLE[(XZ, XZ)] == (X, Z)
+        assert CNOT_MAP_TABLE[(Z, XZ)] == (I, XZ)
+
+
+class TestMeasurementTable:
+    """Table 3.2 against direct expectation values.
+
+    A record ``R`` on ``|0>`` or ``|1>`` flips the Z-measurement
+    outcome exactly when ``<b| R^dag Z R |b> = -<b| Z |b>``.
+    """
+
+    @pytest.mark.parametrize("record", list(PauliRecord))
+    def test_flip_prediction(self, record):
+        matrix = RECORD_MATRICES[record]
+        zero = np.array([1, 0], dtype=complex)
+        transformed = matrix @ zero
+        expectation = np.real(
+            transformed.conj() @ (Z_MATRIX @ transformed)
+        ) / np.real(transformed.conj() @ transformed)
+        flipped = expectation < 0
+        assert MEASUREMENT_FLIP_TABLE[record] == flipped
+
+
+class TestTableIndexes:
+    def test_single_qubit_dispatch_covers_all_gates(self):
+        for gate in ("i", "x", "y", "z", "h", "s", "sdg"):
+            assert gate in SINGLE_QUBIT_MAP_TABLES
+            assert set(SINGLE_QUBIT_MAP_TABLES[gate]) == set(PauliRecord)
+
+    def test_two_qubit_dispatch_covers_all_gates(self):
+        for gate in ("cnot", "cx", "cz", "swap"):
+            assert gate in TWO_QUBIT_MAP_TABLES
+            assert len(TWO_QUBIT_MAP_TABLES[gate]) == 16
+
+    def test_bitwise_and_table_implementations_agree(self):
+        """The hardware tables and the bit arithmetic must coincide."""
+        for record in PauliRecord:
+            assert (
+                SINGLE_QUBIT_MAP_TABLES["h"][record]
+                is record.after_hadamard()
+            )
+            assert (
+                SINGLE_QUBIT_MAP_TABLES["s"][record] is record.after_phase()
+            )
+        for pair, expected in CNOT_MAP_TABLE.items():
+            assert PauliRecord.after_cnot(*pair) == expected
+        for pair, expected in CZ_MAP_TABLE.items():
+            assert PauliRecord.after_cz(*pair) == expected

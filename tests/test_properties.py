@@ -1,0 +1,228 @@
+"""Cross-cutting property tests tying the subsystems together.
+
+These invariants link independent implementations of the same physics:
+the Pauli frame's table-driven record mapping against symplectic
+conjugation of Pauli strings, ESM syndromes against check-matrix
+algebra, and the savings accounting of the frame against the counter
+layers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, random_clifford_circuit
+from repro.circuits.operation import Operation
+from repro.codes.surface17 import (
+    X_CHECK_MATRIX,
+    Z_CHECK_MATRIX,
+    parallel_esm,
+)
+from repro.paulis import PauliRecord, PauliString
+from repro.pauliframe import PauliFrame
+from repro.qpdo import StabilizerCore
+
+
+class TestFrameMatchesSymplecticConjugation:
+    """The frame's mapping tables ARE Clifford conjugation.
+
+    Load a random Pauli into both a :class:`PauliFrame` (as per-qubit
+    records) and a :class:`PauliString`; push a random Clifford
+    circuit through both; the frame's records must equal the (x|z)
+    bits of the conjugated string on every qubit, for every circuit.
+    """
+
+    @staticmethod
+    def _apply_to_frame(frame: PauliFrame, operation) -> None:
+        if operation.gate_class.value == "pauli":
+            frame.track_pauli(operation.name, operation.qubits[0])
+        elif len(operation.qubits) == 1:
+            frame.map_single_clifford(
+                operation.name, operation.qubits[0]
+            )
+        else:
+            frame.map_two_qubit_clifford(
+                operation.name, *operation.qubits
+            )
+
+    @staticmethod
+    def _apply_to_string(pauli: PauliString, operation) -> None:
+        name = operation.name
+        qubits = operation.qubits
+        if name in ("x", "y", "z", "i"):
+            if name != "i":
+                extra = PauliString.single(
+                    pauli.num_qubits, qubits[0], name.upper()
+                )
+                merged = pauli * extra
+                pauli.x[:] = merged.x
+                pauli.z[:] = merged.z
+            return
+        if name == "h":
+            pauli.apply_h(qubits[0])
+        elif name == "s":
+            pauli.apply_s(qubits[0])
+        elif name == "sdg":
+            pauli.apply_s(qubits[0])  # same x/z action as S
+        elif name in ("cnot", "cx"):
+            pauli.apply_cnot(*qubits)
+        elif name == "cz":
+            pauli.apply_cz(*qubits)
+        elif name == "swap":
+            pauli.apply_swap(*qubits)
+        else:  # pragma: no cover - gate set is closed
+            raise AssertionError(name)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_records_equal_conjugated_string(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = 5
+        circuit = random_clifford_circuit(num_qubits, 40, rng=rng)
+        # Random initial tracked Pauli.
+        frame = PauliFrame(num_qubits)
+        pauli = PauliString.identity(num_qubits)
+        for qubit in range(num_qubits):
+            if rng.random() < 0.5:
+                frame.track_pauli("x", qubit)
+                pauli.x[qubit] = True
+            if rng.random() < 0.5:
+                frame.track_pauli("z", qubit)
+                pauli.z[qubit] = True
+        for operation in circuit.operations():
+            self._apply_to_frame(frame, operation)
+            self._apply_to_string(pauli, operation)
+        for qubit in range(num_qubits):
+            record = frame[qubit]
+            assert record.has_x == bool(pauli.x[qubit]), (seed, qubit)
+            assert record.has_z == bool(pauli.z[qubit]), (seed, qubit)
+
+
+class TestEsmSyndromeLinearity:
+    """ESM syndromes through the full stack equal ``H @ e mod 2``."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_x_error_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        pattern = rng.integers(0, 2, 9).astype(np.uint8)
+        core = StabilizerCore(seed=1)
+        core.createqubit(17)
+        # Establish the reference frame (projects X checks).
+        first = parallel_esm(list(range(17)))
+        core.add(first.circuit)
+        reference = first.syndromes(core.execute())
+        # Inject the X pattern as flagged errors.
+        if pattern.any():
+            inject = Circuit("inject")
+            slot = inject.new_slot()
+            for qubit in np.flatnonzero(pattern):
+                slot.add(
+                    Operation("x", (int(qubit),), is_error=True)
+                )
+            core.add(inject)
+            core.execute()
+        second = parallel_esm(list(range(17)))
+        core.add(second.circuit)
+        observed = second.syndromes(core.execute())
+        expected_z = (Z_CHECK_MATRIX @ pattern) % 2
+        delta_z = np.array(observed[1]) ^ np.array(reference[1])
+        assert np.array_equal(delta_z, expected_z.astype(bool) ^ False)
+        # X patterns never disturb the X-check syndrome.
+        assert observed[0] == reference[0]
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_z_error_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        pattern = rng.integers(0, 2, 9).astype(np.uint8)
+        core = StabilizerCore(seed=2)
+        core.createqubit(17)
+        first = parallel_esm(list(range(17)))
+        core.add(first.circuit)
+        reference = first.syndromes(core.execute())
+        if pattern.any():
+            inject = Circuit("inject")
+            slot = inject.new_slot()
+            for qubit in np.flatnonzero(pattern):
+                slot.add(
+                    Operation("z", (int(qubit),), is_error=True)
+                )
+            core.add(inject)
+            core.execute()
+        second = parallel_esm(list(range(17)))
+        core.add(second.circuit)
+        observed = second.syndromes(core.execute())
+        expected_x = (X_CHECK_MATRIX @ pattern) % 2
+        delta_x = np.array(observed[0]) ^ np.array(reference[0])
+        assert np.array_equal(delta_x, expected_x.astype(bool))
+        assert observed[1] == reference[1]
+
+
+class TestFrameThroughEsm:
+    """Tracked data records re-emerge as syndrome adjustments.
+
+    If the frame holds an X record on a data qubit, the PF-adjusted
+    ESM syndrome must equal the physical syndrome with that qubit's
+    Z-check columns flipped -- the emergent mechanism the whole LER
+    equivalence rests on.
+    """
+
+    @pytest.mark.parametrize("data_qubit", range(9))
+    def test_x_record_flips_its_checks(self, data_qubit):
+        from repro.qpdo import PauliFrameLayer
+
+        core = StabilizerCore(seed=3)
+        frame_layer = PauliFrameLayer(core)
+        frame_layer.createqubit(17)
+        # Reference round (clean frame).
+        first = parallel_esm(list(range(17)))
+        frame_layer.add(first.circuit)
+        reference = first.syndromes(frame_layer.execute())
+        # Track an X "correction" on one data qubit (frame absorbs it;
+        # nothing physical happens).
+        command = Circuit("correction")
+        command.add("x", data_qubit)
+        frame_layer.run(command)
+        second = parallel_esm(list(range(17)))
+        frame_layer.add(second.circuit)
+        observed = second.syndromes(frame_layer.execute())
+        expected_flip = Z_CHECK_MATRIX[:, data_qubit].astype(bool)
+        delta = np.array(observed[1]) ^ np.array(reference[1])
+        assert np.array_equal(delta, expected_flip)
+        assert observed[0] == reference[0]
+
+
+class TestSavingsAccountingConsistency:
+    """Frame statistics and counter layers must tell the same story."""
+
+    def test_counters_agree_with_frame_statistics(self):
+        from repro.experiments.ler import LerExperiment
+
+        result = LerExperiment(
+            8e-3, use_pauli_frame=True, max_logical_errors=3, seed=9
+        ).run()
+        stats = result.frame_statistics
+        counted_in = result.counts_above
+        counted_out = result.counts_below
+        assert stats.operations_in == counted_in.operations
+        assert stats.operations_out == counted_out.operations
+        assert stats.slots_in == counted_in.slots
+        assert stats.slots_out == counted_out.slots
+        assert result.saved_slots_fraction == pytest.approx(
+            stats.saved_slots_fraction
+        )
+
+    def test_records_after_run_are_pure_pauli_content(self):
+        """After an LER run every frame record is a valid 2-bit state
+        and the frame holds exactly the accumulated corrections."""
+        from repro.experiments.ler import LerExperiment
+
+        experiment = LerExperiment(
+            8e-3, use_pauli_frame=True, max_logical_errors=2, seed=10
+        )
+        experiment.run()
+        frame = experiment.stack.pauli_frame.frame
+        for record in frame.records:
+            assert record in PauliRecord

@@ -1,0 +1,183 @@
+"""Tests for QASM serialisation, random circuits, census, workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CLIFFORD_GATE_SET,
+    DEFAULT_GATE_SET,
+    Circuit,
+    census,
+    format_census,
+    qasm,
+    random_circuit,
+    random_clifford_circuit,
+    random_pauli_layer,
+    workloads,
+)
+from repro.gates import GateClass
+
+
+class TestQasm:
+    def test_round_trip_simple(self):
+        circuit = Circuit("demo")
+        circuit.add("h", 0)
+        circuit.add("cnot", 0, 1)
+        circuit.add("rz", 1, params=(0.75,))
+        circuit.add("measure", 1)
+        text = qasm.dumps(circuit)
+        parsed = qasm.loads(text)
+        ops = list(parsed.operations())
+        assert [o.name for o in ops] == ["h", "cnot", "rz", "measure"]
+        assert ops[2].params == (0.75,)
+
+    def test_parallel_blocks(self):
+        circuit = Circuit()
+        slot = circuit.new_slot()
+        from repro.circuits import op
+
+        slot.add(op("h", 0))
+        slot.add(op("h", 1))
+        text = qasm.dumps(circuit, parallel_blocks=True)
+        assert "{" in text and "|" in text
+        parsed = qasm.loads(text)
+        assert len(parsed.slots[0]) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        parsed = qasm.loads("# hello\n\nx q0\n")
+        assert parsed.num_operations() == 1
+
+    def test_error_annotation_round_trip(self):
+        from repro.circuits import op
+
+        circuit = Circuit()
+        circuit.append(op("x", 0, is_error=True))
+        text = qasm.dumps(circuit)
+        parsed = qasm.loads(text)
+        assert next(parsed.operations()).is_error
+
+    def test_invalid_line_rejected(self):
+        with pytest.raises(ValueError):
+            qasm.loads("h q0 q1 nonsense (")
+
+    @given(st.integers(2, 5), st.integers(1, 40), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_random(self, qubits, gates, seed):
+        circuit = random_circuit(
+            qubits, gates, rng=np.random.default_rng(seed)
+        )
+        parsed = qasm.loads(qasm.dumps(circuit))
+        original = [
+            (o.name, o.qubits, o.params) for o in circuit.operations()
+        ]
+        reparsed = [
+            (o.name, o.qubits, o.params) for o in parsed.operations()
+        ]
+        assert original == reparsed
+
+
+class TestRandomCircuits:
+    def test_gate_count(self, rng):
+        circuit = random_circuit(5, 37, rng=rng)
+        assert circuit.num_operations() == 37
+
+    def test_gate_set_respected(self, rng):
+        circuit = random_circuit(4, 100, rng=rng)
+        names = {o.name for o in circuit.operations()}
+        allowed = {"cnot" if g == "cx" else g for g in DEFAULT_GATE_SET}
+        assert names <= allowed
+
+    def test_clifford_variant_has_no_t(self, rng):
+        circuit = random_clifford_circuit(4, 100, rng=rng)
+        names = {o.name for o in circuit.operations()}
+        assert "t" not in names and "tdg" not in names
+        assert names <= set(CLIFFORD_GATE_SET)
+
+    def test_reproducibility(self):
+        a = random_circuit(4, 20, rng=np.random.default_rng(3))
+        b = random_circuit(4, 20, rng=np.random.default_rng(3))
+        assert [o.name for o in a.operations()] == [
+            o.name for o in b.operations()
+        ]
+
+    def test_single_qubit_requires_no_two_qubit_gates(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5)
+        circuit = random_circuit(
+            1, 5, gate_set=("x", "h"), rng=np.random.default_rng(0)
+        )
+        assert circuit.num_operations() == 5
+
+    def test_pauli_layer_is_one_slot(self, rng):
+        circuit = random_pauli_layer(6, rng=rng)
+        assert circuit.num_slots() == 1
+        assert len(circuit.slots[0]) == 6
+        assert all(o.is_pauli for o in circuit.operations())
+
+
+class TestCensus:
+    def test_pauli_fraction(self):
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.add("x", 0)
+        circuit.add("x", 0)
+        circuit.add("t", 0)
+        result = census(circuit)
+        assert result.total_operations == 4
+        assert result.pauli_gate_count == 2
+        assert result.pauli_fraction == pytest.approx(0.5)
+        assert result.non_clifford_count == 1
+
+    def test_pauli_only_slots(self):
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.add("y", 1)  # same slot, all Pauli
+        circuit.barrier()
+        circuit.add("h", 0)
+        result = census(circuit)
+        assert result.pauli_only_slots == 1
+        assert result.total_slots == 2
+
+    def test_errors_excluded(self):
+        from repro.circuits import op
+
+        circuit = Circuit()
+        circuit.append(op("h", 0))
+        circuit.append(op("x", 0, is_error=True))
+        result = census(circuit)
+        assert result.total_operations == 1
+
+    def test_format_census_mentions_percentages(self):
+        circuit = Circuit()
+        circuit.add("x", 0)
+        text = format_census(census(circuit))
+        assert "pauli gates: 1 (100.00%)" in text
+
+    def test_empty_circuit(self):
+        result = census(Circuit())
+        assert result.pauli_fraction == 0.0
+        assert result.pauli_slot_fraction == 0.0
+
+
+class TestWorkloads:
+    def test_all_workloads_build(self):
+        for name, circuit in workloads.all_workloads().items():
+            assert circuit.num_operations() > 0, name
+
+    def test_clifford_t_pauli_fraction_near_target(self):
+        circuit = workloads.clifford_t_workload(
+            num_qubits=6, num_gates=3000, pauli_fraction=0.06
+        )
+        result = census(circuit)
+        # The paper reports up to 7% Pauli gates in compiled programs.
+        assert 0.02 < result.pauli_fraction < 0.12
+
+    def test_teleportation_has_byproduct_paulis(self):
+        result = census(workloads.teleportation_workload(4))
+        assert result.pauli_gate_count >= 8  # 2 byproducts per round
+
+    def test_adder_contains_toffolis(self):
+        result = census(workloads.cnot_adder_workload(3))
+        assert result.per_gate.get("toffoli", 0) > 0

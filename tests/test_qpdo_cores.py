@@ -1,0 +1,147 @@
+"""Tests for the Core interface and the two simulation cores."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.qpdo import (
+    StabilizerCore,
+    StateVectorCore,
+    UnsupportedFeatureError,
+)
+from repro.sim import BinaryValue
+
+
+@pytest.fixture(params=["stabilizer", "statevector"])
+def core(request):
+    if request.param == "stabilizer":
+        return StabilizerCore(seed=3)
+    return StateVectorCore(seed=3)
+
+
+class TestRegister:
+    def test_createqubit_returns_first_index(self, core):
+        assert core.createqubit(2) == 0
+        assert core.createqubit(3) == 2
+        assert core.num_qubits == 5
+
+    def test_new_qubits_start_in_zero(self, core):
+        core.createqubit(2)
+        state = core.getstate()
+        assert state[0] is BinaryValue.ZERO
+        assert state[1] is BinaryValue.ZERO
+
+    def test_removequbit(self, core):
+        core.createqubit(3)
+        core.removequbit(2)
+        assert core.num_qubits == 1
+        with pytest.raises(ValueError):
+            core.removequbit(5)
+
+    def test_out_of_range_circuit_rejected(self, core):
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("h", 3)
+        with pytest.raises(ValueError):
+            core.add(circuit)
+
+
+class TestExecution:
+    def test_measurement_results_keyed_by_uid(self, core):
+        core.createqubit(2)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        first = circuit.add("measure", 0)
+        second = circuit.add("measure", 1)
+        result = core.run(circuit)
+        assert result.result_of(first) == 1
+        assert result.result_of(second) == 0
+        assert result.signed_result_of(first) == -1
+        assert result.signed_result_of(second) == 1
+
+    def test_queue_drains_on_execute(self, core):
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        core.add(circuit)
+        core.execute()
+        # Second execute must be a no-op (queue empty).
+        empty = core.execute()
+        assert empty.measurements == {}
+
+    def test_state_tracking(self, core):
+        core.createqubit(2)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.add("measure", 1)
+        core.run(circuit)
+        state = core.getstate()
+        assert state[0] is BinaryValue.UNKNOWN
+        assert state[1] in (BinaryValue.ZERO, BinaryValue.ONE)
+
+    def test_identity_gate_keeps_known_state(self, core):
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("i", 0)
+        core.run(circuit)
+        assert core.getstate()[0] is BinaryValue.ZERO
+
+    def test_prep_resets(self, core):
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("x", 0)
+        circuit.add("prep_z", 0)
+        measure = circuit.add("measure", 0)
+        result = core.run(circuit)
+        assert result.result_of(measure) == 0
+
+    def test_results_merge(self, core):
+        core.createqubit(1)
+        first_circuit = Circuit()
+        first = first_circuit.add("measure", 0)
+        result = core.run(first_circuit)
+        second_circuit = Circuit()
+        second = second_circuit.add("measure", 0)
+        result.merge(core.run(second_circuit))
+        assert first.uid in result.measurements
+        assert second.uid in result.measurements
+
+
+class TestCapabilities:
+    def test_stabilizer_rejects_quantum_state(self):
+        core = StabilizerCore(seed=0)
+        with pytest.raises(UnsupportedFeatureError):
+            core.getquantumstate()
+
+    def test_stabilizer_rejects_t_gate(self):
+        core = StabilizerCore(seed=0)
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("t", 0)
+        core.add(circuit)
+        with pytest.raises(ValueError):
+            core.execute()
+
+    def test_statevector_supports_quantum_state(self):
+        core = StateVectorCore(seed=0)
+        core.createqubit(2)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        core.run(circuit)
+        state = core.getquantumstate()
+        assert state.num_qubits == 2
+        assert state.probability(0) == pytest.approx(0.5)
+
+    def test_statevector_quantum_state_requires_drained_queue(self):
+        core = StateVectorCore(seed=0)
+        core.createqubit(1)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        core.add(circuit)
+        with pytest.raises(UnsupportedFeatureError):
+            core.getquantumstate()
+
+    def test_quantum_state_hides_removed_qubits(self):
+        core = StateVectorCore(seed=0)
+        core.createqubit(3)
+        core.removequbit(1)
+        assert core.getquantumstate().num_qubits == 2

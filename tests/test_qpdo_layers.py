@@ -1,0 +1,240 @@
+"""Tests for the layer machinery: base layer, counters, error layer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, op
+from repro.qpdo import (
+    ControlStack,
+    CounterLayer,
+    DepolarizingErrorLayer,
+    Layer,
+    StabilizerCore,
+    StateVectorCore,
+    TWO_QUBIT_ERRORS,
+)
+
+
+class TestBaseLayer:
+    def test_default_layer_is_transparent(self):
+        core = StabilizerCore(seed=0)
+        layer = Layer(core)
+        layer.createqubit(1)
+        circuit = Circuit()
+        measure = circuit.add("measure", 0)
+        result = layer.run(circuit)
+        assert result.result_of(measure) == 0
+        assert layer.num_qubits == 1
+
+    def test_control_stack_assembly(self):
+        stack = ControlStack(
+            StabilizerCore(seed=0), [CounterLayer, CounterLayer]
+        )
+        assert isinstance(stack.top, CounterLayer)
+        assert len(stack.layers) == 2
+        with pytest.raises(LookupError):
+            stack.find(CounterLayer)  # two instances, ambiguous
+
+    def test_control_stack_find_unique(self):
+        stack = ControlStack(StabilizerCore(seed=0), [CounterLayer])
+        assert stack.find(CounterLayer) is stack.layers[0]
+
+
+class TestCounterLayer:
+    def test_counts_commands(self):
+        counter = CounterLayer(StabilizerCore(seed=0))
+        counter.createqubit(2)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        circuit.add("x", 1)  # same slot
+        circuit.add("cnot", 0, 1)
+        circuit.add("measure", 0)
+        counter.run(circuit)
+        assert counter.counts.circuits == 1
+        assert counter.counts.operations == 4
+        assert counter.counts.measurements == 1
+        assert counter.counts.slots == 3
+        assert counter.results_seen == 1
+
+    def test_bypass_circuits_not_counted(self):
+        counter = CounterLayer(StabilizerCore(seed=0))
+        counter.createqubit(1)
+        circuit = Circuit("diag", bypass=True)
+        circuit.add("h", 0)
+        counter.run(circuit)
+        assert counter.counts.operations == 0
+        assert counter.counts.bypass_circuits == 1
+
+    def test_error_operations_counted_separately(self):
+        counter = CounterLayer(StabilizerCore(seed=0))
+        counter.createqubit(1)
+        circuit = Circuit()
+        circuit.append(op("h", 0))
+        circuit.barrier()
+        circuit.append(op("x", 0, is_error=True))
+        counter.run(circuit)
+        assert counter.counts.operations == 1
+        assert counter.counts.error_operations == 1
+        # The error-only slot does not count as a commanded slot.
+        assert counter.counts.slots == 1
+
+    def test_snapshot_and_minus(self):
+        counter = CounterLayer(StabilizerCore(seed=0))
+        counter.createqubit(1)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        counter.run(circuit)
+        before = counter.counts.snapshot()
+        counter.run(circuit.copy(fresh_uids=True))
+        delta = counter.counts.minus(before)
+        assert delta.operations == 1
+        assert before.operations == 1
+
+    def test_reset_counts(self):
+        counter = CounterLayer(StabilizerCore(seed=0))
+        counter.createqubit(1)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        counter.run(circuit)
+        counter.reset_counts()
+        assert counter.counts.operations == 0
+
+
+class TestErrorLayer:
+    def test_zero_probability_is_transparent(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0), probability=0.0, seed=1
+        )
+        layer.createqubit(2)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        processed = layer.process_down(circuit)
+        assert processed is circuit
+
+    def test_bypass_circuits_skip_noise(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0), probability=1.0, seed=1
+        )
+        layer.createqubit(1)
+        circuit = Circuit("diag", bypass=True)
+        circuit.add("h", 0)
+        processed = layer.process_down(circuit)
+        assert processed is circuit
+        assert layer.counts.total == 0
+
+    def test_certain_noise_inserts_errors(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0), probability=1.0, seed=1
+        )
+        layer.createqubit(2)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        processed = layer.process_down(circuit)
+        error_ops = [o for o in processed.operations() if o.is_error]
+        # One gate error on qubit 0 + one idle error on qubit 1.
+        assert len(error_ops) == 2
+        assert layer.counts.gate_errors == 1
+        assert layer.counts.idle_errors == 1
+
+    def test_measurement_error_is_x_before(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0),
+            probability=1.0,
+            seed=1,
+            active_qubits=[0],
+        )
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("measure", 0)
+        processed = layer.process_down(circuit)
+        ops = list(processed.operations())
+        assert ops[0].is_error and ops[0].name == "x"
+        assert ops[1].is_measurement
+        assert layer.counts.measurement_errors == 1
+
+    def test_measurement_error_flips_result(self):
+        core = StabilizerCore(seed=0)
+        layer = DepolarizingErrorLayer(core, probability=1.0, seed=1,
+                                       active_qubits=[0])
+        layer.createqubit(1)
+        circuit = Circuit()
+        measure = circuit.add("measure", 0)
+        result = layer.run(circuit)
+        assert result.result_of(measure) == 1  # X flipped |0> first
+
+    def test_preparation_error(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0),
+            probability=1.0,
+            seed=1,
+            active_qubits=[0],
+        )
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        processed = layer.process_down(circuit)
+        names = [(o.name, o.is_error) for o in processed.operations()]
+        assert names == [("prep_z", False), ("x", True)]
+
+    def test_two_qubit_errors_come_in_pairs_from_the_table(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0),
+            probability=1.0,
+            seed=7,
+            active_qubits=[0, 1],
+        )
+        layer.createqubit(2)
+        circuit = Circuit()
+        circuit.add("cnot", 0, 1)
+        processed = layer.process_down(circuit)
+        error_ops = [o for o in processed.operations() if o.is_error]
+        assert 1 <= len(error_ops) <= 2
+        assert layer.counts.two_qubit_errors == 1
+
+    def test_two_qubit_error_table_has_15_entries(self):
+        assert len(TWO_QUBIT_ERRORS) == 15
+        assert ("i", "i") not in TWO_QUBIT_ERRORS
+
+    def test_active_qubits_limit_idle_noise(self):
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0),
+            probability=1.0,
+            seed=1,
+            active_qubits=[0],
+        )
+        layer.createqubit(3)
+        circuit = Circuit()
+        circuit.add("h", 0)
+        processed = layer.process_down(circuit)
+        error_qubits = {
+            o.qubits[0] for o in processed.operations() if o.is_error
+        }
+        assert error_qubits == {0}
+
+    def test_error_rate_statistics(self):
+        """At p the average error count per op approaches p."""
+        rng = np.random.default_rng(5)
+        layer = DepolarizingErrorLayer(
+            StabilizerCore(seed=0),
+            probability=0.2,
+            rng=rng,
+            active_qubits=[0],
+        )
+        layer.createqubit(1)
+        for _ in range(500):
+            circuit = Circuit()
+            circuit.add("h", 0)
+            layer.process_down(circuit)
+        assert 60 < layer.counts.total < 140  # ~100 expected
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DepolarizingErrorLayer(StabilizerCore(seed=0), probability=1.5)
+        layer = DepolarizingErrorLayer(StabilizerCore(seed=0), 0.1)
+        with pytest.raises(ValueError):
+            layer.set_probability(-0.1)
+
+    def test_set_probability(self):
+        layer = DepolarizingErrorLayer(StabilizerCore(seed=0), 0.1)
+        layer.set_probability(0.5)
+        assert layer.probability == 0.5

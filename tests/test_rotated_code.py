@@ -1,0 +1,110 @@
+"""Tests for the distance-d rotated surface code family."""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated import RotatedSurfaceCode
+from repro.codes.surface17 import X_CHECK_MATRIX, Z_CHECK_MATRIX
+
+
+def _row_set(matrix):
+    return sorted(tuple(int(v) for v in row) for row in matrix)
+
+
+class TestConstruction:
+    def test_invalid_distances_rejected(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(2)
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(4)
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(1)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7, 9])
+    def test_counts(self, distance):
+        code = RotatedSurfaceCode(distance)
+        assert code.num_data == distance**2
+        total_checks = len(code.x_plaquettes) + len(code.z_plaquettes)
+        assert total_checks == distance**2 - 1  # one logical qubit
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_check_weights(self, distance):
+        code = RotatedSurfaceCode(distance)
+        for plaquette in code.x_plaquettes + code.z_plaquettes:
+            assert len(plaquette.data_qubits) in (2, 4)
+
+    def test_d3_reproduces_sc17(self):
+        """The d=3 member must equal the ninja star's stabilizers."""
+        code = RotatedSurfaceCode(3)
+        assert _row_set(code.x_check_matrix) == _row_set(X_CHECK_MATRIX)
+        assert _row_set(code.z_check_matrix) == _row_set(Z_CHECK_MATRIX)
+
+
+class TestAlgebra:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_all_stabilizers_commute(self, distance):
+        code = RotatedSurfaceCode(distance)
+        stabilizers = code.stabilizer_paulis()
+        for i, a in enumerate(stabilizers):
+            for b in stabilizers[i + 1 :]:
+                assert a.commutes_with(b)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_css_condition(self, distance):
+        code = RotatedSurfaceCode(distance)
+        product = (code.x_check_matrix @ code.z_check_matrix.T) % 2
+        assert not product.any()
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_logical_operators(self, distance):
+        code = RotatedSurfaceCode(distance)
+        xl = code.logical_x()
+        zl = code.logical_z()
+        assert xl.weight == distance
+        assert zl.weight == distance
+        for stabilizer in code.stabilizer_paulis():
+            assert xl.commutes_with(stabilizer)
+            assert zl.commutes_with(stabilizer)
+        assert not xl.commutes_with(zl)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_no_lower_weight_logical_x(self, distance):
+        """Brute-force check that the code distance is as claimed.
+
+        Any X pattern of weight < d with trivial Z-check syndrome must
+        commute with Z_L (i.e. be a stabilizer product), otherwise the
+        distance would be below d.  Exhaustive up to weight 2 (the
+        relevant regime for the tests here).
+        """
+        import itertools
+
+        code = RotatedSurfaceCode(distance)
+        z_mask = np.zeros(code.num_data, dtype=bool)
+        for qubit in code.logical_z_support():
+            z_mask[qubit] = True
+        for weight in range(1, min(distance, 3)):
+            for support in itertools.combinations(
+                range(code.num_data), weight
+            ):
+                error = np.zeros(code.num_data, dtype=np.uint8)
+                error[list(support)] = 1
+                syndrome = (code.z_check_matrix @ error) % 2
+                if not syndrome.any():
+                    overlap = int(error[z_mask].sum())
+                    assert overlap % 2 == 0
+
+
+class TestIndexing:
+    def test_data_index_row_major(self):
+        code = RotatedSurfaceCode(5)
+        assert code.data_index(0, 0) == 0
+        assert code.data_index(1, 0) == 5
+        assert code.data_index(4, 4) == 24
+
+    def test_every_data_qubit_checked(self):
+        code = RotatedSurfaceCode(5)
+        coverage = (
+            code.x_check_matrix.sum(axis=0)
+            + code.z_check_matrix.sum(axis=0)
+        )
+        assert (coverage >= 2).all()  # bulk qubits see >= 2 checks

@@ -1,0 +1,221 @@
+"""Tests for the CHP-style stabilizer simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_clifford_circuit
+from repro.paulis import PauliString
+from repro.sim import StabilizerSimulator, StateVectorSimulator
+
+
+class TestBasics:
+    def test_initial_state_is_all_zero(self):
+        sim = StabilizerSimulator(3, seed=0)
+        for qubit in range(3):
+            assert sim.peek_z(qubit) == 0
+
+    def test_x_flips(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.x_gate(1)
+        assert sim.measure(0) == 0
+        assert sim.measure(1) == 1
+
+    def test_z_and_y_on_basis_states(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.z_gate(0)
+        assert sim.measure(0) == 0
+        sim.y_gate(0)  # Y|0> ~ |1>
+        assert sim.measure(0) == 1
+
+    def test_hh_is_identity(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.h(0)
+        sim.h(0)
+        assert sim.peek_z(0) == 0
+
+    def test_ss_is_z(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.x_gate(0)
+        sim.s(0)
+        sim.s(0)  # S^2 = Z, phase only
+        assert sim.measure(0) == 1
+
+    def test_sdg_inverts_s(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.h(0)
+        sim.s(0)
+        sim.sdg(0)
+        sim.h(0)
+        assert sim.peek_z(0) == 0
+
+    def test_swap(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.x_gate(0)
+        sim.swap(0, 1)
+        assert sim.measure(0) == 0
+        assert sim.measure(1) == 1
+
+    def test_cz_phase_kickback(self):
+        """CZ between |+> and |1> flips the |+> to |->."""
+        sim = StabilizerSimulator(2, seed=0)
+        sim.h(0)
+        sim.x_gate(1)
+        sim.cz(0, 1)
+        sim.h(0)
+        assert sim.measure(0) == 1
+
+    def test_non_clifford_rejected(self):
+        sim = StabilizerSimulator(1, seed=0)
+        with pytest.raises(ValueError):
+            sim.apply_gate("t", (0,))
+
+    def test_identity_gate_noop(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.apply_gate("i", (0,))
+        assert sim.peek_z(0) == 0
+
+
+class TestMeasurement:
+    def test_random_measurement_collapses(self):
+        sim = StabilizerSimulator(1, seed=5)
+        sim.h(0)
+        first = sim.measure(0)
+        # Repeated measurement must repeat the outcome.
+        for _ in range(5):
+            assert sim.measure(0) == first
+
+    def test_bell_state_correlations(self):
+        outcomes = set()
+        for seed in range(20):
+            sim = StabilizerSimulator(2, seed=seed)
+            sim.h(0)
+            sim.cnot(0, 1)
+            pair = (sim.measure(0), sim.measure(1))
+            assert pair[0] == pair[1]
+            outcomes.add(pair)
+        assert outcomes == {(0, 0), (1, 1)}
+
+    def test_measurement_statistics_fair(self):
+        rng = np.random.default_rng(0)
+        ones = 0
+        for _ in range(300):
+            sim = StabilizerSimulator(1, rng=rng)
+            sim.h(0)
+            ones += sim.measure(0)
+        assert 100 < ones < 200
+
+    def test_reset(self):
+        sim = StabilizerSimulator(1, seed=3)
+        sim.h(0)
+        sim.reset(0)
+        assert sim.peek_z(0) == 0
+
+    def test_peek_does_not_collapse(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.h(0)
+        assert sim.peek_z(0) is None
+        # State must still be |+>: H then measure is deterministic 0.
+        sim.h(0)
+        assert sim.peek_z(0) == 0
+
+
+class TestExpectation:
+    def test_bell_stabilizers(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.h(0)
+        sim.cnot(0, 1)
+        assert sim.expectation(PauliString.from_label("XX")) == 1
+        assert sim.expectation(PauliString.from_label("ZZ")) == 1
+        assert sim.expectation(PauliString.from_label("YY")) == -1
+        assert sim.expectation(PauliString.from_label("ZI")) is None
+
+    def test_sign_tracking(self):
+        sim = StabilizerSimulator(1, seed=0)
+        sim.x_gate(0)
+        assert sim.expectation(PauliString.from_label("Z")) == -1
+
+    def test_width_mismatch(self):
+        sim = StabilizerSimulator(2, seed=0)
+        with pytest.raises(ValueError):
+            sim.expectation(PauliString.from_label("Z"))
+
+
+class TestRegisterManagement:
+    def test_add_qubits_preserves_state(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.h(0)
+        sim.cnot(0, 1)
+        sim.add_qubits(2)
+        assert sim.num_qubits == 4
+        assert sim.expectation(PauliString.from_label("XXII")) == 1
+        assert sim.measure(2) == 0 and sim.measure(3) == 0
+
+    def test_reset_all(self):
+        sim = StabilizerSimulator(2, seed=0)
+        sim.x_gate(0)
+        sim.reset_all()
+        assert sim.peek_z(0) == 0
+
+    def test_copy_is_independent(self):
+        sim = StabilizerSimulator(1, seed=0)
+        duplicate = sim.copy()
+        duplicate.x_gate(0)
+        assert sim.peek_z(0) == 0
+        assert duplicate.peek_z(0) == 1
+
+
+class TestCrossValidation:
+    """The tableau simulator must agree with the dense simulator."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_clifford_marginals_match(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_clifford_circuit(4, 25, rng=rng)
+        tableau = StabilizerSimulator(4, seed=1)
+        dense = StateVectorSimulator(4, seed=1)
+        for slot in circuit:
+            for operation in slot:
+                tableau.apply_gate(operation.name, operation.qubits)
+                dense.apply_gate(operation.name, operation.qubits)
+        for qubit in range(4):
+            peek = tableau.peek_z(qubit)
+            probability = dense.probability_of_one(qubit)
+            if peek is None:
+                assert probability == pytest.approx(0.5)
+            else:
+                assert probability == pytest.approx(float(peek), abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_stabilizer_rows_stabilize_dense_state(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_clifford_circuit(3, 20, rng=rng)
+        tableau = StabilizerSimulator(3, seed=1)
+        dense = StateVectorSimulator(3, seed=1)
+        for slot in circuit:
+            for operation in slot:
+                tableau.apply_gate(operation.name, operation.qubits)
+                dense.apply_gate(operation.name, operation.qubits)
+        from repro.gates.matrices import X_MATRIX, Z_MATRIX
+
+        state = dense.amplitudes
+        for row in tableau.stabilizer_rows():
+            # Build the dense operator with qubit 0 as the least
+            # significant kron factor (the simulator's convention).
+            # Tableau rows with x=z=1 represent Hermitian Y with the
+            # phase absorbed, hence the extra i per Y.
+            matrix = np.array([[1.0 + 0j]])
+            for xb, zb in zip(row.x, row.z):
+                factor = np.eye(2, dtype=complex)
+                if xb:
+                    factor = X_MATRIX @ factor
+                if zb:
+                    factor = factor @ Z_MATRIX
+                if xb and zb:
+                    factor = 1j * factor
+                matrix = np.kron(factor, matrix)
+            sign = -1.0 if row.phase else 1.0
+            assert np.allclose(sign * matrix @ state, state, atol=1e-9)

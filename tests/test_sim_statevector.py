@@ -1,0 +1,210 @@
+"""Tests for the dense state-vector simulator and state structures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BinaryValue,
+    QuantumState,
+    State,
+    StateVectorSimulator,
+    basis_state_label,
+    index_from_bits,
+)
+
+
+class TestGates:
+    def test_x_gate(self):
+        sim = StateVectorSimulator(2, seed=0)
+        sim.apply_gate("x", (1,))
+        assert sim.quantum_state().probability(0b10) == pytest.approx(1.0)
+
+    def test_h_creates_superposition(self):
+        sim = StateVectorSimulator(1, seed=0)
+        sim.apply_gate("h", (0,))
+        state = sim.quantum_state()
+        assert state.probability(0) == pytest.approx(0.5)
+        assert state.probability(1) == pytest.approx(0.5)
+
+    def test_cnot_control_order(self):
+        """The first listed qubit is the control."""
+        sim = StateVectorSimulator(2, seed=0)
+        sim.apply_gate("x", (0,))
+        sim.apply_gate("cnot", (0, 1))
+        assert sim.quantum_state().probability(0b11) == pytest.approx(1.0)
+        sim = StateVectorSimulator(2, seed=0)
+        sim.apply_gate("x", (1,))
+        sim.apply_gate("cnot", (0, 1))
+        assert sim.quantum_state().probability(0b10) == pytest.approx(1.0)
+
+    def test_t_gate_phase(self):
+        sim = StateVectorSimulator(1, seed=0)
+        sim.apply_gate("x", (0,))
+        sim.apply_gate("t", (0,))
+        amplitude = sim.quantum_state().amplitudes[1]
+        assert amplitude == pytest.approx(np.exp(1j * math.pi / 4))
+
+    def test_toffoli(self):
+        sim = StateVectorSimulator(3, seed=0)
+        sim.apply_gate("x", (0,))
+        sim.apply_gate("x", (1,))
+        sim.apply_gate("toffoli", (0, 1, 2))
+        assert sim.quantum_state().probability(0b111) == pytest.approx(1.0)
+
+    def test_rz_parameterised(self):
+        sim = StateVectorSimulator(1, seed=0)
+        sim.apply_gate("x", (0,))
+        sim.apply_gate("rz", (0,), (math.pi,))
+        assert sim.quantum_state().amplitudes[1] == pytest.approx(-1.0)
+
+    def test_matrix_size_checked(self):
+        sim = StateVectorSimulator(2, seed=0)
+        with pytest.raises(ValueError):
+            sim.apply_matrix(np.eye(2), (0, 1))
+
+
+class TestMeasurement:
+    def test_deterministic_outcomes(self):
+        sim = StateVectorSimulator(1, seed=0)
+        assert sim.measure(0) == 0
+        sim.apply_gate("x", (0,))
+        assert sim.measure(0) == 1
+
+    def test_collapse(self):
+        sim = StateVectorSimulator(1, seed=2)
+        sim.apply_gate("h", (0,))
+        first = sim.measure(0)
+        for _ in range(3):
+            assert sim.measure(0) == first
+
+    def test_statistics(self):
+        rng = np.random.default_rng(1)
+        ones = 0
+        for _ in range(300):
+            sim = StateVectorSimulator(1, rng=rng)
+            sim.apply_gate("h", (0,))
+            ones += sim.measure(0)
+        assert 100 < ones < 200
+
+    def test_reset(self):
+        sim = StateVectorSimulator(1, seed=4)
+        sim.apply_gate("h", (0,))
+        sim.reset(0)
+        assert sim.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_entangled_measurement_correlations(self):
+        sim = StateVectorSimulator(2, seed=7)
+        sim.apply_gate("h", (0,))
+        sim.apply_gate("cnot", (0, 1))
+        assert sim.measure(0) == sim.measure(1)
+
+
+class TestStateAccess:
+    def test_add_qubits(self):
+        sim = StateVectorSimulator(1, seed=0)
+        sim.apply_gate("x", (0,))
+        sim.add_qubits(1)
+        state = sim.quantum_state()
+        assert state.num_qubits == 2
+        assert state.probability(0b01) == pytest.approx(1.0)
+
+    def test_quantum_state_of_product_state(self):
+        sim = StateVectorSimulator(3, seed=0)
+        sim.apply_gate("x", (1,))
+        sim.apply_gate("h", (2,))
+        reduced = sim.quantum_state_of([1])
+        assert reduced.probability(1) == pytest.approx(1.0)
+
+    def test_quantum_state_of_rejects_entangled(self):
+        sim = StateVectorSimulator(2, seed=0)
+        sim.apply_gate("h", (0,))
+        sim.apply_gate("cnot", (0, 1))
+        with pytest.raises(ValueError):
+            sim.quantum_state_of([0])
+
+    def test_adder_workload_computes_sum(self):
+        """End-to-end: the synthetic ripple-carry adder really adds."""
+        from repro.circuits.workloads import cnot_adder_workload
+
+        circuit = cnot_adder_workload(3)
+        sim = StateVectorSimulator(8, seed=0)
+        results = {}
+        for slot in circuit:
+            for operation in slot:
+                if operation.is_preparation:
+                    sim.reset(operation.qubits[0])
+                elif operation.is_measurement:
+                    results[operation.qubits[0]] = sim.measure(
+                        operation.qubits[0]
+                    )
+                else:
+                    sim.apply_gate(
+                        operation.name, operation.qubits, operation.params
+                    )
+        # Inputs loaded by the workload: a = 0b101, b = 0b010.
+        total = sum(results[3 + i] << i for i in range(3))
+        assert total == (0b101 + 0b010) % 8
+
+
+class TestQuantumState:
+    def test_global_phase_comparison(self):
+        a = QuantumState(np.array([1, 0], dtype=complex))
+        b = QuantumState(np.exp(1j * 0.7) * np.array([1, 0], dtype=complex))
+        assert a.equal_up_to_global_phase(b)
+        phase = a.global_phase_relative_to(b)
+        assert abs(phase) == pytest.approx(1.0)
+
+    def test_different_states_not_equal(self):
+        a = QuantumState(np.array([1, 0], dtype=complex))
+        c = QuantumState(np.array([0, 1], dtype=complex))
+        assert not a.equal_up_to_global_phase(c)
+
+    def test_nonzero_terms_and_format(self):
+        state = QuantumState(
+            np.array([1, 0, 0, 1], dtype=complex) / math.sqrt(2)
+        )
+        terms = state.nonzero_terms()
+        assert [index for index, _ in terms] == [0, 3]
+        assert "|11>" in state.format_terms()
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumState(np.zeros(3, dtype=complex))
+
+    def test_bit_helpers(self):
+        assert basis_state_label(5, 4) == "0101"
+        assert index_from_bits([1, 0, 1]) == 0b101
+
+
+class TestBinaryState:
+    def test_lifecycle(self):
+        state = State(2)
+        assert state[0] is BinaryValue.UNKNOWN
+        state.set_bit(0, 1)
+        assert state[0] is BinaryValue.ONE
+        state.invalidate(0)
+        assert state[0] is BinaryValue.UNKNOWN
+
+    def test_known_bits(self):
+        state = State(3)
+        state.set_bit(0, 1)
+        state.set_bit(2, 0)
+        assert state.known_bits() == {0: 1, 2: 0}
+
+    def test_resize(self):
+        state = State(1)
+        state.set_bit(0, 1)
+        state.resize(3)
+        assert state.num_qubits == 3
+        assert state[2] is BinaryValue.UNKNOWN
+        state.resize(1)
+        assert state.num_qubits == 1
+        assert state[0] is BinaryValue.ONE
+
+    def test_copy_independent(self):
+        state = State(1)
+        duplicate = state.copy()
+        duplicate.set_bit(0, 1)
+        assert state[0] is BinaryValue.UNKNOWN

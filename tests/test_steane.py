@@ -1,0 +1,170 @@
+"""Tests for the Steane [[7,1,3]] code and its QPDO layer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes.steane import (
+    HAMMING_CHECK_MATRIX,
+    SteaneLayer,
+    logical_result_from_bits,
+    logical_x,
+    logical_z,
+    serialized_esm,
+    stabilizer_paulis,
+)
+from repro.qpdo import PauliFrameLayer, StabilizerCore, StateVectorCore
+
+
+class TestCodeData:
+    def test_six_stabilizers(self):
+        stabilizers = stabilizer_paulis()
+        assert len(stabilizers) == 6
+
+    def test_stabilizers_commute(self):
+        stabilizers = stabilizer_paulis()
+        for i, a in enumerate(stabilizers):
+            for b in stabilizers[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_logicals(self):
+        xl, zl = logical_x(), logical_z()
+        for stabilizer in stabilizer_paulis():
+            assert xl.commutes_with(stabilizer)
+            assert zl.commutes_with(stabilizer)
+        assert not xl.commutes_with(zl)
+
+    def test_hamming_matrix_full_rank(self):
+        # All 8 syndromes reachable -> rows independent over GF(2).
+        from repro.decoders import build_lut
+
+        assert len(build_lut(HAMMING_CHECK_MATRIX)) == 8
+
+    def test_logical_result_parity(self):
+        assert logical_result_from_bits([0] * 7) == 0
+        assert logical_result_from_bits([1] * 7) == 1
+        with pytest.raises(ValueError):
+            logical_result_from_bits([0] * 5)
+
+    def test_serialized_esm_structure(self):
+        esm = serialized_esm(list(range(7)), shared_ancilla=7)
+        assert len(esm.x_measurements) == 3
+        assert len(esm.z_measurements) == 3
+
+
+class TestSteaneLayer:
+    def test_init_measure_zero(self):
+        layer = SteaneLayer(StabilizerCore(seed=1))
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        measure = circuit.add("measure", 0)
+        result = layer.run(circuit)
+        assert result.result_of(measure) == 0
+
+    def test_xl_flips(self):
+        layer = SteaneLayer(StabilizerCore(seed=1))
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("x", 0)
+        measure = circuit.add("measure", 0)
+        assert layer.run(circuit).result_of(measure) == 1
+
+    def test_hadamard_double_application(self):
+        layer = SteaneLayer(StabilizerCore(seed=2))
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("x", 0)
+        circuit.add("h", 0)
+        circuit.add("h", 0)
+        measure = circuit.add("measure", 0)
+        assert layer.run(circuit).result_of(measure) == 1
+
+    def test_s_sdg_cancel(self):
+        layer = SteaneLayer(StateVectorCore(seed=3))
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        circuit.add("x", 0)
+        circuit.add("s", 0)
+        circuit.add("sdg", 0)
+        measure = circuit.add("measure", 0)
+        assert layer.run(circuit).result_of(measure) == 1
+
+    def test_cnot_truth_table(self):
+        for control_bit, target_bit in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            layer = SteaneLayer(
+                StabilizerCore(seed=10 + control_bit * 2 + target_bit)
+            )
+            layer.createqubit(2)
+            circuit = Circuit()
+            circuit.add("prep_z", 0)
+            circuit.add("prep_z", 1)
+            if control_bit:
+                circuit.add("x", 0)
+            if target_bit:
+                circuit.add("x", 1)
+            circuit.add("cnot", 0, 1)
+            m0 = circuit.add("measure", 0)
+            m1 = circuit.add("measure", 1)
+            result = layer.run(circuit)
+            assert result.result_of(m0) == control_bit
+            assert result.result_of(m1) == control_bit ^ target_bit
+
+    def test_bell_correlations_under_pauli_frame(self):
+        outcomes = set()
+        for seed in range(25):
+            layer = SteaneLayer(
+                PauliFrameLayer(StabilizerCore(seed=seed))
+            )
+            layer.createqubit(2)
+            circuit = Circuit()
+            circuit.add("prep_z", 0)
+            circuit.add("prep_z", 1)
+            circuit.add("h", 0)
+            circuit.add("cnot", 0, 1)
+            m0 = circuit.add("measure", 0)
+            m1 = circuit.add("measure", 1)
+            result = layer.run(circuit)
+            pair = (result.result_of(m0), result.result_of(m1))
+            assert pair[0] == pair[1]
+            outcomes.add(pair)
+        assert outcomes == {(0, 0), (1, 1)}
+
+    def test_stabilizers_hold_after_init(self):
+        core = StabilizerCore(seed=5)
+        layer = SteaneLayer(core)
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("prep_z", 0)
+        layer.run(circuit)
+        data = layer.logical_qubits[0].data_qubits
+        sim = core.simulator
+        from repro.paulis import PauliString
+
+        for row in HAMMING_CHECK_MATRIX:
+            support = [data[int(q)] for q in np.flatnonzero(row)]
+            x_stab = PauliString.from_support(
+                sim.num_qubits, x_support=support
+            )
+            z_stab = PauliString.from_support(
+                sim.num_qubits, z_support=support
+            )
+            assert sim.expectation(x_stab) == 1
+            assert sim.expectation(z_stab) == 1
+
+    def test_unsupported_gate_rejected(self):
+        layer = SteaneLayer(StateVectorCore(seed=0))
+        layer.createqubit(1)
+        circuit = Circuit()
+        circuit.add("t", 0)
+        with pytest.raises(ValueError):
+            layer.add(circuit)
+
+    def test_removequbit(self):
+        layer = SteaneLayer(StabilizerCore(seed=0))
+        layer.createqubit(2)
+        layer.removequbit(1)
+        assert layer.num_qubits == 1

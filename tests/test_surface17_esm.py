@@ -1,0 +1,163 @@
+"""Tests for the ESM circuit generator (Table 5.8, Figs 2.2/2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import (
+    active_plaquettes,
+    parallel_esm,
+    serialized_esm,
+)
+from repro.qpdo import StabilizerCore
+
+QUBIT_MAP = list(range(17))
+
+
+class TestParallelEsmStructure:
+    def test_table_5_8_gate_and_slot_counts(self):
+        esm = parallel_esm(QUBIT_MAP)
+        assert esm.circuit.num_slots() == 8
+        assert esm.circuit.num_operations() == 48
+
+    def test_table_5_8_per_slot_contents(self):
+        esm = parallel_esm(QUBIT_MAP)
+        slots = esm.circuit.slots
+        # Slot 1: reset X ancillas.
+        assert [o.name for o in slots[0]] == ["prep_z"] * 4
+        # Slot 2: reset Z ancillas + H on X ancillas.
+        names = sorted(o.name for o in slots[1])
+        assert names == ["h"] * 4 + ["prep_z"] * 4
+        # Slots 3-6: six CNOTs each.
+        for slot in slots[2:6]:
+            assert [o.name for o in slot] == ["cnot"] * 6
+        # Slot 7: H on X ancillas.
+        assert [o.name for o in slots[6]] == ["h"] * 4
+        # Slot 8: measure all ancillas.
+        assert [o.name for o in slots[7]] == ["measure"] * 8
+
+    def test_syndrome_bookkeeping(self):
+        esm = parallel_esm(QUBIT_MAP)
+        assert len(esm.x_measurements) == 4
+        assert len(esm.z_measurements) == 4
+        measured = {
+            o.qubits[0]
+            for o in esm.x_measurements + esm.z_measurements
+        }
+        assert measured == set(range(9, 17))
+
+    @pytest.mark.parametrize("rotated", [False, True])
+    def test_no_qubit_conflicts_in_any_slot(self, rotated):
+        """The interleaved CNOT schedule must never double-book."""
+        esm = parallel_esm(QUBIT_MAP, rotated=rotated)
+        for slot in esm.circuit:
+            qubits = [q for o in slot for q in o.qubits]
+            assert len(qubits) == len(set(qubits))
+
+    def test_cnot_directions(self):
+        """X checks drive ancilla->data, Z checks data->ancilla."""
+        esm = parallel_esm(QUBIT_MAP)
+        for slot in esm.circuit.slots[2:6]:
+            for operation in slot:
+                control, target = operation.qubits
+                if control >= 9:  # ancilla controls => X check
+                    assert target < 9
+                else:  # data controls => Z check
+                    assert target >= 9
+
+    def test_rotation_swaps_check_types(self):
+        normal = parallel_esm(QUBIT_MAP, rotated=False)
+        rotated = parallel_esm(QUBIT_MAP, rotated=True)
+        normal_x_ancillas = {
+            o.qubits[0] for o in normal.x_measurements
+        }
+        rotated_x_ancillas = {
+            o.qubits[0] for o in rotated.x_measurements
+        }
+        assert normal_x_ancillas.isdisjoint(rotated_x_ancillas)
+        assert normal_x_ancillas | rotated_x_ancillas == set(range(9, 17))
+
+    def test_z_only_dance_mode(self):
+        esm = parallel_esm(QUBIT_MAP, dance_mode="z_only")
+        assert len(esm.x_measurements) == 0
+        assert len(esm.z_measurements) == 4
+        names = {o.name for o in esm.circuit.operations()}
+        assert "h" not in names  # Z checks need no Hadamards
+
+    def test_active_plaquettes_filtering(self):
+        assert len(active_plaquettes(False, "all")) == 8
+        assert len(active_plaquettes(False, "z_only")) == 4
+        assert all(
+            basis == "z"
+            for _p, basis in active_plaquettes(True, "z_only")
+        )
+
+    def test_qubit_map_translation(self):
+        mapping = list(range(100, 117))
+        esm = parallel_esm(mapping)
+        for operation in esm.circuit.operations():
+            for qubit in operation.qubits:
+                assert 100 <= qubit < 117
+
+    def test_short_qubit_map_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_esm(list(range(10)))
+
+
+class TestEsmProjectsStabilizers:
+    """Functionally, an ESM round measures exactly the stabilizers."""
+
+    @pytest.mark.parametrize("rotated", [False, True])
+    def test_second_round_is_deterministic(self, rotated):
+        """Round 2 must repeat round 1's syndrome on a noiseless state."""
+        core = StabilizerCore(seed=11)
+        core.createqubit(17)
+        first = parallel_esm(QUBIT_MAP, rotated=rotated)
+        core.add(first.circuit)
+        result1 = first.syndromes(core.execute())
+        second = parallel_esm(QUBIT_MAP, rotated=rotated)
+        core.add(second.circuit)
+        result2 = second.syndromes(core.execute())
+        assert result1 == result2
+
+    def test_data_reset_gives_trivial_z_syndrome(self):
+        core = StabilizerCore(seed=3)
+        core.createqubit(17)
+        esm = parallel_esm(QUBIT_MAP)
+        core.add(esm.circuit)
+        _x_bits, z_bits = esm.syndromes(core.execute())
+        assert z_bits == [0, 0, 0, 0]  # |0...0> satisfies all Z checks
+
+
+class TestSerializedEsm:
+    def test_equivalent_syndromes_to_parallel(self):
+        """Serialized and parallel ESM agree on a noiseless state."""
+        core = StabilizerCore(seed=5)
+        core.createqubit(17)
+        parallel_round = parallel_esm(QUBIT_MAP)
+        core.add(parallel_round.circuit)
+        parallel_syndromes = parallel_round.syndromes(core.execute())
+
+        serial_round = serialized_esm(QUBIT_MAP[:9], shared_ancilla=9)
+        core.add(serial_round.circuit)
+        serial_syndromes = serial_round.syndromes(core.execute())
+        assert parallel_syndromes == serial_syndromes
+
+    def test_single_ancilla_reuse(self):
+        esm = serialized_esm(list(range(9)), shared_ancilla=9)
+        ancilla_ops = [
+            o
+            for o in esm.circuit.operations()
+            if 9 in o.qubits
+        ]
+        assert all(
+            9 in o.qubits for o in esm.x_measurements + esm.z_measurements
+        )
+        assert len(esm.x_measurements) == 4
+        assert len(esm.z_measurements) == 4
+        resets = [o for o in ancilla_ops if o.is_preparation]
+        assert len(resets) == 8  # one per stabilizer
+
+    def test_short_data_map_rejected(self):
+        with pytest.raises(ValueError):
+            serialized_esm(list(range(5)), shared_ancilla=9)

@@ -1,0 +1,267 @@
+"""Verification of the ninja-star logical operations (paper section 5.1).
+
+These are the paper's E1-E4 experiments as tests: the exact logical
+state listings (5.1/5.2), the logical gate algebra, and the CNOT/CZ
+truth tables (Tables 5.5/5.6), all simulated on the state-vector core
+through the full control stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes.surface17 import (
+    LogicalState,
+    NinjaStarLayer,
+    Rotation,
+)
+from repro.paulis import PauliString
+from repro.qpdo import PauliFrameLayer, StabilizerCore, StateVectorCore
+
+
+def make_stack(seed=1, logical_qubits=1, pauli_frame=False, core_cls=None):
+    core_cls = core_cls or StateVectorCore
+    core = core_cls(seed=seed)
+    lower = PauliFrameLayer(core) if pauli_frame else core
+    layer = NinjaStarLayer(lower)
+    layer.createqubit(logical_qubits)
+    return core, layer
+
+
+def run_ops(layer, *ops):
+    circuit = Circuit()
+    handles = []
+    for name, *qubits in ops:
+        handles.append(circuit.add(name, *qubits))
+    result = layer.run(circuit)
+    return result, handles
+
+
+class TestInitialization:
+    def test_listing_5_1_logical_zero_state(self):
+        """|0>_L: 16 equal-amplitude even-parity terms."""
+        _core, layer = make_stack(seed=2016)
+        run_ops(layer, ("prep_z", 0))
+        state = layer.data_quantum_state(0)
+        terms = state.nonzero_terms()
+        assert len(terms) == 16
+        for index, amplitude in terms:
+            assert abs(amplitude) == pytest.approx(0.25)
+            assert bin(index).count("1") % 2 == 0
+        assert layer.logical_qubits[0].state is LogicalState.ZERO
+
+    def test_listing_5_2_logical_one_state(self):
+        """X_L |0>_L: 16 equal-amplitude odd-parity terms."""
+        _core, layer = make_stack(seed=7)
+        run_ops(layer, ("prep_z", 0), ("x", 0))
+        state = layer.data_quantum_state(0)
+        terms = state.nonzero_terms()
+        assert len(terms) == 16
+        for index, amplitude in terms:
+            assert abs(amplitude) == pytest.approx(0.25)
+            assert bin(index).count("1") % 2 == 1
+
+    def test_repeated_initialization_is_deterministic(self):
+        """Section 5.1.4 repeats initialization 100x; we sample 10."""
+        for seed in range(10):
+            _core, layer = make_stack(seed=seed)
+            result, (_, measure) = run_ops(
+                layer, ("prep_z", 0), ("measure", 0)
+            )
+            assert result.result_of(measure) == 0
+
+
+class TestPauliGateAlgebra:
+    def test_zl_fixes_zero(self):
+        """Z_L |0>_L = |0>_L exactly (no phase)."""
+        core, layer = make_stack(seed=3)
+        run_ops(layer, ("prep_z", 0))
+        reference = core.getquantumstate()
+        run_ops(layer, ("z", 0))
+        after = core.getquantumstate()
+        assert np.allclose(after.amplitudes, reference.amplitudes)
+
+    def test_zl_negates_one(self):
+        """Z_L |1>_L = -|1>_L."""
+        core, layer = make_stack(seed=3)
+        run_ops(layer, ("prep_z", 0), ("x", 0))
+        reference = core.getquantumstate()
+        run_ops(layer, ("z", 0))
+        after = core.getquantumstate()
+        assert np.allclose(after.amplitudes, -reference.amplitudes)
+
+    def test_xl_measurement(self):
+        _core, layer = make_stack(seed=5)
+        result, handles = run_ops(
+            layer, ("prep_z", 0), ("x", 0), ("measure", 0)
+        )
+        assert result.result_of(handles[-1]) == 1
+
+
+class TestHadamard:
+    def test_hl_rotates_lattice(self):
+        _core, layer = make_stack(seed=4)
+        run_ops(layer, ("prep_z", 0), ("h", 0))
+        assert layer.logical_qubits[0].rotation is Rotation.ROTATED
+
+    def test_hl_zero_gives_plus(self):
+        """X_L (H_L |0>_L) = H_L |0>_L (i.e. the state is |+>_L)."""
+        core, layer = make_stack(seed=4)
+        run_ops(layer, ("prep_z", 0), ("h", 0))
+        reference = core.getquantumstate()
+        run_ops(layer, ("x", 0))
+        after = core.getquantumstate()
+        assert after.equal_up_to_global_phase(reference)
+        phase = after.global_phase_relative_to(reference)
+        assert phase == pytest.approx(1.0)
+
+    def test_zl_plus_gives_minus(self):
+        """Z_L |+>_L must be orthogonal to |+>_L."""
+        core, layer = make_stack(seed=4)
+        run_ops(layer, ("prep_z", 0), ("h", 0))
+        reference = core.getquantumstate().amplitudes
+        run_ops(layer, ("z", 0))
+        after = core.getquantumstate().amplitudes
+        assert abs(np.vdot(reference, after)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_double_hadamard_is_identity(self):
+        _core, layer = make_stack(seed=4)
+        result, handles = run_ops(
+            layer,
+            ("prep_z", 0),
+            ("x", 0),
+            ("h", 0),
+            ("h", 0),
+            ("measure", 0),
+        )
+        assert result.result_of(handles[-1]) == 1
+        assert layer.logical_qubits[0].rotation is Rotation.NORMAL
+
+
+class TestCnotTruthTable:
+    """Table 5.5 over all four computational basis inputs."""
+
+    @pytest.mark.parametrize(
+        "control_bit,target_bit",
+        [(0, 0), (1, 0), (0, 1), (1, 1)],
+    )
+    def test_row(self, control_bit, target_bit):
+        _core, layer = make_stack(
+            seed=40 + control_bit * 2 + target_bit, logical_qubits=2
+        )
+        ops = [("prep_z", 0), ("prep_z", 1)]
+        if control_bit:
+            ops.append(("x", 0))
+        if target_bit:
+            ops.append(("x", 1))
+        ops.append(("cnot", 0, 1))
+        ops.extend([("measure", 0), ("measure", 1)])
+        result, handles = run_ops(layer, *ops)
+        assert result.result_of(handles[-2]) == control_bit
+        assert result.result_of(handles[-1]) == control_bit ^ target_bit
+
+    def test_rotated_orientation_bell_pair(self):
+        """CNOT between differently-oriented lattices (rotated pairing)."""
+        _core, layer = make_stack(seed=77, logical_qubits=2)
+        run_ops(layer, ("prep_z", 0), ("prep_z", 1), ("h", 0))
+        assert (
+            layer.logical_qubits[0].rotation
+            is not layer.logical_qubits[1].rotation
+        )
+        result, handles = run_ops(
+            layer, ("cnot", 0, 1), ("measure", 0), ("measure", 1)
+        )
+        assert result.result_of(handles[-2]) == result.result_of(
+            handles[-1]
+        )
+
+
+class TestCzTruthTable:
+    """Table 5.6: CZ_L phases on all four basis inputs."""
+
+    @pytest.mark.parametrize(
+        "control_bit,target_bit,expected_phase",
+        [(0, 0, 1.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, -1.0)],
+    )
+    def test_row(self, control_bit, target_bit, expected_phase):
+        core, layer = make_stack(
+            seed=60 + control_bit * 2 + target_bit, logical_qubits=2
+        )
+        ops = [("prep_z", 0), ("prep_z", 1)]
+        if control_bit:
+            ops.append(("x", 0))
+        if target_bit:
+            ops.append(("x", 1))
+        run_ops(layer, *ops)
+        reference = core.getquantumstate()
+        run_ops(layer, ("cz", 0, 1))
+        after = core.getquantumstate()
+        assert after.equal_up_to_global_phase(reference)
+        phase = after.global_phase_relative_to(reference)
+        assert phase == pytest.approx(expected_phase)
+
+
+class TestStabilizerInvariants:
+    """After any logical operation the (rotated) stabilizers hold."""
+
+    def test_stabilizers_after_gate_sequence(self):
+        core, layer = make_stack(
+            seed=9, core_cls=StabilizerCore, pauli_frame=False
+        )
+        run_ops(layer, ("prep_z", 0), ("x", 0), ("z", 0))
+        sim = core.simulator
+        data = layer.logical_qubits[0].data_qubits
+        from repro.codes.surface17 import ALL_PLAQUETTES
+
+        for plaquette in ALL_PLAQUETTES:
+            support = [data[q] for q in plaquette.data_qubits]
+            if plaquette.basis == "x":
+                stabilizer = PauliString.from_support(
+                    sim.num_qubits, x_support=support
+                )
+            else:
+                stabilizer = PauliString.from_support(
+                    sim.num_qubits, z_support=support
+                )
+            assert sim.expectation(stabilizer) == 1
+
+    def test_logical_z_eigenvalue_flips_with_xl(self):
+        core, layer = make_stack(seed=9, core_cls=StabilizerCore)
+        run_ops(layer, ("prep_z", 0))
+        sim = core.simulator
+        # Data qubits are physical 1..9 (shared ancilla is physical 0).
+        data = layer.logical_qubits[0].data_qubits
+        z_logical = PauliString.from_support(
+            sim.num_qubits, z_support=[data[0], data[4], data[8]]
+        )
+        assert sim.expectation(z_logical) == 1
+        run_ops(layer, ("x", 0))
+        assert sim.expectation(z_logical) == -1
+
+
+class TestMeasurementPostProcessing:
+    def test_dance_mode_after_measurement(self):
+        _core, layer = make_stack(seed=10, core_cls=StabilizerCore)
+        result, handles = run_ops(
+            layer, ("prep_z", 0), ("measure", 0)
+        )
+        qubit = layer.logical_qubits[0]
+        from repro.codes.surface17 import DanceMode
+
+        assert qubit.dance_mode is DanceMode.Z_ONLY
+        assert qubit.state is LogicalState.ZERO
+
+    def test_unsupported_logical_gate_rejected(self):
+        _core, layer = make_stack(seed=1)
+        circuit = Circuit()
+        circuit.add("t", 0)
+        with pytest.raises(ValueError):
+            layer.add(circuit)
+
+    def test_logical_state_tracking_through_cnot(self):
+        _core, layer = make_stack(
+            seed=11, logical_qubits=2, core_cls=StabilizerCore
+        )
+        run_ops(layer, ("prep_z", 0), ("prep_z", 1), ("x", 0))
+        run_ops(layer, ("cnot", 0, 1))
+        assert layer.logical_qubits[1].state is LogicalState.ONE

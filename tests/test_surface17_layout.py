@@ -1,0 +1,138 @@
+"""Tests for the SC17 layout: stabilizers, logicals, pairings."""
+
+import numpy as np
+import pytest
+
+from repro.codes.surface17 import (
+    ALL_PLAQUETTES,
+    NUM_ANCILLA,
+    NUM_DATA,
+    ROTATED_PAIRING,
+    X_CHECK_MATRIX,
+    X_PLAQUETTES,
+    Z_CHECK_MATRIX,
+    Z_PLAQUETTES,
+    cnot_pairing,
+    cz_pairing,
+    logical_x,
+    logical_z,
+    stabilizer_paulis,
+)
+
+
+class TestStabilizers:
+    def test_counts(self):
+        assert NUM_DATA == 9
+        assert NUM_ANCILLA == 8
+        assert len(X_PLAQUETTES) == 4
+        assert len(Z_PLAQUETTES) == 4
+
+    def test_table_2_1_x_stabilizers(self):
+        supports = [p.data_qubits for p in X_PLAQUETTES]
+        assert supports == [(0, 1, 3, 4), (1, 2), (4, 5, 7, 8), (6, 7)]
+
+    def test_table_2_1_z_stabilizers(self):
+        supports = [p.data_qubits for p in Z_PLAQUETTES]
+        assert supports == [(0, 3), (1, 2, 4, 5), (3, 4, 6, 7), (5, 8)]
+
+    def test_all_stabilizers_commute(self):
+        stabilizers = stabilizer_paulis()
+        for i, a in enumerate(stabilizers):
+            for b in stabilizers[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_check_matrices_match_plaquettes(self):
+        assert X_CHECK_MATRIX.shape == (4, 9)
+        assert Z_CHECK_MATRIX.shape == (4, 9)
+        assert X_CHECK_MATRIX.sum() == 12  # 4+2+4+2 CNOT touches
+        assert Z_CHECK_MATRIX.sum() == 12
+
+    def test_css_commutation_condition(self):
+        """Hx @ Hz^T = 0 mod 2 for a valid CSS code."""
+        product = (X_CHECK_MATRIX @ Z_CHECK_MATRIX.T) % 2
+        assert not product.any()
+
+    def test_local_ancilla_numbering(self):
+        assert [p.local_ancilla for p in ALL_PLAQUETTES] == list(
+            range(9, 17)
+        )
+
+
+class TestLogicalOperators:
+    def test_normal_orientation_supports(self):
+        assert sorted(logical_x().support()) == [2, 4, 6]
+        assert sorted(logical_z().support()) == [0, 4, 8]
+
+    def test_rotated_orientation_swaps_supports(self):
+        assert sorted(logical_x(rotated=True).support()) == [0, 4, 8]
+        assert sorted(logical_z(rotated=True).support()) == [2, 4, 6]
+
+    @pytest.mark.parametrize("rotated", [False, True])
+    def test_logicals_commute_with_stabilizers(self, rotated):
+        stabilizers = [
+            s if not rotated else _hadamard_all(s)
+            for s in stabilizer_paulis()
+        ]
+        xl = logical_x(rotated=rotated)
+        zl = logical_z(rotated=rotated)
+        for stabilizer in stabilizers:
+            assert xl.commutes_with(stabilizer)
+            assert zl.commutes_with(stabilizer)
+
+    def test_logicals_anticommute_with_each_other(self):
+        assert not logical_x().commutes_with(logical_z())
+        assert not logical_x(rotated=True).commutes_with(
+            logical_z(rotated=True)
+        )
+
+    def test_distance_three(self):
+        assert logical_x().weight == 3
+        assert logical_z().weight == 3
+
+
+def _hadamard_all(pauli):
+    duplicate = pauli.copy()
+    for qubit in range(duplicate.num_qubits):
+        duplicate.apply_h(qubit)
+    return duplicate
+
+
+class TestPairings:
+    def test_same_orientation_cnot_is_identity_pairing(self):
+        assert cnot_pairing(True) == tuple((n, n) for n in range(9))
+
+    def test_rotated_cnot_pairing_matches_paper(self):
+        """Section 2.6.1 lists the exact pairs."""
+        expected = (
+            (0, 6),
+            (1, 3),
+            (2, 0),
+            (3, 7),
+            (4, 4),
+            (5, 1),
+            (6, 8),
+            (7, 5),
+            (8, 2),
+        )
+        assert cnot_pairing(False) == expected
+        assert ROTATED_PAIRING == (6, 3, 0, 7, 4, 1, 8, 5, 2)
+
+    def test_rotated_pairing_is_a_permutation(self):
+        assert sorted(ROTATED_PAIRING) == list(range(9))
+
+    def test_cz_pairing_is_mirrored(self):
+        """CZ uses the rotated pairing exactly when CNOT does not."""
+        assert cz_pairing(True) == cnot_pairing(False)
+        assert cz_pairing(False) == cnot_pairing(True)
+
+    def test_rotated_pairing_has_order_four(self):
+        """A 90-degree rotation returns home after four applications."""
+        for n in range(9):
+            m = n
+            for _ in range(4):
+                m = ROTATED_PAIRING[m]
+            assert m == n
+        # ... but not after two (it is a genuine rotation, not a flip).
+        assert any(
+            ROTATED_PAIRING[ROTATED_PAIRING[n]] != n for n in range(9)
+        )

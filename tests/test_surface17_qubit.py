@@ -1,0 +1,128 @@
+"""Tests for the ninja-star run-time properties (Tables 5.2/5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.surface17 import (
+    DanceMode,
+    LogicalState,
+    NinjaStarQubit,
+    Rotation,
+    X_CHECK_MATRIX,
+    Z_CHECK_MATRIX,
+)
+
+
+@pytest.fixture
+def qubit():
+    return NinjaStarQubit(
+        list(range(9)), ancilla_qubits=list(range(9, 17))
+    )
+
+
+class TestInitialValues:
+    def test_table_5_2_initial_values(self, qubit):
+        assert qubit.rotation is Rotation.NORMAL
+        assert qubit.dance_mode is DanceMode.Z_ONLY
+        assert qubit.state is LogicalState.UNKNOWN
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            NinjaStarQubit(list(range(5)), shared_ancilla=9)
+        with pytest.raises(ValueError):
+            NinjaStarQubit(list(range(9)))  # neither ancilla option
+        with pytest.raises(ValueError):
+            NinjaStarQubit(
+                list(range(9)),
+                ancilla_qubits=list(range(9, 17)),
+                shared_ancilla=20,
+            )
+        with pytest.raises(ValueError):
+            NinjaStarQubit(list(range(9)), ancilla_qubits=[9, 10])
+
+
+class TestPropertyUpdates:
+    def test_reset_sets_table_5_3_values(self, qubit):
+        qubit.rotation = Rotation.ROTATED
+        qubit.on_reset()
+        assert qubit.rotation is Rotation.NORMAL
+        assert qubit.dance_mode is DanceMode.ALL
+        assert qubit.state is LogicalState.ZERO
+
+    def test_logical_x_flips_known_state(self, qubit):
+        qubit.on_reset()
+        qubit.on_logical_x()
+        assert qubit.state is LogicalState.ONE
+        qubit.on_logical_x()
+        assert qubit.state is LogicalState.ZERO
+
+    def test_logical_x_keeps_unknown(self, qubit):
+        qubit.on_logical_x()
+        assert qubit.state is LogicalState.UNKNOWN
+
+    def test_logical_z_keeps_state(self, qubit):
+        qubit.on_reset()
+        qubit.on_logical_z()
+        assert qubit.state is LogicalState.ZERO
+
+    def test_hadamard_rotates_and_scrambles(self, qubit):
+        qubit.on_reset()
+        qubit.on_logical_h()
+        assert qubit.rotation is Rotation.ROTATED
+        assert qubit.state is LogicalState.UNKNOWN
+        qubit.on_logical_h()
+        assert qubit.rotation is Rotation.NORMAL
+
+    def test_measurement_updates_dance_and_state(self, qubit):
+        qubit.on_reset()
+        qubit.on_logical_measurement(1)
+        assert qubit.dance_mode is DanceMode.Z_ONLY
+        assert qubit.state is LogicalState.ONE
+
+
+class TestOrientationDependentViews:
+    def test_check_matrices_swap_under_rotation(self, qubit):
+        assert np.array_equal(qubit.x_check_matrix, X_CHECK_MATRIX)
+        assert np.array_equal(qubit.z_check_matrix, Z_CHECK_MATRIX)
+        qubit.on_logical_h()
+        assert np.array_equal(qubit.x_check_matrix, Z_CHECK_MATRIX)
+        assert np.array_equal(qubit.z_check_matrix, X_CHECK_MATRIX)
+
+    def test_logical_supports_swap_under_rotation(self, qubit):
+        assert tuple(qubit.x_logical_support) == (2, 4, 6)
+        assert tuple(qubit.z_logical_support) == (0, 4, 8)
+        qubit.on_logical_h()
+        assert tuple(qubit.x_logical_support) == (0, 4, 8)
+        assert tuple(qubit.z_logical_support) == (2, 4, 6)
+
+    def test_decoder_follows_orientation(self, qubit):
+        normal_decoder = qubit.decoder
+        qubit.on_logical_h()
+        assert qubit.decoder is not normal_decoder
+        qubit.on_logical_h()
+        assert qubit.decoder is normal_decoder
+
+    def test_esm_round_honours_dance_mode(self, qubit):
+        qubit.dance_mode = DanceMode.Z_ONLY
+        esm = qubit.esm_round()
+        assert len(esm.x_measurements) == 0
+        qubit.dance_mode = DanceMode.ALL
+        esm = qubit.esm_round()
+        assert len(esm.x_measurements) == 4
+
+    def test_esm_round_serialized_mode(self):
+        qubit = NinjaStarQubit(list(range(9)), shared_ancilla=9)
+        qubit.dance_mode = DanceMode.ALL
+        esm = qubit.esm_round()
+        measured = {
+            o.qubits[0]
+            for o in esm.x_measurements + esm.z_measurements
+        }
+        assert measured == {9}
+
+    def test_physical_address_lookup(self, qubit):
+        assert qubit.physical(4) == 4
+        remapped = NinjaStarQubit(
+            list(range(20, 29)), shared_ancilla=50
+        )
+        assert remapped.physical(0) == 20

@@ -1,0 +1,109 @@
+"""Tests for the test-bench environment (paper section 4.2.4)."""
+
+import pytest
+
+from repro.qpdo import (
+    BellStateHistoTb,
+    GateSupportTb,
+    PauliFrameLayer,
+    StabilizerCore,
+    StateVectorCore,
+    TestBench,
+)
+
+
+class _CountingBench(TestBench):
+    """Minimal bench used to exercise the base-class control flow."""
+
+    def __init__(self, stack, iterations):
+        super().__init__(stack, iterations)
+        self.initialized = 0
+        self.shut_down = 0
+
+    def initialize(self):
+        self.initialized += 1
+
+    def single_test(self):
+        return 42
+
+    def shutdown(self):
+        self.shut_down += 1
+
+
+class TestBaseBench:
+    def test_run_loops_and_collects(self):
+        bench = _CountingBench(StabilizerCore(seed=0), iterations=5)
+        outcomes = bench.run()
+        assert outcomes == [42] * 5
+        assert bench.initialized == 1
+        assert bench.shut_down == 1
+
+    def test_shutdown_called_on_failure(self):
+        class Exploding(_CountingBench):
+            def single_test(self):
+                raise RuntimeError("boom")
+
+        bench = Exploding(StabilizerCore(seed=0), iterations=3)
+        with pytest.raises(RuntimeError):
+            bench.run()
+        assert bench.shut_down == 1
+
+
+class TestBellStateHistoTb:
+    @pytest.mark.parametrize("core_cls", [StabilizerCore, StateVectorCore])
+    def test_histogram_only_correlated_outcomes(self, core_cls):
+        bench = BellStateHistoTb(core_cls(seed=6), iterations=100)
+        bench.run()
+        assert set(bench.histogram) <= {"00", "11"}
+        assert sum(bench.histogram.values()) == 100
+        # Both outcomes should occur in 100 fair shots.
+        assert len(bench.histogram) == 2
+
+    def test_with_pauli_frame_layer(self):
+        stack = PauliFrameLayer(StabilizerCore(seed=8))
+        bench = BellStateHistoTb(stack, iterations=50)
+        bench.run()
+        assert set(bench.histogram) <= {"00", "11"}
+
+
+class TestGateSupportTb:
+    def test_statevector_supports_everything(self):
+        bench = GateSupportTb(StateVectorCore(seed=0))
+        bench.run()
+        assert all(r.supported and r.correct for r in bench.reports)
+        assert "ok" in bench.format_report()
+
+    def test_stabilizer_rejects_t_gates(self):
+        bench = GateSupportTb(StabilizerCore(seed=0))
+        bench.run()
+        by_gate = {r.gate: r for r in bench.reports}
+        assert not by_gate["t"].supported
+        assert not by_gate["tdg"].supported
+        clifford = [
+            r
+            for r in bench.reports
+            if r.gate not in ("t", "tdg")
+        ]
+        assert all(r.supported and r.correct for r in clifford)
+        assert "UNSUPPORTED" in bench.format_report()
+
+    def test_pauli_frame_stack_passes_gate_support(self):
+        """The frame must be observationally invisible to the probes."""
+        bench = GateSupportTb(PauliFrameLayer(StateVectorCore(seed=0)))
+        bench.run()
+        assert all(r.supported and r.correct for r in bench.reports), (
+            bench.format_report()
+        )
+
+
+class TestRandomCircuitTb:
+    def test_reports_all_match(self):
+        from repro.qpdo import RandomCircuitTb
+
+        bench = RandomCircuitTb(
+            iterations=3, num_qubits=4, num_gates=30, seed=6
+        )
+        outcomes = bench.run()
+        assert outcomes == [True]
+        assert bench.report is not None
+        assert bench.report.iterations == 3

@@ -1,0 +1,62 @@
+"""Tests for the Pauli-frame verification benches (paper section 5.2)."""
+
+import pytest
+
+from repro.experiments.verification import (
+    run_odd_bell_state_bench,
+    run_random_circuit_verification,
+)
+
+
+class TestRandomCircuitVerification:
+    def test_states_always_match(self):
+        report = run_random_circuit_verification(
+            iterations=8, num_qubits=4, num_gates=50, seed=11
+        )
+        assert report.iterations == 8
+        assert report.all_match
+        for outcome in report.outcomes:
+            assert abs(abs(outcome.global_phase) - 1.0) < 1e-6
+
+    def test_frame_actually_tracked_something(self):
+        report = run_random_circuit_verification(
+            iterations=6, num_qubits=5, num_gates=60, seed=5
+        )
+        assert report.total_gates_filtered > 0
+        assert any(o.frame_was_dirty for o in report.outcomes)
+
+    def test_clifford_only_gate_set(self):
+        from repro.circuits import CLIFFORD_GATE_SET
+
+        report = run_random_circuit_verification(
+            iterations=4,
+            num_qubits=4,
+            num_gates=40,
+            seed=3,
+            gate_set=CLIFFORD_GATE_SET,
+        )
+        assert report.all_match
+
+    def test_global_phase_can_be_nontrivial(self):
+        """Listing 5.6 exhibits a -1 global phase; over enough random
+        circuits at least one non-unity phase must appear."""
+        report = run_random_circuit_verification(
+            iterations=12, num_qubits=4, num_gates=60, seed=2
+        )
+        phases = [outcome.global_phase for outcome in report.outcomes]
+        assert any(abs(phase - 1.0) > 1e-6 for phase in phases)
+
+
+class TestOddBellBench:
+    def test_histograms_only_odd_outcomes(self):
+        report = run_odd_bell_state_bench(iterations=6, seed=4)
+        assert report.both_valid
+        assert sum(report.histogram_with_frame.values()) == 6
+        assert sum(report.histogram_without_frame.values()) == 6
+
+    def test_both_outcomes_occur_overall(self):
+        report = run_odd_bell_state_bench(iterations=12, seed=9)
+        combined = set(report.histogram_with_frame) | set(
+            report.histogram_without_frame
+        )
+        assert combined == {"01", "10"}
