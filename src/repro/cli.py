@@ -50,6 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
     ler.add_argument("--errors", type=int, default=10)
     ler.add_argument("--kind", choices=["x", "z"], default="x")
     ler.add_argument("--seed", type=int, default=0)
+    ler.add_argument(
+        "--batch",
+        type=int,
+        metavar="SHOTS",
+        help="use the batched frame sampler with this many lockstep "
+        "shots per arm instead of the per-shot tableau loop",
+    )
+    ler.add_argument(
+        "--windows",
+        type=int,
+        default=200,
+        help="windows per shot in --batch mode",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="PER sweep with/without frame (Figs 5.11-5.26)"
@@ -67,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument(
         "--plot", action="store_true", help="render the ASCII figure"
+    )
+    sweep.add_argument(
+        "--batch",
+        type=int,
+        metavar="WINDOWS",
+        help="use the batched frame sampler: --samples becomes the "
+        "lockstep shot count per arm and each shot runs exactly this "
+        "many windows",
     )
 
     sub.add_parser(
@@ -157,8 +178,29 @@ def cmd_verify(args) -> int:
 
 
 def cmd_ler(args) -> int:
-    from .experiments.ler import LerExperiment
+    from .experiments.ler import BatchedLerExperiment, LerExperiment
 
+    if args.batch is not None:
+        for use_frame in (False, True):
+            results = BatchedLerExperiment(
+                args.per,
+                num_shots=args.batch,
+                use_pauli_frame=use_frame,
+                error_kind=args.kind,
+                windows=args.windows,
+                seed=args.seed + (1 if use_frame else 0),
+            ).run()
+            arm = "with frame   " if use_frame else "without frame"
+            errors = sum(r.logical_errors for r in results)
+            windows = sum(r.windows for r in results)
+            corrections = sum(r.corrections_commanded for r in results)
+            print(
+                f"{arm}: LER = {errors / windows:.5f} "
+                f"({errors} errors / {windows} windows over "
+                f"{len(results)} batched shots, "
+                f"{corrections} corrections)"
+            )
+        return 0
     for use_frame in (False, True):
         result = LerExperiment(
             args.per,
@@ -193,6 +235,7 @@ def cmd_sweep(args) -> int:
         samples=args.samples,
         max_logical_errors=args.errors,
         seed=args.seed,
+        batch_windows=args.batch,
     )
     print(format_sweep_table(sweep))
     comparisons = [point.comparison for point in sweep.points]

@@ -42,11 +42,13 @@ from ..codes.surface17.layout import (
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
 from ..pauliframe.unit import FrameStatistics
+from ..qpdo.batched_core import BatchedStabilizerCore
 from ..qpdo.core import Core
 from ..qpdo.cores import StabilizerCore
 from ..qpdo.counter_layer import CounterLayer, StreamCounts
 from ..qpdo.error_layer import DepolarizingErrorLayer
 from ..qpdo.pauli_frame_layer import PauliFrameLayer
+from ..sim.framesim import NoiseParameters
 
 #: ESM rounds per decoding window (Fig. 5.9 uses two fresh rounds plus
 #: the carried-over round of the previous window).
@@ -376,6 +378,223 @@ class LerExperiment:
         )
 
 
+#: Default window count per shot for the batched LER path (the batch
+#: runs a fixed number of windows per shot instead of stopping at a
+#: logical-error quota, which lockstep execution cannot do per shot).
+DEFAULT_BATCH_WINDOWS = 200
+
+
+class BatchedLerExperiment:
+    """The LER protocol of Listing 5.7 over N shots in lockstep.
+
+    The batched counterpart of :class:`LerExperiment`: one
+    :class:`~repro.qpdo.batched_core.BatchedStabilizerCore` carries all
+    shots at once — a shared noiseless reference trajectory plus
+    per-shot Pauli error frames.  This works because every per-shot
+    difference in the protocol is a Pauli:
+
+    * noise is Pauli by construction (depolarizing), injected straight
+      into the frame arrays by the core;
+    * decoder corrections are Pauli gates, applied as per-shot frame
+      XORs (``apply_pauli_frame``) — adaptive feedback without
+      breaking lockstep;
+    * the non-Pauli stream (ESM rounds, diagnostic probes) is
+      identical for every shot and runs once on the reference.
+
+    Two protocol deviations from the loop, both statistically neutral:
+
+    * each shot runs a *fixed* number of windows instead of stopping at
+      ``max_logical_errors`` (binomial instead of negative-binomial
+      sampling of the same LER);
+    * the logical eigenvalue probe executes every window instead of
+      only after clean diagnostics.  The probe is a bypass
+      (noiseless) QND measurement of a logical stabilizer, so probing
+      on dirty windows neither disturbs the state nor enters the
+      count — flips are still only scored on clean windows, against
+      the previous *clean* observation.
+
+    ``use_pauli_frame`` selects the arm semantics under the default
+    ``"physical"`` frame placement: with a frame, corrections are
+    absorbed classically (no noise); without, the correction circuit
+    reaches hardware, so its slot is charged depolarizing noise on the
+    shots that commanded corrections.
+    """
+
+    def __init__(
+        self,
+        physical_error_rate: float,
+        num_shots: int,
+        use_pauli_frame: bool = True,
+        error_kind: str = "x",
+        windows: int = DEFAULT_BATCH_WINDOWS,
+        seed: Optional[int] = None,
+        rounds_per_window: int = DEFAULT_ROUNDS_PER_WINDOW,
+        init_rounds: int = DEFAULT_INIT_ROUNDS,
+        use_majority_vote: bool = True,
+    ) -> None:
+        if error_kind not in ("x", "z"):
+            raise ValueError("error_kind must be 'x' or 'z'")
+        if num_shots < 1:
+            raise ValueError("num_shots must be positive")
+        self.physical_error_rate = float(physical_error_rate)
+        self.num_shots = int(num_shots)
+        self.use_pauli_frame = bool(use_pauli_frame)
+        self.error_kind = error_kind
+        self.windows = int(windows)
+        self.rounds_per_window = int(rounds_per_window)
+        self.init_rounds = int(init_rounds)
+        self.core = BatchedStabilizerCore(
+            self.num_shots,
+            noise=NoiseParameters(
+                self.physical_error_rate,
+                active_qubits=range(NUM_QUBITS),
+            ),
+            seed=seed,
+        )
+        self.core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla
+        self.decoders = [
+            WindowedLutDecoder(
+                X_CHECK_MATRIX,
+                Z_CHECK_MATRIX,
+                use_majority_vote=use_majority_vote,
+            )
+            for _ in range(self.num_shots)
+        ]
+        self.qubit_map = list(range(NUM_QUBITS))
+        self.probe_ancilla = NUM_QUBITS
+
+    # ------------------------------------------------------------------
+    # Building blocks (batched)
+    # ------------------------------------------------------------------
+    def _esm_round(self, bypass: bool = False) -> List[SyndromeRound]:
+        """One ESM round for all shots; per-shot syndromes."""
+        esm = parallel_esm(self.qubit_map, name="esm")
+        esm.circuit.bypass = bypass
+        result = self.core.run(esm.circuit)
+        x_bits = np.stack(
+            [result.bits_of(m) for m in esm.x_measurements], axis=1
+        )
+        z_bits = np.stack(
+            [result.bits_of(m) for m in esm.z_measurements], axis=1
+        )
+        return [
+            SyndromeRound(x_syndrome=x_bits[s], z_syndrome=z_bits[s])
+            for s in range(self.num_shots)
+        ]
+
+    def _apply_corrections(self, decisions) -> np.ndarray:
+        """Apply per-shot decoder decisions as frame XORs.
+
+        Returns the bool mask of shots that commanded corrections.
+        """
+        width = self.core.frames.num_qubits
+        x_mask = np.zeros((self.num_shots, width), dtype=bool)
+        z_mask = np.zeros((self.num_shots, width), dtype=bool)
+        commanded = np.zeros(self.num_shots, dtype=bool)
+        data = self.qubit_map[:9]
+        for shot, decision in enumerate(decisions):
+            if not decision.has_corrections:
+                continue
+            commanded[shot] = True
+            for index, physical in enumerate(data):
+                x_mask[shot, physical] = decision.x_corrections[index]
+                z_mask[shot, physical] = decision.z_corrections[index]
+        if commanded.any():
+            self.core.apply_pauli_frame(x_mask, z_mask)
+            if not self.use_pauli_frame:
+                # Frame-less arm: the correction circuit physically
+                # reaches the hardware, so its time slot is charged
+                # depolarizing noise (gate error on corrected qubits,
+                # idle error on the rest — the same channel either
+                # way) on exactly the shots that commanded it.
+                self.core.inject_depolarizing(
+                    range(NUM_QUBITS), shot_mask=commanded
+                )
+        return commanded
+
+    def _measure_logical_eigenvalues(self) -> np.ndarray:
+        """Per-shot ±1 eigenvalue bits of the logical stabilizer."""
+        circuit = Circuit("logical_probe", bypass=True)
+        ancilla = self.probe_ancilla
+        circuit.add("prep_z", ancilla)
+        if self.error_kind == "x":
+            for data in Z_LOGICAL_SUPPORT:
+                circuit.add("cnot", data, ancilla)
+        else:
+            circuit.add("h", ancilla)
+            for data in X_LOGICAL_SUPPORT:
+                circuit.add("cnot", ancilla, data)
+            circuit.add("h", ancilla)
+        measure = circuit.add("measure", ancilla)
+        return self.core.run(circuit).bits_of(measure)
+
+    def _clean_shots(self) -> np.ndarray:
+        """Perfect diagnostic round: which shots show no syndrome."""
+        rounds = self._esm_round(bypass=True)
+        return np.array(
+            [r.is_trivial() for r in rounds], dtype=bool
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[LerResult]:
+        """Run all shots; one :class:`LerResult` per shot."""
+        prepare = Circuit("prepare")
+        slot = prepare.new_slot()
+        for data in range(9):
+            slot.add(Operation("prep_z", (data,)))
+        if self.error_kind == "z":
+            slot = prepare.new_slot()
+            for data in range(9):
+                slot.add(Operation("h", (data,)))
+        self.core.run(prepare)
+        init_rounds = [
+            self._esm_round() for _ in range(self.init_rounds)
+        ]
+        decisions = []
+        for shot, decoder in enumerate(self.decoders):
+            decoder.reset()
+            decisions.append(
+                decoder.initialize([r[shot] for r in init_rounds])
+            )
+        self._apply_corrections(decisions)
+        reference = self._measure_logical_eigenvalues()
+
+        logical_errors = np.zeros(self.num_shots, dtype=np.int64)
+        clean_windows = np.zeros(self.num_shots, dtype=np.int64)
+        corrections = np.zeros(self.num_shots, dtype=np.int64)
+        for _ in range(self.windows):
+            rounds = [
+                self._esm_round()
+                for _ in range(self.rounds_per_window)
+            ]
+            decisions = [
+                decoder.decode_window([r[shot] for r in rounds])
+                for shot, decoder in enumerate(self.decoders)
+            ]
+            corrections += self._apply_corrections(decisions)
+            clean = self._clean_shots()
+            eigenvalues = self._measure_logical_eigenvalues()
+            flipped = clean & (eigenvalues != reference)
+            logical_errors += flipped
+            clean_windows += clean
+            # The reference only advances on clean observations,
+            # exactly like the loop protocol's check_logical_error.
+            reference = np.where(clean, eigenvalues, reference)
+
+        return [
+            LerResult(
+                physical_error_rate=self.physical_error_rate,
+                error_kind=self.error_kind,
+                use_pauli_frame=self.use_pauli_frame,
+                windows=self.windows,
+                logical_errors=int(logical_errors[shot]),
+                clean_windows=int(clean_windows[shot]),
+                corrections_commanded=int(corrections[shot]),
+            )
+            for shot in range(self.num_shots)
+        ]
+
+
 def run_ler_point(
     physical_error_rate: float,
     use_pauli_frame: bool,
@@ -384,13 +603,30 @@ def run_ler_point(
     max_logical_errors: int = 50,
     seed: int = 0,
     max_windows: int = 2_000_000,
+    batch_windows: Optional[int] = None,
 ) -> List[LerResult]:
     """Repeat the experiment ``samples`` times with distinct seeds.
 
     Matches the paper's protocol: 10 (or 20 near the pseudo-threshold)
     independent simulations per PER value, each terminated at
     ``max_logical_errors`` logical errors.
+
+    With ``batch_windows`` set, the batched sampler replaces the
+    per-shot tableau loop: ``samples`` becomes the number of lockstep
+    shots, each running exactly ``batch_windows`` windows
+    (``max_logical_errors`` and ``max_windows`` are then unused — the
+    stopping rule is the fixed window count).
     """
+    if batch_windows is not None:
+        experiment = BatchedLerExperiment(
+            physical_error_rate,
+            num_shots=samples,
+            use_pauli_frame=use_pauli_frame,
+            error_kind=error_kind,
+            windows=batch_windows,
+            seed=seed,
+        )
+        return experiment.run()
     results = []
     for sample in range(samples):
         experiment = LerExperiment(

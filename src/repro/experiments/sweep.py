@@ -125,12 +125,19 @@ def run_ler_sweep(
     max_logical_errors: int = 50,
     seed: int = 0,
     max_windows: int = 2_000_000,
+    batch_windows: Optional[int] = None,
 ) -> LerSweep:
     """Run the full with/without-frame sweep.
 
     Parameters mirror the paper: ``samples`` independent simulations
     per PER (10 for the broad sweep, 20 near the pseudo-threshold),
     each terminated at ``max_logical_errors`` logical errors.
+
+    With ``batch_windows`` set, every point uses the batched sampler
+    (:class:`~repro.experiments.ler.BatchedLerExperiment`):
+    ``samples`` becomes the number of lockstep shots per arm and each
+    shot runs exactly ``batch_windows`` windows, so far larger shot
+    counts per PER become affordable.
     """
     sweep = LerSweep(error_kind=error_kind)
     for index, per in enumerate(per_values):
@@ -143,6 +150,7 @@ def run_ler_sweep(
             max_logical_errors=max_logical_errors,
             seed=base_seed,
             max_windows=max_windows,
+            batch_windows=batch_windows,
         )
         with_frame = run_ler_point(
             per,
@@ -152,6 +160,7 @@ def run_ler_sweep(
             max_logical_errors=max_logical_errors,
             seed=base_seed + 5_000,
             max_windows=max_windows,
+            batch_windows=batch_windows,
         )
         sweep.points.append(
             SweepPoint(

@@ -1,5 +1,6 @@
 """QPDO-style layered control-stack framework (paper chapter 4)."""
 
+from .batched_core import BatchedExecutionResult, BatchedStabilizerCore
 from .core import Core, ExecutionResult, UnsupportedFeatureError
 from .cores import StabilizerCore, StateVectorCore
 from .layer import ControlStack, Layer
@@ -24,6 +25,8 @@ __all__ = [
     "UnsupportedFeatureError",
     "StabilizerCore",
     "StateVectorCore",
+    "BatchedStabilizerCore",
+    "BatchedExecutionResult",
     "Layer",
     "ControlStack",
     "CounterLayer",

@@ -7,6 +7,14 @@ from .state import (
     basis_state_label,
     index_from_bits,
 )
+from .framesim import (
+    BatchedFrameSampler,
+    FrameArray,
+    FrameProgram,
+    NoiseParameters,
+    compile_frame_program,
+    sample_circuit,
+)
 from .stabilizer import StabilizerSimulator
 from .statevector import StateVectorSimulator
 
@@ -18,4 +26,10 @@ __all__ = [
     "index_from_bits",
     "StabilizerSimulator",
     "StateVectorSimulator",
+    "FrameArray",
+    "FrameProgram",
+    "NoiseParameters",
+    "BatchedFrameSampler",
+    "compile_frame_program",
+    "sample_circuit",
 ]

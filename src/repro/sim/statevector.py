@@ -137,6 +137,23 @@ class StateVectorSimulator:
         self.amplitudes = tensor.reshape(-1)
         self.amplitudes /= np.sqrt(probability)
 
+    def postselect(self, qubit: int, outcome: int) -> float:
+        """Project ``qubit`` onto ``outcome`` and renormalize.
+
+        Returns the probability of that branch (useful for exact
+        outcome-distribution enumeration: recurse over both outcomes of
+        every measurement and multiply branch probabilities).
+
+        Raises
+        ------
+        RuntimeError
+            If the requested branch has zero probability.
+        """
+        p_one = self.probability_of_one(qubit)
+        probability = p_one if outcome else 1.0 - p_one
+        self._project(qubit, int(outcome), probability)
+        return probability
+
     def reset(self, qubit: int) -> None:
         """Reset ``qubit`` to ``|0>`` (measure, flip if 1)."""
         if self.measure(qubit) == 1:
