@@ -1,0 +1,116 @@
+"""E18 -- worker scaling of the shot-sharded parallel sweep runner.
+
+Acceptance bar: on a 10,000-shot SC17 sweep point the 4-worker runner
+must (a) reproduce the single-process aggregate LER bit-identically
+and (b) run at least 2x faster than ``workers=1``.  Equality is
+asserted unconditionally; the speedup bar is only enforced on hosts
+with >= 4 CPU cores (a single-core container cannot exhibit it) and at
+the full acceptance shot count.
+
+Scale note: the default run uses a scaled-down shot count so the suite
+stays fast on CI hardware.  Reproduce the acceptance criterion
+verbatim with::
+
+    REPRO_BENCH_PARALLEL_SHOTS=10000 \\
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_scaling.py -s
+"""
+
+import os
+import time
+
+from repro.experiments.parallel import ParallelConfig, run_parallel_sweep
+
+#: Sweep point of the workload (mid-sweep, Fig 5.11 range).
+PER = 6e-3
+#: Shots per arm; override with REPRO_BENCH_PARALLEL_SHOTS=10000 for
+#: the full acceptance run.
+SHOTS = int(os.environ.get("REPRO_BENCH_PARALLEL_SHOTS", "400"))
+#: Shots per shard (the unit of parallel work).
+SHARD_SHOTS = int(
+    os.environ.get("REPRO_BENCH_PARALLEL_SHARD_SHOTS", "100")
+)
+#: Decode windows per shot.
+WINDOWS = int(os.environ.get("REPRO_BENCH_PARALLEL_WINDOWS", "10"))
+#: Worker count of the parallel arm (the acceptance criterion's 4).
+WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
+#: Required speedup at WORKERS workers (ISSUE acceptance bar).
+REQUIRED_SPEEDUP = 2.0
+#: Shot count at which the speedup bar is binding.
+ACCEPTANCE_SHOTS = 10_000
+
+SEED = 2017
+
+
+def _run(workers: int):
+    start = time.perf_counter()
+    report = run_parallel_sweep(
+        [PER],
+        shots=SHOTS,
+        windows=WINDOWS,
+        seed=SEED,
+        config=ParallelConfig(
+            workers=workers, shard_shots=SHARD_SHOTS
+        ),
+    )
+    return report, time.perf_counter() - start
+
+
+def _records(report):
+    return [
+        record.to_json()
+        for arm_key in sorted(report.arms)
+        for record in report.arms[arm_key].committed
+    ]
+
+
+def test_bench_parallel_worker_scaling(benchmark):
+    serial_report, serial_seconds = _run(workers=1)
+    pooled_report, pooled_seconds = benchmark.pedantic(
+        lambda: _run(workers=WORKERS), rounds=1, iterations=1
+    )
+    speedup = serial_seconds / max(pooled_seconds, 1e-9)
+
+    print(
+        f"\n[E18] parallel sweep scaling -- SC17 point at "
+        f"PER={PER:.0e}, {SHOTS} shots x {WINDOWS} windows, "
+        f"{SHARD_SHOTS}-shot shards:"
+    )
+    print(f"  workers=1: {serial_seconds:8.2f} s")
+    print(f"  workers={WORKERS}: {pooled_seconds:8.2f} s")
+    print(
+        f"  speedup: {speedup:.2f}x "
+        f"(host cores: {os.cpu_count()})"
+    )
+
+    # (a) Bit-identical aggregates, always.
+    assert _records(serial_report) == _records(pooled_report)
+    assert serial_report.sweep.series(False) == (
+        pooled_report.sweep.series(False)
+    )
+    assert serial_report.sweep.series(True) == (
+        pooled_report.sweep.series(True)
+    )
+    for arm_key in serial_report.arms:
+        serial_arm = serial_report.arms[arm_key]
+        pooled_arm = pooled_report.arms[arm_key]
+        assert serial_arm.errors == pooled_arm.errors
+        assert serial_arm.windows == pooled_arm.windows
+
+    # (b) The >= 2x speedup bar, where the host can express it.
+    cores = os.cpu_count() or 1
+    if cores >= WORKERS and SHOTS >= ACCEPTANCE_SHOTS:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x at {WORKERS} workers, "
+            f"got {speedup:.2f}x"
+        )
+    elif cores < WORKERS:
+        print(
+            f"  speedup bar skipped: {cores} core(s) < "
+            f"{WORKERS} workers"
+        )
+    else:
+        print(
+            "  speedup bar skipped: scaled-down run "
+            f"({SHOTS} < {ACCEPTANCE_SHOTS} shots); set "
+            "REPRO_BENCH_PARALLEL_SHOTS=10000 to enforce"
+        )

@@ -24,6 +24,44 @@ import sys
 from typing import List, Optional
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shot-sharded parallel runner's flags (ler and sweep)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="run shot-sharded across N worker processes "
+        "(1 runs the same sharded schedule inline); results are "
+        "bit-identical for any N",
+    )
+    parser.add_argument(
+        "--shard-shots",
+        type=int,
+        default=100,
+        metavar="SHOTS",
+        help="shots per shard of the parallel runner",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="JSON-lines checkpoint file: one record per completed "
+        "shard, appended atomically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint's completed shards and execute "
+        "only the missing ones",
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        metavar="HALFWIDTH",
+        help="stop a (PER, arm) point early once the Wilson 95%% CI "
+        "half-width of its pooled LER meets this target",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -63,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=200,
         help="windows per shot in --batch mode",
     )
+    ler.add_argument(
+        "--samples",
+        type=int,
+        default=10,
+        help="independent per-shot runs per arm when the parallel "
+        "runner is used without --batch (loop mode)",
+    )
+    _add_parallel_arguments(ler)
 
     sweep = sub.add_parser(
         "sweep", help="PER sweep with/without frame (Figs 5.11-5.26)"
@@ -89,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lockstep shot count per arm and each shot runs exactly this "
         "many windows",
     )
+    _add_parallel_arguments(sweep)
 
     sub.add_parser(
         "census", help="Pauli-gate census of the workloads (section 3.3)"
@@ -177,9 +224,54 @@ def cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+def _parallel_config(args):
+    from .experiments.parallel import ParallelConfig
+
+    return ParallelConfig(
+        workers=args.workers,
+        shard_shots=args.shard_shots,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        target_ci=args.target_ci,
+    )
+
+
+def _print_parallel_arms(report, point_index: int) -> None:
+    """Per-arm pooled LER + Wilson CI lines of one sweep point."""
+    for use_frame in (False, True):
+        arm = report.arm(point_index, use_frame)
+        label = "with frame   " if use_frame else "without frame"
+        low, high = arm.wilson()
+        print(
+            f"{label}: LER = {arm.pooled_ler:.5f} "
+            f"({arm.errors} errors / {arm.windows} windows, "
+            f"95% CI [{low:.5f}, {high:.5f}], "
+            f"{len(arm.committed)}/{arm.num_shards} shards)"
+        )
+
+
 def cmd_ler(args) -> int:
     from .experiments.ler import BatchedLerExperiment, LerExperiment
 
+    if args.workers is not None:
+        from .experiments.parallel import run_parallel_point
+
+        report = run_parallel_point(
+            args.per,
+            error_kind=args.kind,
+            shots=args.batch if args.batch is not None else args.samples,
+            windows=args.windows if args.batch is not None else None,
+            seed=args.seed,
+            config=_parallel_config(args),
+            max_logical_errors=args.errors,
+        )
+        _print_parallel_arms(report, 0)
+        print(
+            f"shards: {report.committed_shards} committed "
+            f"({report.executed_shards} executed, "
+            f"{report.resumed_shards} resumed from checkpoint)"
+        )
+        return 0
     if args.batch is not None:
         for use_frame in (False, True):
             results = BatchedLerExperiment(
@@ -229,15 +321,38 @@ def cmd_sweep(args) -> int:
     from .experiments.stats import mean_rho, significant_fraction
     from .experiments.sweep import format_sweep_table, run_ler_sweep
 
-    sweep = run_ler_sweep(
-        per_values=args.per,
-        error_kind=args.kind,
-        samples=args.samples,
-        max_logical_errors=args.errors,
-        seed=args.seed,
-        batch_windows=args.batch,
-    )
-    print(format_sweep_table(sweep))
+    if args.workers is not None:
+        from .experiments.parallel import run_parallel_sweep
+
+        report = run_parallel_sweep(
+            per_values=args.per,
+            error_kind=args.kind,
+            shots=args.samples,
+            windows=args.batch,
+            seed=args.seed,
+            config=_parallel_config(args),
+            max_logical_errors=args.errors,
+        )
+        sweep = report.sweep
+        print(format_sweep_table(sweep))
+        for index, per in enumerate(args.per):
+            print(f"PER {per:g}:")
+            _print_parallel_arms(report, index)
+        print(
+            f"shards: {report.committed_shards} committed "
+            f"({report.executed_shards} executed, "
+            f"{report.resumed_shards} resumed from checkpoint)"
+        )
+    else:
+        sweep = run_ler_sweep(
+            per_values=args.per,
+            error_kind=args.kind,
+            samples=args.samples,
+            max_logical_errors=args.errors,
+            seed=args.seed,
+            batch_windows=args.batch,
+        )
+        print(format_sweep_table(sweep))
     comparisons = [point.comparison for point in sweep.points]
     print(
         f"mean rho = {mean_rho(comparisons):.2f}; points with "

@@ -384,6 +384,56 @@ class LerExperiment:
 DEFAULT_BATCH_WINDOWS = 200
 
 
+@dataclass
+class BatchedLerCounts:
+    """Raw per-shot count arrays of one batched LER run.
+
+    The array-level result of
+    :meth:`BatchedLerExperiment.run_counts`: three int arrays of shape
+    ``(num_shots,)`` plus the shared window count.  This is the
+    serialization-friendly form the parallel shard runner ships
+    between processes; :meth:`to_results` expands it into the
+    per-shot :class:`LerResult` views the analysis layer consumes.
+    """
+
+    physical_error_rate: float
+    error_kind: str
+    use_pauli_frame: bool
+    windows: int
+    logical_errors: np.ndarray
+    clean_windows: np.ndarray
+    corrections_commanded: np.ndarray
+
+    @property
+    def num_shots(self) -> int:
+        return len(self.logical_errors)
+
+    @property
+    def total_errors(self) -> int:
+        return int(self.logical_errors.sum())
+
+    @property
+    def total_windows(self) -> int:
+        return self.windows * self.num_shots
+
+    def to_results(self) -> List[LerResult]:
+        """One :class:`LerResult` per shot."""
+        return [
+            LerResult(
+                physical_error_rate=self.physical_error_rate,
+                error_kind=self.error_kind,
+                use_pauli_frame=self.use_pauli_frame,
+                windows=self.windows,
+                logical_errors=int(self.logical_errors[shot]),
+                clean_windows=int(self.clean_windows[shot]),
+                corrections_commanded=int(
+                    self.corrections_commanded[shot]
+                ),
+            )
+            for shot in range(self.num_shots)
+        ]
+
+
 class BatchedLerExperiment:
     """The LER protocol of Listing 5.7 over N shots in lockstep.
 
@@ -538,6 +588,15 @@ class BatchedLerExperiment:
     # ------------------------------------------------------------------
     def run(self) -> List[LerResult]:
         """Run all shots; one :class:`LerResult` per shot."""
+        return self.run_counts().to_results()
+
+    def run_counts(self) -> BatchedLerCounts:
+        """Run all shots; per-shot count arrays.
+
+        The cheap form of :meth:`run` — no per-shot dataclasses, just
+        the three count arrays.  The parallel shard runner uses this
+        to keep inter-process records compact.
+        """
         prepare = Circuit("prepare")
         slot = prepare.new_slot()
         for data in range(9):
@@ -581,18 +640,15 @@ class BatchedLerExperiment:
             # exactly like the loop protocol's check_logical_error.
             reference = np.where(clean, eigenvalues, reference)
 
-        return [
-            LerResult(
-                physical_error_rate=self.physical_error_rate,
-                error_kind=self.error_kind,
-                use_pauli_frame=self.use_pauli_frame,
-                windows=self.windows,
-                logical_errors=int(logical_errors[shot]),
-                clean_windows=int(clean_windows[shot]),
-                corrections_commanded=int(corrections[shot]),
-            )
-            for shot in range(self.num_shots)
-        ]
+        return BatchedLerCounts(
+            physical_error_rate=self.physical_error_rate,
+            error_kind=self.error_kind,
+            use_pauli_frame=self.use_pauli_frame,
+            windows=self.windows,
+            logical_errors=logical_errors,
+            clean_windows=clean_windows,
+            corrections_commanded=corrections,
+        )
 
 
 def run_ler_point(

@@ -1,0 +1,779 @@
+"""Shot-sharded parallel LER sweeps with checkpoint/resume.
+
+The paper's headline evaluation (Figs 5.17-5.24) wants tens of
+thousands of decode-and-correct windows per (PER, frame-arm) point.
+PR 1's batched sampler made a single process fast; this module scales
+*across* processes the way Stim does (Gidney, Quantum 5, 497):
+logical-error-rate sampling is embarrassingly parallel over shots, so
+every sweep point is split into fixed-size **shards** that execute
+independently on a worker pool.
+
+Three properties are load-bearing:
+
+* **Determinism regardless of worker count.**  A shard's entire RNG
+  tree derives from ``(arm_seed, shard_index)`` — nothing else.  The
+  aggregate is assembled from shard records *in shard-index order*, so
+  1, 4 or 40 workers (or a resumed run) produce bit-identical
+  per-shard records and bit-identical final numbers.
+
+* **Checkpoint/resume.**  With a checkpoint path, every completed
+  shard is appended to a JSON-lines file as one atomic line (single
+  ``write`` + flush + fsync).  A killed sweep resumes by replaying the
+  recorded shards and executing only the missing ones; the final
+  result is identical to an uninterrupted run.  A header line pins the
+  result-affecting configuration so a stale checkpoint cannot silently
+  poison a different sweep.
+
+* **Online aggregation with optional early stopping.**  Shard records
+  stream into per-arm Wilson-interval trackers
+  (:func:`repro.experiments.stats.wilson_interval`); with a
+  ``target_ci``, an arm stops once the pooled LER's CI half-width at
+  the *committed frontier* meets the target.  The frontier rule keeps
+  early stopping deterministic: the committed shard set is the
+  shortest prefix (in shard-index order) satisfying the target, no
+  matter how many extra shards happened to finish on a wide pool.
+
+Shards run either the batched lockstep sampler
+(:class:`~repro.experiments.ler.BatchedLerExperiment`, ``mode="batch"``)
+or the per-shot tableau loop
+(:class:`~repro.experiments.ler.LerExperiment`, ``mode="loop"``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+from .ler import (
+    DEFAULT_BATCH_WINDOWS,
+    BatchedLerExperiment,
+    LerExperiment,
+    LerResult,
+)
+from .stats import StreamingSummary, wilson_halfwidth, wilson_interval
+from .sweep import (
+    ARM_SEED_OFFSET,
+    LerSweep,
+    build_sweep_point,
+    point_base_seed,
+)
+
+#: Format version of the JSON-lines checkpoint.
+CHECKPOINT_VERSION = 1
+
+#: Arm identifier used in records and keys.
+ArmKey = Tuple[int, bool]
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of work: a fixed block of shots of one (PER, arm).
+
+    Everything that determines the shard's random stream is in here,
+    and nothing else is: the shard seed is ``(arm_seed, shard_index)``
+    (plus the in-shard shot index in loop mode), so the record a shard
+    produces is a pure function of its spec.
+    """
+
+    point_index: int
+    physical_error_rate: float
+    use_pauli_frame: bool
+    shard_index: int
+    shots: int
+    error_kind: str
+    mode: str  # "batch" or "loop"
+    windows: int  # batch mode: windows per shot; loop mode: 0
+    max_logical_errors: int
+    max_windows: int
+    arm_seed: int
+
+    @property
+    def key(self) -> Tuple[int, bool, int]:
+        return (self.point_index, self.use_pauli_frame, self.shard_index)
+
+    @property
+    def arm_key(self) -> ArmKey:
+        return (self.point_index, self.use_pauli_frame)
+
+    @property
+    def shard_seed(self) -> Tuple[int, int]:
+        """Entropy of this shard's RNG tree (worker-count independent)."""
+        return (self.arm_seed, self.shard_index)
+
+
+def plan_shards(
+    per_values: Sequence[float],
+    error_kind: str,
+    shots: int,
+    shard_shots: int,
+    windows: Optional[int],
+    seed: int,
+    max_logical_errors: int = 50,
+    max_windows: int = 2_000_000,
+) -> List[ShardSpec]:
+    """The full deterministic shard schedule of a sweep.
+
+    ``shots`` per arm are split into ``ceil(shots / shard_shots)``
+    shards; the last shard takes the remainder.  ``windows`` selects
+    batch mode (fixed windows per shot); ``None`` selects the per-shot
+    tableau loop terminated at ``max_logical_errors``.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if shard_shots < 1:
+        raise ValueError("shard_shots must be positive")
+    mode = "batch" if windows is not None else "loop"
+    if mode == "batch" and windows < 1:
+        raise ValueError("windows must be positive in batch mode")
+    specs: List[ShardSpec] = []
+    num_shards = math.ceil(shots / shard_shots)
+    for index, per in enumerate(per_values):
+        base = point_base_seed(seed, index)
+        for use_frame in (False, True):
+            arm_seed = base + (ARM_SEED_OFFSET if use_frame else 0)
+            remaining = shots
+            for shard in range(num_shards):
+                take = min(shard_shots, remaining)
+                remaining -= take
+                specs.append(
+                    ShardSpec(
+                        point_index=index,
+                        physical_error_rate=float(per),
+                        use_pauli_frame=use_frame,
+                        shard_index=shard,
+                        shots=take,
+                        error_kind=error_kind,
+                        mode=mode,
+                        windows=int(windows) if mode == "batch" else 0,
+                        max_logical_errors=int(max_logical_errors),
+                        max_windows=int(max_windows),
+                        arm_seed=arm_seed,
+                    )
+                )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Shard execution
+# ----------------------------------------------------------------------
+@dataclass
+class ShardRecord:
+    """The complete result of one executed shard.
+
+    Carries the identifying spec fields plus per-shot count lists, so
+    an aggregate (or a resumed run) can rebuild exact
+    :class:`~repro.experiments.ler.LerResult` views without re-running
+    anything.  Serialises to one JSON object per checkpoint line.
+    """
+
+    point_index: int
+    physical_error_rate: float
+    use_pauli_frame: bool
+    shard_index: int
+    shots: int
+    error_kind: str
+    mode: str
+    windows: int
+    shot_errors: List[int]
+    shot_windows: List[int]
+    shot_clean: List[int]
+    shot_corrections: List[int]
+
+    @property
+    def key(self) -> Tuple[int, bool, int]:
+        return (self.point_index, self.use_pauli_frame, self.shard_index)
+
+    @property
+    def arm_key(self) -> ArmKey:
+        return (self.point_index, self.use_pauli_frame)
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.shot_errors)
+
+    @property
+    def total_windows(self) -> int:
+        return sum(self.shot_windows)
+
+    def to_results(self) -> List[LerResult]:
+        """Expand into per-shot :class:`LerResult` views."""
+        return [
+            LerResult(
+                physical_error_rate=self.physical_error_rate,
+                error_kind=self.error_kind,
+                use_pauli_frame=self.use_pauli_frame,
+                windows=self.shot_windows[shot],
+                logical_errors=self.shot_errors[shot],
+                clean_windows=self.shot_clean[shot],
+                corrections_commanded=self.shot_corrections[shot],
+            )
+            for shot in range(self.shots)
+        ]
+
+    def to_json(self) -> str:
+        payload = {"kind": "shard"}
+        payload.update(asdict(self))
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "ShardRecord":
+        fields_ = {
+            name: payload[name]
+            for name in (
+                "point_index",
+                "physical_error_rate",
+                "use_pauli_frame",
+                "shard_index",
+                "shots",
+                "error_kind",
+                "mode",
+                "windows",
+                "shot_errors",
+                "shot_windows",
+                "shot_clean",
+                "shot_corrections",
+            )
+        }
+        return cls(**fields_)
+
+
+def run_shard(spec: ShardSpec) -> ShardRecord:
+    """Execute one shard; pure function of its spec.
+
+    This is the function worker processes run.  Batch mode drives one
+    :class:`BatchedLerExperiment` over the shard's shots in lockstep;
+    loop mode runs ``spec.shots`` independent per-shot tableau
+    experiments, each seeded by ``(arm_seed, shard_index, shot)``.
+    """
+    if spec.mode == "batch":
+        counts = BatchedLerExperiment(
+            spec.physical_error_rate,
+            num_shots=spec.shots,
+            use_pauli_frame=spec.use_pauli_frame,
+            error_kind=spec.error_kind,
+            windows=spec.windows,
+            seed=spec.shard_seed,
+        ).run_counts()
+        return ShardRecord(
+            point_index=spec.point_index,
+            physical_error_rate=spec.physical_error_rate,
+            use_pauli_frame=spec.use_pauli_frame,
+            shard_index=spec.shard_index,
+            shots=spec.shots,
+            error_kind=spec.error_kind,
+            mode=spec.mode,
+            windows=spec.windows,
+            shot_errors=[int(v) for v in counts.logical_errors],
+            shot_windows=[spec.windows] * spec.shots,
+            shot_clean=[int(v) for v in counts.clean_windows],
+            shot_corrections=[
+                int(v) for v in counts.corrections_commanded
+            ],
+        )
+    if spec.mode != "loop":
+        raise ValueError(f"unknown shard mode {spec.mode!r}")
+    errors: List[int] = []
+    windows: List[int] = []
+    clean: List[int] = []
+    corrections: List[int] = []
+    for shot in range(spec.shots):
+        result = LerExperiment(
+            spec.physical_error_rate,
+            use_pauli_frame=spec.use_pauli_frame,
+            error_kind=spec.error_kind,
+            max_logical_errors=spec.max_logical_errors,
+            max_windows=spec.max_windows,
+            seed=(spec.arm_seed, spec.shard_index, shot),
+        ).run()
+        errors.append(result.logical_errors)
+        windows.append(result.windows)
+        clean.append(result.clean_windows)
+        corrections.append(result.corrections_commanded)
+    return ShardRecord(
+        point_index=spec.point_index,
+        physical_error_rate=spec.physical_error_rate,
+        use_pauli_frame=spec.use_pauli_frame,
+        shard_index=spec.shard_index,
+        shots=spec.shots,
+        error_kind=spec.error_kind,
+        mode=spec.mode,
+        windows=spec.windows,
+        shot_errors=errors,
+        shot_windows=windows,
+        shot_clean=clean,
+        shot_corrections=corrections,
+    )
+
+
+# ----------------------------------------------------------------------
+# Online aggregation with a deterministic early-stop frontier
+# ----------------------------------------------------------------------
+class ArmAggregator:
+    """Order-committing accumulator of one arm's shard records.
+
+    Records may *arrive* in any order (workers race), but they are
+    *committed* strictly in shard-index order.  Early stopping is
+    evaluated only at the committed frontier, so the set of committed
+    shards — and therefore every downstream number — is independent of
+    worker count and of how a resumed run interleaved with the
+    original.  Records beyond a satisfied frontier are discarded.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        target_halfwidth: Optional[float] = None,
+        confidence: float = 0.95,
+    ) -> None:
+        self.num_shards = int(num_shards)
+        self.target_halfwidth = target_halfwidth
+        self.confidence = float(confidence)
+        self.committed: List[ShardRecord] = []
+        self.errors = 0
+        self.windows = 0
+        self.satisfied = False
+        self._pending: Dict[int, ShardRecord] = {}
+
+    @property
+    def next_index(self) -> int:
+        """Shard index the frontier is waiting for."""
+        return len(self.committed)
+
+    @property
+    def done(self) -> bool:
+        """Whether this arm needs no further shards."""
+        return self.satisfied or self.next_index >= self.num_shards
+
+    def halfwidth(self) -> float:
+        """Wilson CI half-width of the committed pooled LER."""
+        return wilson_halfwidth(
+            self.errors, self.windows, self.confidence
+        )
+
+    def wilson(self) -> Tuple[float, float]:
+        """Wilson CI of the committed pooled LER."""
+        return wilson_interval(
+            self.errors, self.windows, self.confidence
+        )
+
+    @property
+    def pooled_ler(self) -> float:
+        if self.windows == 0:
+            return 0.0
+        return self.errors / self.windows
+
+    def add(self, record: ShardRecord) -> None:
+        """Stash a record; commit every in-order shard now available."""
+        if record.shard_index < self.next_index or self.done:
+            return  # duplicate (resume replay) or beyond the frontier
+        self._pending[record.shard_index] = record
+        while not self.done and self.next_index in self._pending:
+            committed = self._pending.pop(self.next_index)
+            self.committed.append(committed)
+            self.errors += committed.total_errors
+            self.windows += committed.total_windows
+            if (
+                self.target_halfwidth is not None
+                and self.windows > 0
+                and self.halfwidth() <= self.target_halfwidth
+            ):
+                self.satisfied = True
+        if self.done:
+            self._pending.clear()
+
+    def results(self) -> List[LerResult]:
+        """Per-shot results of the committed shards, in shard order."""
+        results: List[LerResult] = []
+        for record in self.committed:
+            results.extend(record.to_results())
+        return results
+
+    def summary(self) -> StreamingSummary:
+        """Streaming summary over the committed shards."""
+        if not self.committed:
+            raise ValueError("no committed shards")
+        first = self.committed[0]
+        summary = StreamingSummary(
+            physical_error_rate=first.physical_error_rate,
+            use_pauli_frame=first.use_pauli_frame,
+        )
+        for record in self.committed:
+            summary.add_shots(record.shot_errors, record.shot_windows)
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Checkpointing (JSON lines, atomic append)
+# ----------------------------------------------------------------------
+class CheckpointWriter:
+    """Append-only JSON-lines checkpoint.
+
+    Each record is written as exactly one line in a single ``write``
+    call followed by flush + fsync, so a kill between shards leaves a
+    parseable file and a kill mid-write leaves at most one truncated
+    final line (which the loader tolerates and drops).
+    """
+
+    def __init__(self, path: str, append: bool) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        if append and os.path.exists(path):
+            self._drop_torn_tail(path)
+        self._handle = open(path, "a" if append else "w")
+
+    @staticmethod
+    def _drop_torn_tail(path: str) -> None:
+        """Truncate a half-written final line before appending.
+
+        A kill mid-write leaves the file without a trailing newline;
+        that fragment was never a complete record (the loader already
+        ignores it), so appending must first cut it off rather than
+        concatenate onto it.
+        """
+        with open(path, "rb+") as handle:
+            data = handle.read()
+            if data and not data.endswith(b"\n"):
+                handle.truncate(data.rfind(b"\n") + 1)
+
+    def write_header(self, config: Dict) -> None:
+        payload = {
+            "kind": "header",
+            "version": CHECKPOINT_VERSION,
+            "config": config,
+        }
+        self._write_line(json.dumps(payload, sort_keys=True))
+
+    def write_record(self, record: ShardRecord) -> None:
+        self._write_line(record.to_json())
+
+    def _write_line(self, line: str) -> None:
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def load_checkpoint(
+    path: str,
+) -> Tuple[Optional[Dict], List[ShardRecord]]:
+    """Read a checkpoint file back into (header config, records).
+
+    A truncated final line (the signature of a kill mid-write) is
+    dropped; a malformed line anywhere else raises, because it means
+    the file is not one of ours.
+    """
+    header: Optional[Dict] = None
+    records: List[ShardRecord] = []
+    with open(path) as handle:
+        lines = handle.read().split("\n")
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                break  # torn final line from an interrupted write
+            raise ValueError(
+                f"{path}:{number + 1}: malformed checkpoint line"
+            )
+        kind = payload.get("kind")
+        if kind == "header":
+            if payload.get("version") != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"{path}: checkpoint version "
+                    f"{payload.get('version')!r} is not "
+                    f"{CHECKPOINT_VERSION}"
+                )
+            header = payload.get("config")
+        elif kind == "shard":
+            records.append(ShardRecord.from_json_dict(payload))
+        else:
+            raise ValueError(
+                f"{path}:{number + 1}: unknown record kind {kind!r}"
+            )
+    return header, records
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution knobs of the parallel sweep engine.
+
+    None of these affect the physics: the shard records are a pure
+    function of the sweep parameters, so workers / checkpointing /
+    early-stop targets can vary between runs without changing any
+    committed number (early stopping changes *how many* shards are
+    committed, deterministically, never their content).
+    """
+
+    workers: int = 1
+    shard_shots: int = 100
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    target_ci: Optional[float] = None
+    confidence: float = 0.95
+
+
+@dataclass
+class ParallelSweepReport:
+    """A finished parallel sweep: the figure data plus run metadata."""
+
+    sweep: LerSweep
+    arms: Dict[ArmKey, ArmAggregator]
+    total_shards: int
+    executed_shards: int
+    resumed_shards: int
+
+    @property
+    def committed_shards(self) -> int:
+        return sum(len(a.committed) for a in self.arms.values())
+
+    def arm(self, point_index: int, use_pauli_frame: bool) -> ArmAggregator:
+        return self.arms[(point_index, use_pauli_frame)]
+
+
+def _checkpoint_config(
+    per_values: Sequence[float],
+    error_kind: str,
+    shots: int,
+    shard_shots: int,
+    windows: Optional[int],
+    seed: int,
+    max_logical_errors: int,
+    max_windows: int,
+) -> Dict:
+    """The result-affecting configuration pinned in the header.
+
+    ``workers``, ``target_ci`` and the checkpoint path itself are
+    deliberately absent: they do not change shard contents, so a
+    resume may legally use different values for them.
+    """
+    return {
+        "per_values": [float(p) for p in per_values],
+        "error_kind": error_kind,
+        "shots": int(shots),
+        "shard_shots": int(shard_shots),
+        "windows": None if windows is None else int(windows),
+        "seed": int(seed),
+        "max_logical_errors": int(max_logical_errors),
+        "max_windows": int(max_windows),
+    }
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Prefer fork (cheap start) and fall back to spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _execute_shards(
+    specs: Sequence[ShardSpec],
+    aggregators: Dict[ArmKey, ArmAggregator],
+    workers: int,
+    on_record: Callable[[ShardRecord], None],
+) -> int:
+    """Run the outstanding shards; returns how many executed.
+
+    ``workers <= 1`` runs inline in spec order, which doubles as the
+    reference path for the determinism guarantees.  With a pool, all
+    outstanding shards are submitted up front and results stream back
+    as they finish; shards of arms whose frontier is already satisfied
+    are cancelled where possible and discarded otherwise.
+    """
+    executed = 0
+    if workers <= 1:
+        for spec in specs:
+            if aggregators[spec.arm_key].done:
+                continue
+            on_record(run_shard(spec))
+            executed += 1
+        return executed
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as pool:
+        future_specs = {}
+        for spec in specs:
+            if aggregators[spec.arm_key].done:
+                continue
+            future_specs[pool.submit(run_shard, spec)] = spec
+        pending = set(future_specs)
+        while pending:
+            finished, pending = wait(
+                pending, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                on_record(future.result())
+                executed += 1
+            for future in list(pending):
+                arm = future_specs[future].arm_key
+                if aggregators[arm].done and future.cancel():
+                    pending.discard(future)
+    return executed
+
+
+def run_parallel_sweep(
+    per_values: Sequence[float],
+    error_kind: str = "x",
+    shots: int = 100,
+    windows: Optional[int] = DEFAULT_BATCH_WINDOWS,
+    seed: int = 0,
+    config: ParallelConfig = ParallelConfig(),
+    max_logical_errors: int = 50,
+    max_windows: int = 2_000_000,
+) -> ParallelSweepReport:
+    """Run a full with/without-frame PER sweep, shot-sharded.
+
+    Parameters
+    ----------
+    per_values:
+        The PER grid, as in :func:`~repro.experiments.sweep.run_ler_sweep`.
+    shots:
+        Shots per (PER, arm) point, split into
+        ``ceil(shots / config.shard_shots)`` shards.
+    windows:
+        Windows per shot (batch mode); ``None`` switches every shard
+        to the per-shot tableau loop terminated at
+        ``max_logical_errors``.
+    seed:
+        Root seed; per-point/arm/shard entropy derives from it exactly
+        as documented in :func:`plan_shards`.
+    config:
+        Execution knobs (:class:`ParallelConfig`).
+
+    Returns a :class:`ParallelSweepReport` whose ``sweep`` is the same
+    :class:`~repro.experiments.sweep.LerSweep` structure the
+    sequential path produces, built from the committed shard records.
+    """
+    specs = plan_shards(
+        per_values,
+        error_kind,
+        shots,
+        config.shard_shots,
+        windows,
+        seed,
+        max_logical_errors=max_logical_errors,
+        max_windows=max_windows,
+    )
+    num_shards = math.ceil(shots / config.shard_shots)
+    target = config.target_ci
+    aggregators: Dict[ArmKey, ArmAggregator] = {}
+    for index in range(len(per_values)):
+        for use_frame in (False, True):
+            aggregators[(index, use_frame)] = ArmAggregator(
+                num_shards,
+                target_halfwidth=target,
+                confidence=config.confidence,
+            )
+    spec_by_key = {spec.key: spec for spec in specs}
+    header_config = _checkpoint_config(
+        per_values,
+        error_kind,
+        shots,
+        config.shard_shots,
+        windows,
+        seed,
+        max_logical_errors,
+        max_windows,
+    )
+
+    resumed = 0
+    replayed_keys = set()
+    resuming = (
+        config.resume
+        and config.checkpoint is not None
+        and os.path.exists(config.checkpoint)
+    )
+    if resuming:
+        stored_config, records = load_checkpoint(config.checkpoint)
+        if stored_config != header_config:
+            raise ValueError(
+                f"checkpoint {config.checkpoint!r} was written for a "
+                f"different sweep configuration; refusing to resume"
+            )
+        for record in records:
+            spec = spec_by_key.get(record.key)
+            if spec is None or spec.shots != record.shots:
+                raise ValueError(
+                    f"checkpoint {config.checkpoint!r} holds shard "
+                    f"{record.key} that the planned sweep does not"
+                )
+            if record.key in replayed_keys:
+                continue  # an interrupted resume may duplicate lines
+            replayed_keys.add(record.key)
+            aggregators[record.arm_key].add(record)
+            resumed += 1
+
+    writer: Optional[CheckpointWriter] = None
+    if config.checkpoint is not None:
+        writer = CheckpointWriter(config.checkpoint, append=resuming)
+        if not resuming:
+            writer.write_header(header_config)
+
+    def on_record(record: ShardRecord) -> None:
+        if writer is not None:
+            writer.write_record(record)
+        aggregators[record.arm_key].add(record)
+
+    outstanding = [
+        spec for spec in specs if spec.key not in replayed_keys
+    ]
+    try:
+        executed = _execute_shards(
+            outstanding, aggregators, config.workers, on_record
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+
+    sweep = LerSweep(error_kind=error_kind)
+    for index, per in enumerate(per_values):
+        without = aggregators[(index, False)].results()
+        with_frame = aggregators[(index, True)].results()
+        sweep.points.append(
+            build_sweep_point(float(per), without, with_frame)
+        )
+    return ParallelSweepReport(
+        sweep=sweep,
+        arms=aggregators,
+        total_shards=len(specs),
+        executed_shards=executed,
+        resumed_shards=resumed,
+    )
+
+
+def run_parallel_point(
+    physical_error_rate: float,
+    error_kind: str = "x",
+    shots: int = 100,
+    windows: Optional[int] = DEFAULT_BATCH_WINDOWS,
+    seed: int = 0,
+    config: ParallelConfig = ParallelConfig(),
+    max_logical_errors: int = 50,
+    max_windows: int = 2_000_000,
+) -> ParallelSweepReport:
+    """One-point convenience wrapper around :func:`run_parallel_sweep`."""
+    return run_parallel_sweep(
+        [physical_error_rate],
+        error_kind=error_kind,
+        shots=shots,
+        windows=windows,
+        seed=seed,
+        config=config,
+        max_logical_errors=max_logical_errors,
+        max_windows=max_windows,
+    )

@@ -15,8 +15,9 @@ This module reproduces those aggregations over lists of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -79,6 +80,113 @@ def summarize(results: Sequence[LerResult]) -> SampleSummary:
         ler_values=np.array([r.logical_error_rate for r in results]),
         window_counts=np.array([r.windows for r in results], dtype=float),
     )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The LER of Eq. 5.1 is a binomial proportion (``m`` logical errors
+    over ``R`` windows); the Wilson interval stays well-behaved at the
+    extreme rates the sweep visits (``m = 0`` near the low-PER end),
+    unlike the normal approximation.  Used by the parallel sweep
+    engine's online aggregation and its early-stopping rule.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (p + z * z / (2.0 * trials)) / denominator
+    half = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / trials + z * z / (4.0 * trials * trials)
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def wilson_halfwidth(
+    successes: int, trials: int, confidence: float = 0.95
+) -> float:
+    """Half-width of :func:`wilson_interval` (the early-stop metric)."""
+    low, high = wilson_interval(successes, trials, confidence)
+    return (high - low) / 2.0
+
+
+@dataclass
+class StreamingSummary:
+    """Online accumulation of one (PER, arm) sample set.
+
+    The streaming counterpart of :func:`summarize`: shard records
+    arrive one at a time (in any order) from the parallel sweep
+    engine, and the summary keeps the pooled error/window totals plus
+    the per-shot values needed to emit an exact :class:`SampleSummary`
+    at the end.  Pooled totals drive the Wilson interval: the pooled
+    LER estimate is ``errors / windows`` over everything seen so far.
+    """
+
+    physical_error_rate: float
+    use_pauli_frame: bool
+    errors: int = 0
+    windows: int = 0
+    shots: int = 0
+    _ler_values: List[float] = field(default_factory=list)
+    _window_counts: List[float] = field(default_factory=list)
+
+    @property
+    def pooled_ler(self) -> float:
+        """Pooled ``errors / windows`` over all shots seen so far."""
+        if self.windows == 0:
+            return 0.0
+        return self.errors / self.windows
+
+    def add_shot(self, logical_errors: int, windows: int) -> None:
+        """Fold one shot's counts into the running summary."""
+        if windows < 0 or logical_errors < 0:
+            raise ValueError("counts must be non-negative")
+        self.errors += int(logical_errors)
+        self.windows += int(windows)
+        self.shots += 1
+        self._ler_values.append(
+            logical_errors / windows if windows else 0.0
+        )
+        self._window_counts.append(float(windows))
+
+    def add_shots(
+        self,
+        logical_errors: Sequence[int],
+        windows: Sequence[int],
+    ) -> None:
+        """Fold a batch of per-shot counts (e.g. one shard record)."""
+        if len(logical_errors) != len(windows):
+            raise ValueError("per-shot arrays must have equal length")
+        for errors, window_count in zip(logical_errors, windows):
+            self.add_shot(int(errors), int(window_count))
+
+    def wilson(
+        self, confidence: float = 0.95
+    ) -> Tuple[float, float]:
+        """Wilson CI of the pooled LER."""
+        return wilson_interval(self.errors, self.windows, confidence)
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """Wilson CI half-width of the pooled LER."""
+        return wilson_halfwidth(self.errors, self.windows, confidence)
+
+    def to_summary(self) -> SampleSummary:
+        """Freeze into the :class:`SampleSummary` the figures use."""
+        if self.shots == 0:
+            raise ValueError("no shots to summarize")
+        return SampleSummary(
+            physical_error_rate=self.physical_error_rate,
+            use_pauli_frame=self.use_pauli_frame,
+            ler_values=np.array(self._ler_values),
+            window_counts=np.array(self._window_counts),
+        )
 
 
 @dataclass

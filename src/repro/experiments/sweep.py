@@ -118,6 +118,39 @@ class LerSweep:
         }
 
 
+#: Seed offset of the with-frame arm relative to the without-frame arm
+#: at the same sweep point.
+ARM_SEED_OFFSET = 5_000
+#: Seed stride between consecutive sweep points.
+POINT_SEED_STRIDE = 10_000
+
+
+def point_base_seed(seed: int, point_index: int) -> int:
+    """Base seed of sweep point ``point_index`` (without-frame arm).
+
+    The with-frame arm of the same point uses
+    ``point_base_seed(...) + ARM_SEED_OFFSET``.  Shared by the
+    sequential sweep below and the shot-sharded parallel engine
+    (:mod:`repro.experiments.parallel`) so both derive their RNG trees
+    from the same per-point entropy.
+    """
+    return seed + POINT_SEED_STRIDE * point_index
+
+
+def build_sweep_point(
+    physical_error_rate: float,
+    without_frame: List[LerResult],
+    with_frame: List[LerResult],
+) -> SweepPoint:
+    """Package both arms of one PER value into a :class:`SweepPoint`."""
+    return SweepPoint(
+        physical_error_rate=physical_error_rate,
+        without_frame=without_frame,
+        with_frame=with_frame,
+        comparison=compare_point(without_frame, with_frame),
+    )
+
+
 def run_ler_sweep(
     per_values: Sequence[float],
     error_kind: str = "x",
@@ -141,7 +174,7 @@ def run_ler_sweep(
     """
     sweep = LerSweep(error_kind=error_kind)
     for index, per in enumerate(per_values):
-        base_seed = seed + 10_000 * index
+        base_seed = point_base_seed(seed, index)
         without = run_ler_point(
             per,
             use_pauli_frame=False,
@@ -158,18 +191,11 @@ def run_ler_sweep(
             error_kind=error_kind,
             samples=samples,
             max_logical_errors=max_logical_errors,
-            seed=base_seed + 5_000,
+            seed=base_seed + ARM_SEED_OFFSET,
             max_windows=max_windows,
             batch_windows=batch_windows,
         )
-        sweep.points.append(
-            SweepPoint(
-                physical_error_rate=per,
-                without_frame=without,
-                with_frame=with_frame,
-                comparison=compare_point(without, with_frame),
-            )
-        )
+        sweep.points.append(build_sweep_point(per, without, with_frame))
     return sweep
 
 

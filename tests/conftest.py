@@ -4,6 +4,21 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    """``--fuzz-iters N``: extra differential-fuzz seeds per test.
+
+    The default run uses only the fixed corpus of
+    ``tests/test_fuzz_differential.py``; deeper local runs append
+    ``N`` additional deterministic seeds.
+    """
+    parser.addoption(
+        "--fuzz-iters",
+        type=int,
+        default=0,
+        help="extra deterministic differential-fuzz iterations",
+    )
+
+
 @pytest.fixture
 def rng():
     """A deterministic random generator for reproducible tests."""

@@ -1,0 +1,137 @@
+"""QASM round-trip tests: parse → emit → parse identity.
+
+The serialisation contract of :mod:`repro.circuits.qasm` is that the
+*text form* is a fixed point: ``dumps(loads(dumps(c)))`` must equal
+``dumps(c)`` for every circuit, in both the flat and the
+parallel-blocks dialect.  (Slot packing may legitimately differ after
+a flat-form round trip, so textual identity — which pins the full
+operation sequence, qubits, parameters and error markers — is the
+invariant, not slot-level equality.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import qasm
+from repro.circuits.circuit import Circuit
+from repro.circuits.operation import Operation
+from repro.circuits.random_circuits import random_circuit
+from repro.codes.surface17.esm import parallel_esm
+
+
+def build_kitchen_sink() -> Circuit:
+    """A circuit using every serialisation feature at once."""
+    circuit = Circuit("kitchen-sink")
+    circuit.append(Operation("h", (0,)))
+    circuit.append(Operation("cnot", (0, 1)))
+    circuit.append(Operation("rz", (2,), (0.785398,)))
+    circuit.append(Operation("x", (1,), is_error=True))
+    circuit.append(Operation("prep_z", (3,)))
+    circuit.append(Operation("measure", (1,)))
+    circuit.append(Operation("measure", (2,)))
+    return circuit
+
+
+def assert_text_fixed_point(circuit, parallel_blocks=False):
+    text = qasm.dumps(circuit, parallel_blocks=parallel_blocks)
+    reparsed = qasm.loads(text, name=circuit.name)
+    assert (
+        qasm.dumps(reparsed, parallel_blocks=parallel_blocks) == text
+    )
+    return reparsed
+
+
+class TestFlatRoundTrip:
+    def test_kitchen_sink_text_identity(self):
+        assert_text_fixed_point(build_kitchen_sink())
+
+    def test_operation_sequence_preserved(self):
+        circuit = build_kitchen_sink()
+        reparsed = qasm.loads(qasm.dumps(circuit))
+        original = list(circuit.operations())
+        restored = list(reparsed.operations())
+        assert len(original) == len(restored)
+        for op_a, op_b in zip(original, restored):
+            assert op_a.name == op_b.name
+            assert op_a.qubits == op_b.qubits
+            assert op_a.params == pytest.approx(op_b.params)
+            assert op_a.is_error == op_b.is_error
+
+    def test_error_marker_round_trips(self):
+        circuit = Circuit()
+        circuit.append(Operation("z", (0,), is_error=True))
+        circuit.append(Operation("z", (1,)))
+        restored = list(qasm.loads(qasm.dumps(circuit)).operations())
+        assert [op.is_error for op in restored] == [True, False]
+
+    def test_params_round_trip_exactly_at_9_digits(self):
+        circuit = Circuit()
+        circuit.append(Operation("rz", (0,), (1.23456789e-4,)))
+        circuit.append(Operation("rz", (1,), (-2.5,)))
+        restored = list(qasm.loads(qasm.dumps(circuit)).operations())
+        assert restored[0].params[0] == pytest.approx(
+            1.23456789e-4, rel=1e-8
+        )
+        assert restored[1].params[0] == -2.5
+
+    def test_name_comment_ignored_on_parse(self):
+        circuit = Circuit("named")
+        circuit.append(Operation("h", (0,)))
+        text = qasm.dumps(circuit)
+        assert text.startswith("# circuit: named")
+        assert qasm.loads(text).num_operations() == 1
+
+
+class TestParallelBlockRoundTrip:
+    def test_esm_circuit_text_identity(self):
+        esm = parallel_esm(list(range(17)), name="esm")
+        assert_text_fixed_point(esm.circuit, parallel_blocks=True)
+
+    def test_parallel_block_is_one_slot(self):
+        circuit = Circuit()
+        slot = circuit.new_slot()
+        slot.add(Operation("h", (0,)))
+        slot.add(Operation("h", (1,)))
+        slot.add(Operation("h", (2,)))
+        text = qasm.dumps(circuit, parallel_blocks=True)
+        assert text.count("{") == 1
+        reparsed = qasm.loads(text)
+        slots = [len(s) for s in reparsed if len(s)]
+        assert slots == [3]
+
+    def test_flat_and_block_dialects_same_operations(self):
+        esm = parallel_esm(list(range(17)), name="esm")
+        flat = qasm.loads(qasm.dumps(esm.circuit))
+        block = qasm.loads(
+            qasm.dumps(esm.circuit, parallel_blocks=True)
+        )
+        describe = lambda c: [
+            (op.name, op.qubits, op.params, op.is_error)
+            for op in c.operations()
+        ]
+        assert describe(flat) == describe(block)
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("parallel_blocks", [False, True])
+    def test_random_circuit_fixed_point(self, seed, parallel_blocks):
+        rng = np.random.default_rng(7_000 + seed)
+        circuit = random_circuit(
+            num_qubits=int(rng.integers(2, 6)),
+            num_gates=int(rng.integers(5, 20)),
+            rng=rng,
+        )
+        assert_text_fixed_point(
+            circuit, parallel_blocks=parallel_blocks
+        )
+
+
+class TestParseErrors:
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            qasm.loads("h q0\n!!nonsense!!\n")
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "\n# a comment\n\nh q0\n  # another\nmeasure q0\n"
+        assert qasm.loads(text).num_operations() == 2
