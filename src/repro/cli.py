@@ -12,16 +12,72 @@ Every experiment of the paper is reachable from the shell::
     python -m repro phenomenological# ch. 6 with measurement errors
     python -m repro memory          # ch. 6 circuit-level d=3 vs d=5
     python -m repro inject          # future work: state injection
+    python -m repro report TRACE    # render a saved telemetry trace
 
 Scale knobs (seeds, sample counts, error budgets) are exposed as flags
 so paper-scale runs are a command line away.
+
+Three output/observability flags are shared by every subcommand (they
+may appear before or after the subcommand name):
+
+``--json``
+    Print exactly one machine-readable JSON document (a ``*Report``
+    from :mod:`repro.experiments.results`) instead of the human text.
+``--trace FILE``
+    Record structured telemetry (spans/events/counters from the qpdo
+    stack, the simulators, the decoders and the parallel runner) to a
+    JSON-lines file, renderable later with ``repro report FILE``.
+``--metrics``
+    Print the end-of-run telemetry summary table to stderr.
+
+Every handler builds one report dataclass and hands it to
+:func:`_emit`; all human formatting lives in :mod:`repro.cli_format`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional, Union
+
+
+def _add_output_arguments(
+    parser: argparse.ArgumentParser, suppress: bool = True
+) -> None:
+    """The shared ``--json`` / ``--trace`` / ``--metrics`` flags.
+
+    The root parser holds the real defaults; every subparser re-adds
+    the same flags with ``default=argparse.SUPPRESS`` so a flag given
+    *after* the subcommand sets the attribute while an absent one
+    leaves the root default untouched.
+    """
+    json_kwargs = {} if suppress else {"default": False}
+    trace_kwargs = {} if suppress else {"default": None}
+    metrics_kwargs = {} if suppress else {"default": False}
+    if suppress:
+        json_kwargs["default"] = argparse.SUPPRESS
+        trace_kwargs["default"] = argparse.SUPPRESS
+        metrics_kwargs["default"] = argparse.SUPPRESS
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON document instead of the "
+        "human-readable text",
+        **json_kwargs,
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record telemetry (spans, counters, events) to FILE as "
+        "JSON lines; render later with 'repro report FILE'",
+        **trace_kwargs,
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the end-of-run telemetry summary table to stderr",
+        **metrics_kwargs,
+    )
 
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,9 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
             "Computer Architectures' (DAC 2017)."
         ),
     )
+    _add_output_arguments(parser, suppress=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    verify = sub.add_parser(
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        subparser = sub.add_parser(name, **kwargs)
+        _add_output_arguments(subparser)
+        return subparser
+
+    verify = add_parser(
         "verify", help="Pauli-frame verification benches (section 5.2)"
     )
     verify.add_argument("--iterations", type=int, default=10)
@@ -81,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--gates", type=int, default=100)
     verify.add_argument("--seed", type=int, default=0)
 
-    ler = sub.add_parser(
+    ler = add_parser(
         "ler", help="one logical-error-rate point, both arms (section 5.3)"
     )
     ler.add_argument("--per", type=float, default=5e-3)
@@ -91,9 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     ler.add_argument(
         "--batch",
         type=int,
+        nargs="?",
+        const=25,
         metavar="SHOTS",
         help="use the batched frame sampler with this many lockstep "
-        "shots per arm instead of the per-shot tableau loop",
+        "shots per arm (default 25 when the flag is bare) instead of "
+        "the per-shot tableau loop; runs through the shot-sharded "
+        "engine (inline unless --workers is given)",
     )
     ler.add_argument(
         "--windows",
@@ -110,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(ler)
 
-    sweep = sub.add_parser(
+    sweep = add_parser(
         "sweep", help="PER sweep with/without frame (Figs 5.11-5.26)"
     )
     sweep.add_argument(
@@ -137,19 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(sweep)
 
-    sub.add_parser(
+    add_parser(
         "census", help="Pauli-gate census of the workloads (section 3.3)"
     )
-    sub.add_parser(
+    add_parser(
         "schedule", help="QEC schedule comparison (Fig 3.3)"
     )
-    bound = sub.add_parser(
+    bound = add_parser(
         "bound", help="analytic improvement upper bound (Fig 5.27)"
     )
     bound.add_argument("--max-distance", type=int, default=11)
     bound.add_argument("--ts-esm", type=int, default=8)
 
-    distance = sub.add_parser(
+    distance = add_parser(
         "distance", help="code-capacity distance scaling (ch. 6)"
     )
     distance.add_argument(
@@ -161,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("--trials", type=int, default=1500)
     distance.add_argument("--seed", type=int, default=0)
 
-    phenom = sub.add_parser(
+    phenom = add_parser(
         "phenomenological",
         help="distance scaling with measurement errors (ch. 6)",
     )
@@ -174,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     phenom.add_argument("--trials", type=int, default=400)
     phenom.add_argument("--seed", type=int, default=0)
 
-    memory = sub.add_parser(
+    memory = add_parser(
         "memory",
         help="circuit-level block memory at distance d (ch. 6)",
     )
@@ -185,42 +251,71 @@ def build_parser() -> argparse.ArgumentParser:
     memory.add_argument("--trials", type=int, default=200)
     memory.add_argument("--seed", type=int, default=0)
 
-    inject = sub.add_parser(
+    inject = add_parser(
         "inject", help="logical state injection demo (future work)"
     )
     inject.add_argument("--theta", type=float, default=0.7853981634)
     inject.add_argument("--phi", type=float, default=0.0)
     inject.add_argument("--seed", type=int, default=1)
 
+    report = add_parser(
+        "report",
+        help="render a saved telemetry trace into per-layer/"
+        "per-kernel breakdowns",
+    )
+    report.add_argument(
+        "trace_file",
+        metavar="TRACE",
+        help="JSON-lines trace written by --trace FILE",
+    )
+
     return parser
+
+
+def _emit(args, report, human: Union[str, Callable[[], str]]) -> None:
+    """Print the subcommand's one output document.
+
+    ``--json`` prints ``report.to_json()``; otherwise the human
+    rendering (a string, or a zero-argument callable evaluated lazily
+    so the human path's imports stay off the ``--json`` path).
+    """
+    if args.json:
+        print(report.to_json())
+    else:
+        print(human() if callable(human) else human)
 
 
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def cmd_verify(args) -> int:
+    from .cli_format import render_verify
+    from .experiments.results import VerifyReport
     from .experiments.verification import (
         run_odd_bell_state_bench,
         run_random_circuit_verification,
     )
 
-    report = run_random_circuit_verification(
+    bench = run_random_circuit_verification(
         iterations=args.iterations,
         num_qubits=args.qubits,
         num_gates=args.gates,
         seed=args.seed,
     )
-    matches = sum(1 for o in report.outcomes if o.states_match)
-    print(
-        f"random circuits: {matches}/{report.iterations} states match "
-        f"up to global phase "
-        f"({report.total_gates_filtered} Pauli gates filtered)"
-    )
+    matches = sum(1 for o in bench.outcomes if o.states_match)
     bell = run_odd_bell_state_bench(iterations=6, seed=args.seed)
-    print(f"odd Bell state, with frame:    {bell.histogram_with_frame}")
-    print(f"odd Bell state, without frame: {bell.histogram_without_frame}")
-    ok = report.all_match and bell.both_valid
-    print("verification", "PASSED" if ok else "FAILED")
+    ok = bench.all_match and bell.both_valid
+    report = VerifyReport(
+        iterations=bench.iterations,
+        matches=matches,
+        total_gates_filtered=bench.total_gates_filtered,
+        all_match=bench.all_match,
+        histogram_with_frame=bell.histogram_with_frame,
+        histogram_without_frame=bell.histogram_without_frame,
+        both_valid=bell.both_valid,
+        passed=ok,
+    )
+    _emit(args, report, lambda: render_verify(report))
     return 0 if ok else 1
 
 
@@ -228,7 +323,7 @@ def _parallel_config(args):
     from .experiments.parallel import ParallelConfig
 
     return ParallelConfig(
-        workers=args.workers,
+        workers=args.workers if args.workers is not None else 1,
         shard_shots=args.shard_shots,
         checkpoint=args.checkpoint,
         resume=args.resume,
@@ -236,27 +331,36 @@ def _parallel_config(args):
     )
 
 
-def _print_parallel_arms(report, point_index: int) -> None:
-    """Per-arm pooled LER + Wilson CI lines of one sweep point."""
-    for use_frame in (False, True):
-        arm = report.arm(point_index, use_frame)
-        label = "with frame   " if use_frame else "without frame"
-        low, high = arm.wilson()
-        print(
-            f"{label}: LER = {arm.pooled_ler:.5f} "
-            f"({arm.errors} errors / {arm.windows} windows, "
-            f"95% CI [{low:.5f}, {high:.5f}], "
-            f"{len(arm.committed)}/{arm.num_shards} shards)"
-        )
+def _arm_report(aggregator, use_pauli_frame: bool):
+    """Fold one :class:`ArmAggregator` into an :class:`ArmReport`."""
+    from .experiments.results import ArmReport
+
+    low, high = aggregator.wilson()
+    corrections = sum(
+        sum(record.shot_corrections)
+        for record in aggregator.committed
+    )
+    return ArmReport(
+        use_pauli_frame=use_pauli_frame,
+        logical_errors=aggregator.errors,
+        windows=aggregator.windows,
+        logical_error_rate=aggregator.pooled_ler,
+        corrections_commanded=corrections,
+        wilson_low=low,
+        wilson_high=high,
+        committed_shards=len(aggregator.committed),
+        num_shards=aggregator.num_shards,
+    )
 
 
 def cmd_ler(args) -> int:
-    from .experiments.ler import BatchedLerExperiment, LerExperiment
+    from .cli_format import render_ler
+    from .experiments.results import ArmReport, LerReport
 
-    if args.workers is not None:
+    if args.workers is not None or args.batch is not None:
         from .experiments.parallel import run_parallel_point
 
-        report = run_parallel_point(
+        parallel = run_parallel_point(
             args.per,
             error_kind=args.kind,
             shots=args.batch if args.batch is not None else args.samples,
@@ -265,66 +369,63 @@ def cmd_ler(args) -> int:
             config=_parallel_config(args),
             max_logical_errors=args.errors,
         )
-        _print_parallel_arms(report, 0)
-        print(
-            f"shards: {report.committed_shards} committed "
-            f"({report.executed_shards} executed, "
-            f"{report.resumed_shards} resumed from checkpoint)"
+        report = LerReport(
+            physical_error_rate=args.per,
+            error_kind=args.kind,
+            mode="parallel",
+            seed=args.seed,
+            arms=[
+                _arm_report(parallel.arm(0, use_frame), use_frame)
+                for use_frame in (False, True)
+            ],
+            committed_shards=parallel.committed_shards,
+            executed_shards=parallel.executed_shards,
+            resumed_shards=parallel.resumed_shards,
         )
-        return 0
-    if args.batch is not None:
+    else:
+        from .experiments.ler import LerExperiment
+
+        arms = []
         for use_frame in (False, True):
-            results = BatchedLerExperiment(
+            result = LerExperiment(
                 args.per,
-                num_shots=args.batch,
                 use_pauli_frame=use_frame,
                 error_kind=args.kind,
-                windows=args.windows,
-                seed=args.seed + (1 if use_frame else 0),
+                max_logical_errors=args.errors,
+                seed=args.seed,
             ).run()
-            arm = "with frame   " if use_frame else "without frame"
-            errors = sum(r.logical_errors for r in results)
-            windows = sum(r.windows for r in results)
-            corrections = sum(r.corrections_commanded for r in results)
-            print(
-                f"{arm}: LER = {errors / windows:.5f} "
-                f"({errors} errors / {windows} windows over "
-                f"{len(results)} batched shots, "
-                f"{corrections} corrections)"
+            arms.append(
+                ArmReport(
+                    use_pauli_frame=use_frame,
+                    logical_errors=result.logical_errors,
+                    windows=result.windows,
+                    logical_error_rate=result.logical_error_rate,
+                    corrections_commanded=result.corrections_commanded,
+                    saved_slots_fraction=(
+                        result.saved_slots_fraction if use_frame else None
+                    ),
+                )
             )
-        return 0
-    for use_frame in (False, True):
-        result = LerExperiment(
-            args.per,
-            use_pauli_frame=use_frame,
+        report = LerReport(
+            physical_error_rate=args.per,
             error_kind=args.kind,
-            max_logical_errors=args.errors,
+            mode="loop",
             seed=args.seed,
-        ).run()
-        arm = "with frame   " if use_frame else "without frame"
-        print(
-            f"{arm}: LER = {result.logical_error_rate:.5f} "
-            f"({result.logical_errors} errors / "
-            f"{result.windows} windows, "
-            f"{result.corrections_commanded} corrections)"
+            arms=arms,
         )
-        if use_frame:
-            print(
-                f"               saved slots: "
-                f"{100 * result.saved_slots_fraction:.2f}% "
-                f"(bound 5.88%)"
-            )
+    _emit(args, report, lambda: render_ler(report))
     return 0
 
 
 def cmd_sweep(args) -> int:
+    from .cli_format import render_sweep
+    from .experiments.results import SweepReport
     from .experiments.stats import mean_rho, significant_fraction
-    from .experiments.sweep import format_sweep_table, run_ler_sweep
 
     if args.workers is not None:
         from .experiments.parallel import run_parallel_sweep
 
-        report = run_parallel_sweep(
+        parallel = run_parallel_sweep(
             per_values=args.per,
             error_kind=args.kind,
             shots=args.samples,
@@ -333,17 +434,25 @@ def cmd_sweep(args) -> int:
             config=_parallel_config(args),
             max_logical_errors=args.errors,
         )
-        sweep = report.sweep
-        print(format_sweep_table(sweep))
-        for index, per in enumerate(args.per):
-            print(f"PER {per:g}:")
-            _print_parallel_arms(report, index)
-        print(
-            f"shards: {report.committed_shards} committed "
-            f"({report.executed_shards} executed, "
-            f"{report.resumed_shards} resumed from checkpoint)"
-        )
+        sweep = parallel.sweep
+        arms = []
+        for index in range(len(args.per)):
+            for use_frame in (False, True):
+                arm = _arm_report(
+                    parallel.arm(index, use_frame), use_frame
+                )
+                arm_dict = arm.to_json_dict()
+                arm_dict.pop("kind")
+                arms.append({"point_index": index, **arm_dict})
+        extra = {
+            "arms": arms,
+            "committed_shards": parallel.committed_shards,
+            "executed_shards": parallel.executed_shards,
+            "resumed_shards": parallel.resumed_shards,
+        }
     else:
+        from .experiments.sweep import run_ler_sweep
+
         sweep = run_ler_sweep(
             per_values=args.per,
             error_kind=args.kind,
@@ -352,62 +461,105 @@ def cmd_sweep(args) -> int:
             seed=args.seed,
             batch_windows=args.batch,
         )
-        print(format_sweep_table(sweep))
+        extra = {}
     comparisons = [point.comparison for point in sweep.points]
-    print(
-        f"mean rho = {mean_rho(comparisons):.2f}; points with "
-        f"rho < 0.05: {100 * significant_fraction(comparisons):.0f}%"
+    report = SweepReport(
+        error_kind=args.kind,
+        seed=args.seed,
+        mean_rho=mean_rho(comparisons),
+        significant_fraction=significant_fraction(comparisons),
+        sweep=sweep,
+        **extra,
     )
-    if args.plot:
-        from .utils.ascii_plot import sweep_figure
-
-        print()
-        print(sweep_figure(sweep))
+    _emit(args, report, lambda: render_sweep(report, plot=args.plot))
     return 0
 
 
-def cmd_census(_args) -> int:
-    from .circuits import census, format_census, workloads
+def cmd_census(args) -> int:
+    from .circuits import census, workloads
+    from .cli_format import render_census
+    from .experiments.results import CensusReport
 
-    for name, circuit in workloads.all_workloads().items():
-        print(f"== {name} ==")
-        print(format_census(census(circuit)))
-        print()
+    censuses = {
+        name: census(circuit)
+        for name, circuit in workloads.all_workloads().items()
+    }
+    report = CensusReport(
+        workloads={
+            name: {
+                "per_gate": dict(result.per_gate),
+                "per_class": {
+                    gate_class.name: count
+                    for gate_class, count in result.per_class.items()
+                },
+                "total_operations": result.total_operations,
+                "total_slots": result.total_slots,
+                "pauli_only_slots": result.pauli_only_slots,
+                "pauli_gate_count": result.pauli_gate_count,
+                "pauli_fraction": result.pauli_fraction,
+                "non_clifford_count": result.non_clifford_count,
+            }
+            for name, result in censuses.items()
+        }
+    )
+    _emit(args, report, lambda: render_census(censuses))
     return 0
 
 
-def cmd_schedule(_args) -> int:
+def cmd_schedule(args) -> int:
+    from .cli_format import render_schedule
+    from .experiments.results import ScheduleReport
     from .experiments.schedule import compare_schedules
 
     comparison = compare_schedules()
-    print(
-        f"window duration: {comparison.without_frame.window_duration} "
-        f"-> {comparison.with_frame.window_duration} "
-        f"({comparison.relative_time_saved:.1%} saved)"
+
+    def outcome_dict(outcome):
+        return {
+            "window_duration": outcome.window_duration,
+            "qubit_busy_time": outcome.qubit_busy_time,
+            "decoder_deadline": outcome.decoder_deadline,
+            "idle_fraction": outcome.idle_fraction,
+        }
+
+    report = ScheduleReport(
+        without_frame=outcome_dict(comparison.without_frame),
+        with_frame=outcome_dict(comparison.with_frame),
+        time_saved=comparison.time_saved,
+        relative_time_saved=comparison.relative_time_saved,
+        decoder_deadline_relaxation=comparison.decoder_deadline_relaxation,
     )
-    print(
-        f"decoder deadline relaxed x"
-        f"{comparison.decoder_deadline_relaxation:.2f}"
-    )
+    _emit(args, report, lambda: render_schedule(report))
     return 0
 
 
 def cmd_bound(args) -> int:
-    from .experiments.analytic import format_upper_bound_table
+    from .cli_format import render_bound
+    from .experiments.analytic import ImprovementBound
+    from .experiments.results import BoundReport
 
-    print(
-        format_upper_bound_table(
-            tuple(range(3, args.max_distance + 1)), ts_esm=args.ts_esm
-        )
+    report = BoundReport(
+        ts_esm=args.ts_esm,
+        rows=[
+            {
+                "distance": bound.distance,
+                "ts_window_without_frame": bound.ts_window_without_frame,
+                "ts_window_with_frame": bound.ts_window_with_frame,
+                "relative_improvement": bound.relative_improvement,
+            }
+            for bound in (
+                ImprovementBound.for_distance(d, args.ts_esm)
+                for d in range(3, args.max_distance + 1)
+            )
+        ],
     )
+    _emit(args, report, lambda: render_bound(report))
     return 0
 
 
 def cmd_distance(args) -> int:
-    from .experiments.distance import (
-        format_distance_table,
-        run_distance_scaling,
-    )
+    from .cli_format import render_distance
+    from .experiments.distance import run_distance_scaling
+    from .experiments.results import DistanceReport
 
     results = run_distance_scaling(
         distances=args.distances,
@@ -415,15 +567,31 @@ def cmd_distance(args) -> int:
         trials=args.trials,
         seed=args.seed,
     )
-    print(format_distance_table(results))
+    report = DistanceReport(
+        trials=args.trials,
+        seed=args.seed,
+        rows=[
+            {
+                "distance": r.distance,
+                "physical_error_rate": r.physical_error_rate,
+                "trials": r.trials,
+                "logical_errors": r.logical_errors,
+                "logical_error_rate": r.logical_error_rate,
+            }
+            for d in sorted(results)
+            for r in results[d]
+        ],
+    )
+    _emit(args, report, lambda: render_distance(report))
     return 0
 
 
 def cmd_phenomenological(args) -> int:
+    from .cli_format import render_phenomenological
     from .experiments.phenomenological import (
-        format_phenomenological_table,
         run_phenomenological_scaling,
     )
+    from .experiments.results import PhenomenologicalReport
 
     results = run_phenomenological_scaling(
         distances=args.distances,
@@ -431,12 +599,30 @@ def cmd_phenomenological(args) -> int:
         trials=args.trials,
         seed=args.seed,
     )
-    print(format_phenomenological_table(results))
+    report = PhenomenologicalReport(
+        trials=args.trials,
+        seed=args.seed,
+        rows=[
+            {
+                "distance": r.distance,
+                "data_error_rate": r.data_error_rate,
+                "measurement_error_rate": r.measurement_error_rate,
+                "trials": r.trials,
+                "logical_errors": r.logical_errors,
+                "logical_error_rate": r.logical_error_rate,
+            }
+            for d in sorted(results)
+            for r in results[d]
+        ],
+    )
+    _emit(args, report, lambda: render_phenomenological(report))
     return 0
 
 
 def cmd_memory(args) -> int:
+    from .cli_format import render_memory
     from .experiments.memory import run_block_scaling
+    from .experiments.results import MemoryReport
 
     results = run_block_scaling(
         distances=args.distances,
@@ -444,23 +630,36 @@ def cmd_memory(args) -> int:
         trials=args.trials,
         seed=args.seed,
     )
-    print(f"circuit-level block memory at p = {args.per:g}:")
-    for result in results:
-        print(
-            f"  d={result.distance}: block LER "
-            f"{result.logical_error_rate:.5f} "
-            f"({result.logical_errors}/{result.windows} blocks)"
-        )
+    report = MemoryReport(
+        physical_error_rate=args.per,
+        trials=args.trials,
+        seed=args.seed,
+        rows=[
+            {
+                "distance": r.distance,
+                "physical_error_rate": r.physical_error_rate,
+                "use_pauli_frame": r.use_pauli_frame,
+                "windows": r.windows,
+                "logical_errors": r.logical_errors,
+                "clean_windows": r.clean_windows,
+                "logical_error_rate": r.logical_error_rate,
+            }
+            for r in results
+        ],
+    )
+    _emit(args, report, lambda: render_memory(report))
     return 0
 
 
 def cmd_inject(args) -> int:
+    from .cli_format import render_inject
     from .codes.surface17 import NinjaStarLayer
     from .codes.surface17.injection import (
         expected_bloch_vector,
         inject_logical_state,
         logical_bloch_vector,
     )
+    from .experiments.results import InjectReport
     from .qpdo import StateVectorCore
 
     layer = NinjaStarLayer(StateVectorCore(seed=args.seed))
@@ -468,17 +667,33 @@ def cmd_inject(args) -> int:
     inject_logical_state(layer, 0, args.theta, args.phi)
     observed = logical_bloch_vector(layer, 0)
     expected = expected_bloch_vector(args.theta, args.phi)
-    print(
-        f"injected logical Bloch vector: "
-        f"({observed[0]:+.4f}, {observed[1]:+.4f}, {observed[2]:+.4f})"
-    )
-    print(
-        f"target:                        "
-        f"({expected[0]:+.4f}, {expected[1]:+.4f}, {expected[2]:+.4f})"
-    )
     error = max(abs(o - e) for o, e in zip(observed, expected))
-    print(f"max component error: {error:.2e}")
-    return 0 if error < 1e-6 else 1
+    report = InjectReport(
+        theta=args.theta,
+        phi=args.phi,
+        observed=[float(v) for v in observed],
+        expected=[float(v) for v in expected],
+        max_error=float(error),
+        passed=bool(error < 1e-6),
+    )
+    _emit(args, report, lambda: render_inject(report))
+    return 0 if report.passed else 1
+
+
+def cmd_report(args) -> int:
+    from .cli_format import render_trace_report
+    from .experiments.results import TraceReport
+    from .telemetry.report import aggregate_trace, load_trace
+
+    aggregate = aggregate_trace(load_trace(args.trace_file))
+    report = TraceReport(
+        path=args.trace_file,
+        spans=aggregate.span_rows(),
+        counters=aggregate.counter_rows(),
+        events=aggregate.event_rows(),
+    )
+    _emit(args, report, lambda: render_trace_report(report))
+    return 0
 
 
 _HANDLERS = {
@@ -492,13 +707,32 @@ _HANDLERS = {
     "phenomenological": cmd_phenomenological,
     "memory": cmd_memory,
     "inject": cmd_inject,
+    "report": cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    collector = None
+    if args.trace or args.metrics:
+        from . import telemetry
+        from .telemetry.sinks import JsonLinesSink
+
+        sinks = [JsonLinesSink(args.trace)] if args.trace else []
+        collector = telemetry.enable(
+            telemetry.TelemetryCollector(sinks)
+        )
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        if collector is not None:
+            from . import telemetry
+
+            telemetry.disable()
+            collector.close()
+            if args.metrics:
+                print(collector.summary_table(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -24,6 +24,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 
 def syndrome_of(
     check_matrix: np.ndarray, error_bits: np.ndarray
@@ -150,8 +152,27 @@ class TwoLutDecoder:
             Boolean vectors over the data qubits: where to apply X
             gates and where to apply Z gates.
         """
-        z_errors = self.z_error_decoder.decode(x_syndrome)
-        x_errors = self.x_error_decoder.decode(z_syndrome)
+        t = telemetry.ACTIVE
+        if t is None:
+            z_errors = self.z_error_decoder.decode(x_syndrome)
+            x_errors = self.x_error_decoder.decode(z_syndrome)
+            return x_errors, z_errors
+        with t.span("decoder.lut", "TwoLutDecoder.decode"):
+            z_errors = self.z_error_decoder.decode(x_syndrome)
+            x_errors = self.x_error_decoder.decode(z_syndrome)
+        t.count("decoder.lut", "TwoLutDecoder.decode", "calls")
+        t.count(
+            "decoder.lut",
+            "TwoLutDecoder.decode",
+            "x_correction_weight",
+            int(x_errors.sum()),
+        )
+        t.count(
+            "decoder.lut",
+            "TwoLutDecoder.decode",
+            "z_correction_weight",
+            int(z_errors.sum()),
+        )
         return x_errors, z_errors
 
 

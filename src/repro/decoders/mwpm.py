@@ -20,6 +20,8 @@ from typing import Dict, List, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from .. import telemetry
+
 
 class MatchingGraph:
     """Distance structure over one species of checks.
@@ -113,6 +115,24 @@ class MwpmDecoder:
         any number of defects can terminate on the boundary; boundary-
         boundary pairings are free, which makes the matching perfect.
         """
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._decode(syndrome)
+        defect_count = int(np.count_nonzero(np.asarray(syndrome)))
+        with t.span(
+            "decoder.mwpm", "MwpmDecoder.decode", defects=defect_count
+        ):
+            correction = self._decode(syndrome)
+        t.count("decoder.mwpm", "MwpmDecoder.decode", "calls")
+        t.count(
+            "decoder.mwpm",
+            "MwpmDecoder.decode",
+            "correction_weight",
+            int(correction.sum()),
+        )
+        return correction
+
+    def _decode(self, syndrome: Sequence[int]) -> np.ndarray:
         defects = [int(i) for i in np.flatnonzero(np.asarray(syndrome))]
         correction = np.zeros(self.graph.num_qubits, dtype=bool)
         if not defects:

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .lut import TwoLutDecoder, syndrome_of
 
 
@@ -129,6 +130,19 @@ class WindowedLutDecoder:
         corrected frame) participates in the vote, so a window of two
         rounds votes over three.
         """
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._decode_window(rounds)
+        with t.span(
+            "decoder.rule_based",
+            type(self).__name__ + ".decode_window",
+            rounds=len(rounds),
+        ):
+            return self._decode_window(rounds)
+
+    def _decode_window(
+        self, rounds: Sequence[SyndromeRound]
+    ) -> WindowDecision:
         if self._previous is None:
             raise RuntimeError("decoder not initialized; call initialize()")
         if not self.use_majority_vote:
@@ -169,6 +183,22 @@ class WindowedLutDecoder:
                 bool
             ),
         )
+        t = telemetry.ACTIVE
+        if t is not None:
+            name = type(self).__name__
+            t.count("decoder.rule_based", name, "decisions")
+            t.count(
+                "decoder.rule_based",
+                name,
+                "x_correction_weight",
+                int(x_corr.sum()),
+            )
+            t.count(
+                "decoder.rule_based",
+                name,
+                "z_correction_weight",
+                int(z_corr.sum()),
+            )
         return WindowDecision(x_corr, z_corr, voted)
 
     def reset(self) -> None:

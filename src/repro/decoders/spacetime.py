@@ -30,6 +30,7 @@ from typing import List, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from .. import telemetry
 from .mwpm import MatchingGraph
 
 
@@ -94,6 +95,30 @@ class SpaceTimeMatchingDecoder:
         self, events: Sequence[Tuple[int, int]]
     ) -> np.ndarray:
         """Match detection events; returns data-qubit corrections."""
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._decode_events(events)
+        events = list(events)
+        with t.span(
+            "decoder.spacetime",
+            "SpaceTimeMatchingDecoder.decode_events",
+            events=len(events),
+        ):
+            correction = self._decode_events(events)
+        t.count(
+            "decoder.spacetime", "SpaceTimeMatchingDecoder.decode", "calls"
+        )
+        t.count(
+            "decoder.spacetime",
+            "SpaceTimeMatchingDecoder.decode",
+            "correction_weight",
+            int(correction.sum()),
+        )
+        return correction
+
+    def _decode_events(
+        self, events: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
         correction = np.zeros(self.graph.num_qubits, dtype=bool)
         events = list(events)
         if not events:

@@ -4,13 +4,22 @@ from .ler import (
     DEFAULT_BATCH_WINDOWS,
     DEFAULT_INIT_ROUNDS,
     DEFAULT_ROUNDS_PER_WINDOW,
-    BatchedLerCounts,
     BatchedLerExperiment,
     LerExperiment,
-    LerResult,
     LerStack,
     build_ler_stack,
     run_ler_point,
+)
+from .results import (
+    RESULT_KINDS,
+    BatchCounts,
+    ResultBase,
+    RunResult,
+    ShardResult,
+    SweepPointResult,
+    SweepResult,
+    result_from_json,
+    result_from_json_dict,
 )
 from .stats import (
     PointComparison,
@@ -49,8 +58,6 @@ from .verification import (
     run_random_circuit_verification,
 )
 from .sweep import (
-    LerSweep,
-    SweepPoint,
     build_sweep_point,
     format_sweep_table,
     point_base_seed,
@@ -61,7 +68,6 @@ from .parallel import (
     CheckpointWriter,
     ParallelConfig,
     ParallelSweepReport,
-    ShardRecord,
     ShardSpec,
     load_checkpoint,
     plan_shards,
@@ -91,10 +97,19 @@ from .phenomenological import (
 
 __all__ = [
     "LerExperiment",
-    "BatchedLerCounts",
     "BatchedLerExperiment",
-    "LerResult",
     "LerStack",
+    "ResultBase",
+    "RESULT_KINDS",
+    "RunResult",
+    "BatchCounts",
+    "ShardResult",
+    "SweepPointResult",
+    "SweepResult",
+    "result_from_json",
+    "result_from_json_dict",
+    "BatchedLerCounts",
+    "LerResult",
     "build_ler_stack",
     "run_ler_point",
     "DEFAULT_ROUNDS_PER_WINDOW",
@@ -159,3 +174,27 @@ __all__ = [
     "run_circuit_level_scaling",
     "run_block_scaling",
 ]
+
+
+#: Deprecated result-class names, forwarded lazily so that importing
+#: :mod:`repro.experiments` stays warning-free; accessing one of these
+#: attributes emits a :class:`DeprecationWarning`.
+_DEPRECATED_RESULTS = {
+    "LerResult": RunResult,
+    "BatchedLerCounts": BatchCounts,
+    "SweepPoint": SweepPointResult,
+    "LerSweep": SweepResult,
+    "ShardRecord": ShardResult,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        from .results import deprecated_alias
+
+        return deprecated_alias(
+            __name__, name, _DEPRECATED_RESULTS[name]
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -24,11 +24,12 @@ The Logical Error Rate for a given Physical Error Rate ``p`` is then
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..circuits.circuit import Circuit
 from ..circuits.operation import Operation
 from ..codes.surface17.esm import parallel_esm
@@ -41,14 +42,14 @@ from ..codes.surface17.layout import (
 )
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
-from ..pauliframe.unit import FrameStatistics
 from ..qpdo.batched_core import BatchedStabilizerCore
 from ..qpdo.core import Core
 from ..qpdo.cores import StabilizerCore
-from ..qpdo.counter_layer import CounterLayer, StreamCounts
+from ..qpdo.counter_layer import CounterLayer
 from ..qpdo.error_layer import DepolarizingErrorLayer
 from ..qpdo.pauli_frame_layer import PauliFrameLayer
 from ..sim.framesim import NoiseParameters
+from .results import BatchCounts, RunResult
 
 #: ESM rounds per decoding window (Fig. 5.9 uses two fresh rounds plus
 #: the carried-over round of the previous window).
@@ -116,20 +117,21 @@ def build_ler_stack(
 
     if frame_placement == "physical" or not use_pauli_frame:
         error_layer = make_error_layer(core)
-        counter_below = CounterLayer(error_layer)
+        counter_below = CounterLayer(error_layer, name="below_frame")
         pauli_frame = (
             PauliFrameLayer(counter_below) if use_pauli_frame else None
         )
         counter_above = CounterLayer(
-            pauli_frame if pauli_frame is not None else counter_below
+            pauli_frame if pauli_frame is not None else counter_below,
+            name="above_frame",
         )
     else:
         # Literal Fig. 5.8 order (top to bottom): counter, error
         # layer, counter, Pauli frame, core.
         pauli_frame = PauliFrameLayer(core)
-        counter_below = CounterLayer(pauli_frame)
+        counter_below = CounterLayer(pauli_frame, name="below_frame")
         error_layer = make_error_layer(counter_below)
-        counter_above = CounterLayer(error_layer)
+        counter_above = CounterLayer(error_layer, name="above_frame")
     return LerStack(
         core=core,
         error_layer=error_layer,
@@ -137,50 +139,6 @@ def build_ler_stack(
         pauli_frame=pauli_frame,
         counter_above=counter_above,
     )
-
-
-@dataclass
-class LerResult:
-    """Outcome of one LER simulation run.
-
-    ``logical_error_rate`` is ``logical_errors / windows`` (Eq. 5.1).
-    ``frame_statistics`` is present only for runs with a Pauli frame
-    and feeds the savings analysis of Figs 5.25/5.26.
-    """
-
-    physical_error_rate: float
-    error_kind: str
-    use_pauli_frame: bool
-    windows: int = 0
-    logical_errors: int = 0
-    clean_windows: int = 0
-    corrections_commanded: int = 0
-    frame_statistics: Optional[FrameStatistics] = None
-    counts_above: StreamCounts = field(default_factory=StreamCounts)
-    counts_below: StreamCounts = field(default_factory=StreamCounts)
-
-    @property
-    def logical_error_rate(self) -> float:
-        """``P_L = m / R`` for this run."""
-        if self.windows == 0:
-            return 0.0
-        return self.logical_errors / self.windows
-
-    @property
-    def saved_operations_fraction(self) -> float:
-        """Fraction of commanded operations the frame filtered."""
-        if self.counts_above.operations == 0:
-            return 0.0
-        saved = self.counts_above.operations - self.counts_below.operations
-        return saved / self.counts_above.operations
-
-    @property
-    def saved_slots_fraction(self) -> float:
-        """Fraction of commanded time slots the frame removed."""
-        if self.counts_above.slots == 0:
-            return 0.0
-        saved = self.counts_above.slots - self.counts_below.slots
-        return saved / self.counts_above.slots
 
 
 class LerExperiment:
@@ -337,8 +295,20 @@ class LerExperiment:
         return flipped
 
     # ------------------------------------------------------------------
-    def run(self) -> LerResult:
+    def run(self) -> RunResult:
         """Execute the full Listing 5.7 loop and collect statistics."""
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._run()
+        with t.span(
+            "experiment",
+            "LerExperiment.run",
+            physical_error_rate=self.physical_error_rate,
+            use_pauli_frame=self.use_pauli_frame,
+        ):
+            return self._run()
+
+    def _run(self) -> RunResult:
         self.corrections_commanded = 0
         self.initialize_logical_qubit()
         # Initialization is excluded from the savings statistics.
@@ -364,7 +334,7 @@ class LerExperiment:
             if self.stack.pauli_frame is not None
             else None
         )
-        return LerResult(
+        return RunResult(
             physical_error_rate=self.physical_error_rate,
             error_kind=self.error_kind,
             use_pauli_frame=self.use_pauli_frame,
@@ -382,56 +352,6 @@ class LerExperiment:
 #: runs a fixed number of windows per shot instead of stopping at a
 #: logical-error quota, which lockstep execution cannot do per shot).
 DEFAULT_BATCH_WINDOWS = 200
-
-
-@dataclass
-class BatchedLerCounts:
-    """Raw per-shot count arrays of one batched LER run.
-
-    The array-level result of
-    :meth:`BatchedLerExperiment.run_counts`: three int arrays of shape
-    ``(num_shots,)`` plus the shared window count.  This is the
-    serialization-friendly form the parallel shard runner ships
-    between processes; :meth:`to_results` expands it into the
-    per-shot :class:`LerResult` views the analysis layer consumes.
-    """
-
-    physical_error_rate: float
-    error_kind: str
-    use_pauli_frame: bool
-    windows: int
-    logical_errors: np.ndarray
-    clean_windows: np.ndarray
-    corrections_commanded: np.ndarray
-
-    @property
-    def num_shots(self) -> int:
-        return len(self.logical_errors)
-
-    @property
-    def total_errors(self) -> int:
-        return int(self.logical_errors.sum())
-
-    @property
-    def total_windows(self) -> int:
-        return self.windows * self.num_shots
-
-    def to_results(self) -> List[LerResult]:
-        """One :class:`LerResult` per shot."""
-        return [
-            LerResult(
-                physical_error_rate=self.physical_error_rate,
-                error_kind=self.error_kind,
-                use_pauli_frame=self.use_pauli_frame,
-                windows=self.windows,
-                logical_errors=int(self.logical_errors[shot]),
-                clean_windows=int(self.clean_windows[shot]),
-                corrections_commanded=int(
-                    self.corrections_commanded[shot]
-                ),
-            )
-            for shot in range(self.num_shots)
-        ]
 
 
 class BatchedLerExperiment:
@@ -586,17 +506,31 @@ class BatchedLerExperiment:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> List[LerResult]:
-        """Run all shots; one :class:`LerResult` per shot."""
+    def run(self) -> List[RunResult]:
+        """Run all shots; one :class:`RunResult` per shot."""
         return self.run_counts().to_results()
 
-    def run_counts(self) -> BatchedLerCounts:
+    def run_counts(self) -> BatchCounts:
         """Run all shots; per-shot count arrays.
 
         The cheap form of :meth:`run` — no per-shot dataclasses, just
         the three count arrays.  The parallel shard runner uses this
         to keep inter-process records compact.
         """
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._run_counts()
+        with t.span(
+            "experiment",
+            "BatchedLerExperiment.run_counts",
+            shots=self.num_shots,
+            windows=self.windows,
+            physical_error_rate=self.physical_error_rate,
+            use_pauli_frame=self.use_pauli_frame,
+        ):
+            return self._run_counts()
+
+    def _run_counts(self) -> BatchCounts:
         prepare = Circuit("prepare")
         slot = prepare.new_slot()
         for data in range(9):
@@ -640,7 +574,7 @@ class BatchedLerExperiment:
             # exactly like the loop protocol's check_logical_error.
             reference = np.where(clean, eigenvalues, reference)
 
-        return BatchedLerCounts(
+        return BatchCounts(
             physical_error_rate=self.physical_error_rate,
             error_kind=self.error_kind,
             use_pauli_frame=self.use_pauli_frame,
@@ -660,7 +594,7 @@ def run_ler_point(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
-) -> List[LerResult]:
+) -> List[RunResult]:
     """Repeat the experiment ``samples`` times with distinct seeds.
 
     Matches the paper's protocol: 10 (or 20 near the pseudo-threshold)
@@ -695,3 +629,22 @@ def run_ler_point(
         )
         results.append(experiment.run())
     return results
+
+
+#: Historical result-class names (pre unified results API).
+_DEPRECATED_RESULTS = {
+    "LerResult": RunResult,
+    "BatchedLerCounts": BatchCounts,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        from .results import deprecated_alias
+
+        return deprecated_alias(
+            __name__, name, _DEPRECATED_RESULTS[name]
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

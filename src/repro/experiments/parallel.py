@@ -45,21 +45,21 @@ import json
 import math
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing as mp
 
+from .. import telemetry
 from .ler import (
     DEFAULT_BATCH_WINDOWS,
     BatchedLerExperiment,
     LerExperiment,
-    LerResult,
 )
+from .results import RunResult, ShardResult, SweepResult
 from .stats import StreamingSummary, wilson_halfwidth, wilson_interval
 from .sweep import (
     ARM_SEED_OFFSET,
-    LerSweep,
     build_sweep_point,
     point_base_seed,
 )
@@ -165,88 +165,7 @@ def plan_shards(
 # ----------------------------------------------------------------------
 # Shard execution
 # ----------------------------------------------------------------------
-@dataclass
-class ShardRecord:
-    """The complete result of one executed shard.
-
-    Carries the identifying spec fields plus per-shot count lists, so
-    an aggregate (or a resumed run) can rebuild exact
-    :class:`~repro.experiments.ler.LerResult` views without re-running
-    anything.  Serialises to one JSON object per checkpoint line.
-    """
-
-    point_index: int
-    physical_error_rate: float
-    use_pauli_frame: bool
-    shard_index: int
-    shots: int
-    error_kind: str
-    mode: str
-    windows: int
-    shot_errors: List[int]
-    shot_windows: List[int]
-    shot_clean: List[int]
-    shot_corrections: List[int]
-
-    @property
-    def key(self) -> Tuple[int, bool, int]:
-        return (self.point_index, self.use_pauli_frame, self.shard_index)
-
-    @property
-    def arm_key(self) -> ArmKey:
-        return (self.point_index, self.use_pauli_frame)
-
-    @property
-    def total_errors(self) -> int:
-        return sum(self.shot_errors)
-
-    @property
-    def total_windows(self) -> int:
-        return sum(self.shot_windows)
-
-    def to_results(self) -> List[LerResult]:
-        """Expand into per-shot :class:`LerResult` views."""
-        return [
-            LerResult(
-                physical_error_rate=self.physical_error_rate,
-                error_kind=self.error_kind,
-                use_pauli_frame=self.use_pauli_frame,
-                windows=self.shot_windows[shot],
-                logical_errors=self.shot_errors[shot],
-                clean_windows=self.shot_clean[shot],
-                corrections_commanded=self.shot_corrections[shot],
-            )
-            for shot in range(self.shots)
-        ]
-
-    def to_json(self) -> str:
-        payload = {"kind": "shard"}
-        payload.update(asdict(self))
-        return json.dumps(payload, sort_keys=True)
-
-    @classmethod
-    def from_json_dict(cls, payload: Dict) -> "ShardRecord":
-        fields_ = {
-            name: payload[name]
-            for name in (
-                "point_index",
-                "physical_error_rate",
-                "use_pauli_frame",
-                "shard_index",
-                "shots",
-                "error_kind",
-                "mode",
-                "windows",
-                "shot_errors",
-                "shot_windows",
-                "shot_clean",
-                "shot_corrections",
-            )
-        }
-        return cls(**fields_)
-
-
-def run_shard(spec: ShardSpec) -> ShardRecord:
+def run_shard(spec: ShardSpec) -> ShardResult:
     """Execute one shard; pure function of its spec.
 
     This is the function worker processes run.  Batch mode drives one
@@ -254,6 +173,22 @@ def run_shard(spec: ShardSpec) -> ShardRecord:
     loop mode runs ``spec.shots`` independent per-shot tableau
     experiments, each seeded by ``(arm_seed, shard_index, shot)``.
     """
+    t = telemetry.ACTIVE
+    if t is None:
+        return _run_shard(spec)
+    with t.span(
+        "parallel",
+        "run_shard",
+        point_index=spec.point_index,
+        use_pauli_frame=spec.use_pauli_frame,
+        shard_index=spec.shard_index,
+        shots=spec.shots,
+        mode=spec.mode,
+    ):
+        return _run_shard(spec)
+
+
+def _run_shard(spec: ShardSpec) -> ShardResult:
     if spec.mode == "batch":
         counts = BatchedLerExperiment(
             spec.physical_error_rate,
@@ -263,7 +198,7 @@ def run_shard(spec: ShardSpec) -> ShardRecord:
             windows=spec.windows,
             seed=spec.shard_seed,
         ).run_counts()
-        return ShardRecord(
+        return ShardResult(
             point_index=spec.point_index,
             physical_error_rate=spec.physical_error_rate,
             use_pauli_frame=spec.use_pauli_frame,
@@ -298,7 +233,7 @@ def run_shard(spec: ShardSpec) -> ShardRecord:
         windows.append(result.windows)
         clean.append(result.clean_windows)
         corrections.append(result.corrections_commanded)
-    return ShardRecord(
+    return ShardResult(
         point_index=spec.point_index,
         physical_error_rate=spec.physical_error_rate,
         use_pauli_frame=spec.use_pauli_frame,
@@ -337,11 +272,11 @@ class ArmAggregator:
         self.num_shards = int(num_shards)
         self.target_halfwidth = target_halfwidth
         self.confidence = float(confidence)
-        self.committed: List[ShardRecord] = []
+        self.committed: List[ShardResult] = []
         self.errors = 0
         self.windows = 0
         self.satisfied = False
-        self._pending: Dict[int, ShardRecord] = {}
+        self._pending: Dict[int, ShardResult] = {}
 
     @property
     def next_index(self) -> int:
@@ -371,7 +306,7 @@ class ArmAggregator:
             return 0.0
         return self.errors / self.windows
 
-    def add(self, record: ShardRecord) -> None:
+    def add(self, record: ShardResult) -> None:
         """Stash a record; commit every in-order shard now available."""
         if record.shard_index < self.next_index or self.done:
             return  # duplicate (resume replay) or beyond the frontier
@@ -390,9 +325,9 @@ class ArmAggregator:
         if self.done:
             self._pending.clear()
 
-    def results(self) -> List[LerResult]:
+    def results(self) -> List[RunResult]:
         """Per-shot results of the committed shards, in shard order."""
-        results: List[LerResult] = []
+        results: List[RunResult] = []
         for record in self.committed:
             results.extend(record.to_results())
         return results
@@ -453,7 +388,7 @@ class CheckpointWriter:
         }
         self._write_line(json.dumps(payload, sort_keys=True))
 
-    def write_record(self, record: ShardRecord) -> None:
+    def write_record(self, record: ShardResult) -> None:
         self._write_line(record.to_json())
 
     def _write_line(self, line: str) -> None:
@@ -467,7 +402,7 @@ class CheckpointWriter:
 
 def load_checkpoint(
     path: str,
-) -> Tuple[Optional[Dict], List[ShardRecord]]:
+) -> Tuple[Optional[Dict], List[ShardResult]]:
     """Read a checkpoint file back into (header config, records).
 
     A truncated final line (the signature of a kill mid-write) is
@@ -475,7 +410,7 @@ def load_checkpoint(
     the file is not one of ours.
     """
     header: Optional[Dict] = None
-    records: List[ShardRecord] = []
+    records: List[ShardResult] = []
     with open(path) as handle:
         lines = handle.read().split("\n")
     for number, line in enumerate(lines):
@@ -499,7 +434,7 @@ def load_checkpoint(
                 )
             header = payload.get("config")
         elif kind == "shard":
-            records.append(ShardRecord.from_json_dict(payload))
+            records.append(ShardResult.from_json_dict(payload))
         else:
             raise ValueError(
                 f"{path}:{number + 1}: unknown record kind {kind!r}"
@@ -533,7 +468,7 @@ class ParallelConfig:
 class ParallelSweepReport:
     """A finished parallel sweep: the figure data plus run metadata."""
 
-    sweep: LerSweep
+    sweep: SweepResult
     arms: Dict[ArmKey, ArmAggregator]
     total_shards: int
     executed_shards: int
@@ -585,7 +520,7 @@ def _execute_shards(
     specs: Sequence[ShardSpec],
     aggregators: Dict[ArmKey, ArmAggregator],
     workers: int,
-    on_record: Callable[[ShardRecord], None],
+    on_record: Callable[[ShardResult], None],
 ) -> int:
     """Run the outstanding shards; returns how many executed.
 
@@ -596,10 +531,20 @@ def _execute_shards(
     are cancelled where possible and discarded otherwise.
     """
     executed = 0
+    t = telemetry.ACTIVE
     if workers <= 1:
         for spec in specs:
             if aggregators[spec.arm_key].done:
                 continue
+            if t is not None:
+                t.event(
+                    "parallel",
+                    "shard_dispatch",
+                    point_index=spec.point_index,
+                    use_pauli_frame=spec.use_pauli_frame,
+                    shard_index=spec.shard_index,
+                    shots=spec.shots,
+                )
             on_record(run_shard(spec))
             executed += 1
         return executed
@@ -610,6 +555,15 @@ def _execute_shards(
         for spec in specs:
             if aggregators[spec.arm_key].done:
                 continue
+            if t is not None:
+                t.event(
+                    "parallel",
+                    "shard_dispatch",
+                    point_index=spec.point_index,
+                    use_pauli_frame=spec.use_pauli_frame,
+                    shard_index=spec.shard_index,
+                    shots=spec.shots,
+                )
             future_specs[pool.submit(run_shard, spec)] = spec
         pending = set(future_specs)
         while pending:
@@ -656,7 +610,7 @@ def run_parallel_sweep(
         Execution knobs (:class:`ParallelConfig`).
 
     Returns a :class:`ParallelSweepReport` whose ``sweep`` is the same
-    :class:`~repro.experiments.sweep.LerSweep` structure the
+    :class:`~repro.experiments.results.SweepResult` structure the
     sequential path produces, built from the committed shard records.
     """
     specs = plan_shards(
@@ -724,23 +678,54 @@ def run_parallel_sweep(
         if not resuming:
             writer.write_header(header_config)
 
-    def on_record(record: ShardRecord) -> None:
+    def on_record(record: ShardResult) -> None:
+        t = telemetry.ACTIVE
         if writer is not None:
             writer.write_record(record)
+            if t is not None:
+                t.event(
+                    "parallel",
+                    "checkpoint_write",
+                    path=writer.path,
+                    shard_index=record.shard_index,
+                )
         aggregators[record.arm_key].add(record)
+        if t is not None:
+            t.event(
+                "parallel",
+                "shard_commit",
+                point_index=record.point_index,
+                use_pauli_frame=record.use_pauli_frame,
+                shard_index=record.shard_index,
+                errors=record.total_errors,
+                windows=record.total_windows,
+            )
 
     outstanding = [
         spec for spec in specs if spec.key not in replayed_keys
     ]
+    t = telemetry.ACTIVE
     try:
-        executed = _execute_shards(
-            outstanding, aggregators, config.workers, on_record
-        )
+        if t is None:
+            executed = _execute_shards(
+                outstanding, aggregators, config.workers, on_record
+            )
+        else:
+            with t.span(
+                "parallel",
+                "run_parallel_sweep",
+                points=len(per_values),
+                outstanding=len(outstanding),
+                workers=config.workers,
+            ):
+                executed = _execute_shards(
+                    outstanding, aggregators, config.workers, on_record
+                )
     finally:
         if writer is not None:
             writer.close()
 
-    sweep = LerSweep(error_kind=error_kind)
+    sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
         without = aggregators[(index, False)].results()
         with_frame = aggregators[(index, True)].results()
@@ -776,4 +761,20 @@ def run_parallel_point(
         config=config,
         max_logical_errors=max_logical_errors,
         max_windows=max_windows,
+    )
+
+
+#: Historical result-class names (pre unified results API).
+_DEPRECATED_RESULTS = {"ShardRecord": ShardResult}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        from .results import deprecated_alias
+
+        return deprecated_alias(
+            __name__, name, _DEPRECATED_RESULTS[name]
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )

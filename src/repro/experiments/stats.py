@@ -10,19 +10,20 @@ Error Rate using:
   statistically significant" when the rho values scatter around 0.5.
 
 This module reproduces those aggregations over lists of
-:class:`~repro.experiments.ler.LerResult`.
+:class:`~repro.experiments.results.RunResult`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
 
-from .ler import LerResult
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .results import RunResult
 
 
 @dataclass
@@ -62,7 +63,7 @@ class SampleSummary:
         return float(self.window_counts.std(ddof=1) / mean)
 
 
-def summarize(results: Sequence[LerResult]) -> SampleSummary:
+def summarize(results: Sequence["RunResult"]) -> SampleSummary:
     """Aggregate same-configuration runs into a :class:`SampleSummary`."""
     if not results:
         raise ValueError("no results to summarize")
@@ -221,8 +222,8 @@ class PointComparison:
 
 
 def compare_point(
-    without_frame: Sequence[LerResult],
-    with_frame: Sequence[LerResult],
+    without_frame: Sequence["RunResult"],
+    with_frame: Sequence["RunResult"],
 ) -> PointComparison:
     """Build the full Figs 5.17-5.24 comparison for one PER value."""
     summary_without = summarize(without_frame)

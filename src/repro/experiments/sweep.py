@@ -15,107 +15,11 @@ within noise, rho values scattered around 0.5, slot savings below 6%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from .ler import LerResult, run_ler_point
-from .stats import PointComparison, compare_point, summarize
-
-
-@dataclass
-class SweepPoint:
-    """All data collected at one Physical Error Rate."""
-
-    physical_error_rate: float
-    without_frame: List[LerResult]
-    with_frame: List[LerResult]
-    comparison: PointComparison
-
-    @property
-    def mean_ler_without(self) -> float:
-        """Mean LER of the frame-less arm."""
-        return self.comparison.without_frame.mean_ler
-
-    @property
-    def mean_ler_with(self) -> float:
-        """Mean LER of the Pauli-frame arm."""
-        return self.comparison.with_frame.mean_ler
-
-    @property
-    def mean_saved_slots(self) -> float:
-        """Mean fraction of time slots the frame filtered (Fig 5.26)."""
-        fractions = [
-            r.frame_statistics.saved_slots_fraction
-            for r in self.with_frame
-            if r.frame_statistics is not None
-        ]
-        return float(np.mean(fractions)) if fractions else 0.0
-
-    @property
-    def mean_saved_operations(self) -> float:
-        """Mean fraction of gates the frame filtered (Fig 5.25)."""
-        fractions = [
-            r.frame_statistics.saved_operations_fraction
-            for r in self.with_frame
-            if r.frame_statistics is not None
-        ]
-        return float(np.mean(fractions)) if fractions else 0.0
-
-
-@dataclass
-class LerSweep:
-    """A complete with/without-frame sweep over PER values."""
-
-    error_kind: str
-    points: List[SweepPoint] = field(default_factory=list)
-
-    def per_values(self) -> List[float]:
-        """The swept Physical Error Rates, in order."""
-        return [p.physical_error_rate for p in self.points]
-
-    def series(self, use_pauli_frame: bool) -> List[float]:
-        """Mean LER per PER for one arm (Figs 5.11/5.13)."""
-        if use_pauli_frame:
-            return [p.mean_ler_with for p in self.points]
-        return [p.mean_ler_without for p in self.points]
-
-    def delta_series(self) -> List[float]:
-        """The absolute differences of Eq. 5.2 (Figs 5.17/5.18)."""
-        return [p.comparison.delta_ler for p in self.points]
-
-    def sigma_series(self) -> List[float]:
-        """The sigma_max values of Eq. 5.3 (error bars of Fig 5.17)."""
-        return [p.comparison.sigma_max for p in self.points]
-
-    def rho_series(self, paired: bool = False) -> List[float]:
-        """t-test rho per PER (Figs 5.21-5.24)."""
-        if paired:
-            return [
-                p.comparison.rho_paired
-                if p.comparison.rho_paired is not None
-                else float("nan")
-                for p in self.points
-            ]
-        return [p.comparison.rho_independent for p in self.points]
-
-    def window_cov_series(self, use_pauli_frame: bool) -> List[float]:
-        """Coefficient of variation of window counts (Figs 5.19/5.20)."""
-        summaries = [
-            p.comparison.with_frame
-            if use_pauli_frame
-            else p.comparison.without_frame
-            for p in self.points
-        ]
-        return [s.window_cov for s in summaries]
-
-    def savings_series(self) -> Dict[str, List[float]]:
-        """Saved-gates and saved-slots fractions (Figs 5.25/5.26)."""
-        return {
-            "operations": [p.mean_saved_operations for p in self.points],
-            "slots": [p.mean_saved_slots for p in self.points],
-        }
+from .ler import run_ler_point
+from .results import RunResult, SweepPointResult, SweepResult
+from .stats import compare_point
 
 
 #: Seed offset of the with-frame arm relative to the without-frame arm
@@ -139,11 +43,12 @@ def point_base_seed(seed: int, point_index: int) -> int:
 
 def build_sweep_point(
     physical_error_rate: float,
-    without_frame: List[LerResult],
-    with_frame: List[LerResult],
-) -> SweepPoint:
-    """Package both arms of one PER value into a :class:`SweepPoint`."""
-    return SweepPoint(
+    without_frame: List[RunResult],
+    with_frame: List[RunResult],
+) -> SweepPointResult:
+    """Package both arms of one PER value into a
+    :class:`~repro.experiments.results.SweepPointResult`."""
+    return SweepPointResult(
         physical_error_rate=physical_error_rate,
         without_frame=without_frame,
         with_frame=with_frame,
@@ -159,7 +64,7 @@ def run_ler_sweep(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
-) -> LerSweep:
+) -> SweepResult:
     """Run the full with/without-frame sweep.
 
     Parameters mirror the paper: ``samples`` independent simulations
@@ -172,7 +77,7 @@ def run_ler_sweep(
     shot runs exactly ``batch_windows`` windows, so far larger shot
     counts per PER become affordable.
     """
-    sweep = LerSweep(error_kind=error_kind)
+    sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
         base_seed = point_base_seed(seed, index)
         without = run_ler_point(
@@ -199,7 +104,7 @@ def run_ler_sweep(
     return sweep
 
 
-def format_sweep_table(sweep: LerSweep) -> str:
+def format_sweep_table(sweep: SweepResult) -> str:
     """Render a sweep like the combined plots (Figs 5.15/5.16)."""
     lines = [
         "PER        LER(no PF)   LER(PF)      delta        sigma_max  "
@@ -216,3 +121,22 @@ def format_sweep_table(sweep: LerSweep) -> str:
             f"{100.0 * point.mean_saved_slots:11.3f}"
         )
     return "\n".join(lines)
+
+
+#: Historical result-class names (pre unified results API).
+_DEPRECATED_RESULTS = {
+    "SweepPoint": SweepPointResult,
+    "LerSweep": SweepResult,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_RESULTS:
+        from .results import deprecated_alias
+
+        return deprecated_alias(
+            __name__, name, _DEPRECATED_RESULTS[name]
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -17,13 +17,14 @@ identical to one without:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.random_circuits import DEFAULT_GATE_SET, random_circuit
 from ..codes.surface17.layer import NinjaStarLayer
+from ..qpdo.core import CAP_QUANTUM_STATE, Core
 from ..qpdo.cores import StateVectorCore
 from ..qpdo.pauli_frame_layer import PauliFrameLayer
 
@@ -61,12 +62,28 @@ class VerificationReport:
         return sum(o.gates_filtered for o in self.outcomes)
 
 
+def _require_state_readout(core: Core) -> None:
+    """Fail fast when a core cannot produce a quantum state.
+
+    The bench compares full quantum states, so it queries the
+    capability up front (:meth:`~repro.qpdo.core.Core.supports`)
+    instead of provoking ``UnsupportedFeatureError`` mid-run.
+    """
+    if not core.supports(CAP_QUANTUM_STATE):
+        raise ValueError(
+            f"{type(core).__name__} does not support "
+            f"{CAP_QUANTUM_STATE!r}; the random-circuit verification "
+            f"bench needs a state-vector-capable core"
+        )
+
+
 def run_random_circuit_verification(
     iterations: int = 20,
     num_qubits: int = 5,
     num_gates: int = 60,
     seed: int = 0,
     gate_set: Sequence[str] = DEFAULT_GATE_SET,
+    core_factory: Optional[Callable[[int], Core]] = None,
 ) -> VerificationReport:
     """The random-circuit test bench of Fig. 5.3.
 
@@ -75,7 +92,14 @@ def run_random_circuit_verification(
     range.  Reference and frame runs share the measurement RNG seed so
     any stochastic collapse (none in the default gate set) stays
     aligned.
+
+    ``core_factory`` (measurement seed -> :class:`Core`) lets callers
+    substitute the back-end; it must support
+    :data:`~repro.qpdo.core.CAP_QUANTUM_STATE`, checked via
+    :meth:`Core.supports` before anything runs.
     """
+    if core_factory is None:
+        core_factory = lambda s: StateVectorCore(seed=s)  # noqa: E731
     rng = np.random.default_rng(seed)
     report = VerificationReport()
     for iteration in range(iterations):
@@ -84,13 +108,15 @@ def run_random_circuit_verification(
         )
         measurement_seed = int(rng.integers(2**31))
 
-        reference = StateVectorCore(seed=measurement_seed)
+        reference = core_factory(measurement_seed)
+        _require_state_readout(reference)
         reference.createqubit(num_qubits)
         reference.run(_prep_all(num_qubits))
         reference.run(circuit.copy())
         reference_state = reference.getquantumstate()
 
-        core = StateVectorCore(seed=measurement_seed)
+        core = core_factory(measurement_seed)
+        _require_state_readout(core)
         frame_layer = PauliFrameLayer(core)
         frame_layer.createqubit(num_qubits)
         frame_layer.run(_prep_all(num_qubits))

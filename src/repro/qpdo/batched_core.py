@@ -49,7 +49,8 @@ from ..sim.framesim import (
 )
 from ..sim.state import State
 from ..sim.stabilizer import StabilizerSimulator
-from .core import Core, ExecutionResult
+from .. import telemetry
+from .core import CAP_BATCH, Core, ExecutionResult
 
 SeedLike = object  # see repro.sim.framesim.SeedLike
 
@@ -166,6 +167,18 @@ class BatchedStabilizerCore(Core):
         self._queue.append(circuit)
 
     def execute(self) -> BatchedExecutionResult:
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._execute()
+        with t.span(
+            "qpdo",
+            "BatchedStabilizerCore.execute",
+            circuits=len(self._queue),
+            shots=self.num_shots,
+        ):
+            return self._execute()
+
+    def _execute(self) -> BatchedExecutionResult:
         result = BatchedExecutionResult()
         for circuit in self._queue:
             noisy = (
@@ -192,6 +205,9 @@ class BatchedStabilizerCore(Core):
     def getstate(self) -> State:
         """Binary state as seen by shot 0 (the scalar-Core view)."""
         return self._state.copy()
+
+    def supports(self, capability: str) -> bool:
+        return capability == CAP_BATCH or super().supports(capability)
 
     # -- per-shot Pauli feedback ----------------------------------------
     def apply_pauli_frame(

@@ -28,6 +28,11 @@ from ..circuits.circuit import Circuit
 from ..circuits.operation import Operation
 from ..sim.state import QuantumState, State
 
+#: Capability name for :meth:`Core.getquantumstate` availability.
+CAP_QUANTUM_STATE = "getquantumstate"
+#: Capability name for lockstep multi-shot (batched) execution.
+CAP_BATCH = "batch"
+
 
 class UnsupportedFeatureError(RuntimeError):
     """The back-end cannot provide the requested capability.
@@ -93,6 +98,16 @@ class Core(abc.ABC):
         raise UnsupportedFeatureError(
             f"{type(self).__name__} cannot produce a quantum state"
         )
+
+    def supports(self, capability: str) -> bool:
+        """Whether this stack element provides an optional capability.
+
+        Callers should query this instead of provoking (and catching)
+        :class:`UnsupportedFeatureError`.  Known capability names are
+        :data:`CAP_QUANTUM_STATE` and :data:`CAP_BATCH`; unknown names
+        simply report ``False``.
+        """
+        return False
 
     @property
     @abc.abstractmethod

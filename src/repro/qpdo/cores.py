@@ -20,7 +20,13 @@ from ..circuits.circuit import Circuit
 from ..sim.state import QuantumState, State
 from ..sim.stabilizer import StabilizerSimulator
 from ..sim.statevector import StateVectorSimulator
-from .core import Core, ExecutionResult, UnsupportedFeatureError
+from .. import telemetry
+from .core import (
+    CAP_QUANTUM_STATE,
+    Core,
+    ExecutionResult,
+    UnsupportedFeatureError,
+)
 
 
 class _SimulatorCore(Core):
@@ -59,6 +65,17 @@ class _SimulatorCore(Core):
         self._queue.append(circuit)
 
     def execute(self) -> ExecutionResult:
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._execute()
+        with t.span(
+            "qpdo",
+            type(self).__name__ + ".execute",
+            circuits=len(self._queue),
+        ):
+            return self._execute()
+
+    def _execute(self) -> ExecutionResult:
         result = ExecutionResult()
         for circuit in self._queue:
             for slot in circuit:
@@ -162,3 +179,8 @@ class StateVectorCore(_SimulatorCore):
         if self._num_qubits == self.simulator.num_qubits:
             return self.simulator.quantum_state()
         return self.simulator.quantum_state_of(range(self._num_qubits))
+
+    def supports(self, capability: str) -> bool:
+        return capability == CAP_QUANTUM_STATE or super().supports(
+            capability
+        )

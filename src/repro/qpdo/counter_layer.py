@@ -8,6 +8,12 @@ filtered -- this is the instrumentation behind Figs 5.25/5.26.
 Bypass circuits (diagnostics) are forwarded but not counted, matching
 the paper's requirement that diagnostic ESM rounds "not affect any
 counters in the experiment" (section 5.3.1).
+
+The layer is telemetry-backed: when the process-wide collector is
+enabled (:mod:`repro.telemetry`), every tally is mirrored into the
+hierarchical ``qpdo.counter`` counters under this layer's ``name``, so
+a saved trace carries the same per-position stream counts the
+in-process :class:`StreamCounts` object exposes.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
+from .. import telemetry
 from .core import Core, ExecutionResult
 from .layer import Layer
 
@@ -54,12 +61,26 @@ class StreamCounts:
 
 
 class CounterLayer(Layer):
-    """Count circuits, slots, operations and results flowing past."""
+    """Count circuits, slots, operations and results flowing past.
 
-    def __init__(self, lower: Core):
+    Parameters
+    ----------
+    lower:
+        The stack element below.
+    name:
+        Telemetry identity of this counter's position in the stack
+        (e.g. ``"above_frame"``).  Only used when the telemetry
+        collector is enabled; defaults to ``"counter"``.
+    """
+
+    def __init__(self, lower: Core, name: str = "counter"):
         super().__init__(lower)
+        self.name = name
         self.counts = StreamCounts()
         self.results_seen = 0
+
+    def telemetry_name(self) -> str:
+        return f"CounterLayer[{self.name}]"
 
     def reset_counts(self) -> None:
         """Zero all tallies."""
@@ -67,22 +88,42 @@ class CounterLayer(Layer):
         self.results_seen = 0
 
     def process_down(self, circuit: Circuit) -> Circuit:
+        counts = self.counts
         if circuit.bypass:
-            self.counts.bypass_circuits += 1
+            counts.bypass_circuits += 1
+            t = telemetry.ACTIVE
+            if t is not None:
+                t.count("qpdo.counter", self.name, "bypass_circuits")
             return circuit
-        self.counts.circuits += 1
+        counts.circuits += 1
+        slots = operations = measurements = errors = 0
         for slot in circuit:
             commanded = 0
             for operation in slot:
                 if operation.is_error:
-                    self.counts.error_operations += 1
+                    errors += 1
                     continue
                 commanded += 1
-                self.counts.operations += 1
+                operations += 1
                 if operation.is_measurement:
-                    self.counts.measurements += 1
+                    measurements += 1
             if commanded:
-                self.counts.slots += 1
+                slots += 1
+        counts.slots += slots
+        counts.operations += operations
+        counts.measurements += measurements
+        counts.error_operations += errors
+        t = telemetry.ACTIVE
+        if t is not None:
+            t.count("qpdo.counter", self.name, "circuits")
+            t.count("qpdo.counter", self.name, "slots", slots)
+            t.count("qpdo.counter", self.name, "operations", operations)
+            t.count(
+                "qpdo.counter", self.name, "measurements", measurements
+            )
+            t.count(
+                "qpdo.counter", self.name, "error_operations", errors
+            )
         return circuit
 
     def process_up(self, result: ExecutionResult) -> ExecutionResult:

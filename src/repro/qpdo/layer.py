@@ -13,6 +13,7 @@ from typing import Iterable, List, Sequence
 
 from ..circuits.circuit import Circuit
 from ..sim.state import QuantumState, State
+from .. import telemetry
 from .core import Core, ExecutionResult
 
 
@@ -53,16 +54,39 @@ class Layer(Core):
         self.on_removequbit(size)
 
     def add(self, circuit: Circuit) -> None:
-        self.lower.add(self.process_down(circuit))
+        t = telemetry.ACTIVE
+        if t is None:
+            self.lower.add(self.process_down(circuit))
+            return
+        with t.span(
+            "qpdo",
+            self.telemetry_name() + ".process_down",
+            circuit=circuit.name,
+        ):
+            processed = self.process_down(circuit)
+        self.lower.add(processed)
 
     def execute(self) -> ExecutionResult:
-        return self.process_up(self.lower.execute())
+        t = telemetry.ACTIVE
+        if t is None:
+            return self.process_up(self.lower.execute())
+        lowered = self.lower.execute()
+        with t.span("qpdo", self.telemetry_name() + ".process_up"):
+            return self.process_up(lowered)
+
+    def telemetry_name(self) -> str:
+        """The name this layer's spans/counters are recorded under."""
+        return type(self).__name__
 
     def getstate(self) -> State:
         return self.lower.getstate()
 
     def getquantumstate(self) -> QuantumState:
         return self.lower.getquantumstate()
+
+    def supports(self, capability: str) -> bool:
+        """Layers are transparent: delegate capability queries down."""
+        return self.lower.supports(capability)
 
     @property
     def num_qubits(self) -> int:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..circuits.circuit import Circuit
-from .core import Core
+from .core import CAP_BATCH, CAP_QUANTUM_STATE, Core
 
 
 class TestBench(abc.ABC):
@@ -113,10 +113,18 @@ class GateSupportTb(TestBench):
     def __init__(self, stack: Core):
         super().__init__(stack, iterations=1)
         self.reports: List[GateSupportReport] = []
+        #: Optional capabilities the stack advertises, probed via
+        #: :meth:`~repro.qpdo.core.Core.supports` (never by provoking
+        #: ``UnsupportedFeatureError``).
+        self.capabilities: Dict[str, bool] = {}
 
     def initialize(self) -> None:
         if self.stack.num_qubits < 2:
             self.stack.createqubit(2 - self.stack.num_qubits)
+        self.capabilities = {
+            capability: self.stack.supports(capability)
+            for capability in (CAP_QUANTUM_STATE, CAP_BATCH)
+        }
 
     def single_test(self) -> List[GateSupportReport]:
         self.reports = []
@@ -220,6 +228,13 @@ class GateSupportTb(TestBench):
             else:
                 status = "WRONG RESULT"
             lines.append(f"  {report.gate:6s} {status:12s} {report.detail}")
+        if self.capabilities:
+            lines.append("capabilities:")
+            for capability, available in sorted(
+                self.capabilities.items()
+            ):
+                state = "available" if available else "unavailable"
+                lines.append(f"  {capability:16s} {state}")
         return "\n".join(lines)
 
 

@@ -54,6 +54,7 @@ import numpy as np
 
 from ..circuits.circuit import Circuit, TimeSlot
 from ..gates.gateset import GateClass
+from .. import telemetry
 from .stabilizer import StabilizerSimulator
 
 # ----------------------------------------------------------------------
@@ -69,6 +70,20 @@ OP_MEASURE = 6
 OP_XERR = 7
 OP_DEPOL1 = 8
 OP_DEPOL2 = 9
+
+#: Telemetry kernel-counter names, indexed by opcode.
+_OP_COUNTER_NAMES = (
+    "h",
+    "s",
+    "cnot",
+    "cz",
+    "swap",
+    "reset",
+    "measure",
+    "xerr",
+    "depol1",
+    "depol2",
+)
 
 #: Frame-transparent gates: Pauli conjugation maps every Pauli to
 #: itself up to a (dropped) phase, so frames pass straight through.
@@ -215,9 +230,15 @@ class FrameArray:
         Returns the ``X``-component column (a copy), then randomizes
         the now-gauge ``Z`` component.
         """
-        flips = self.x[:, qubit].copy()
-        self.z[:, qubit] = rng.random(self.num_shots) < 0.5
-        return flips
+        t = telemetry.ACTIVE
+        if t is None:
+            flips = self.x[:, qubit].copy()
+            self.z[:, qubit] = rng.random(self.num_shots) < 0.5
+            return flips
+        with t.span("sim.framesim", "FrameArray.measure_flips"):
+            flips = self.x[:, qubit].copy()
+            self.z[:, qubit] = rng.random(self.num_shots) < 0.5
+            return flips
 
     # -- noise channels (vectorized) ------------------------------------
     def xerr(
@@ -522,6 +543,21 @@ class BatchedFrameSampler:
         whose columns follow the circuit's measurement order
         (``program.measurement_uids``).
         """
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._sample(num_shots)
+        with t.span(
+            "sim.framesim",
+            "BatchedFrameSampler.sample",
+            shots=int(num_shots),
+            instructions=len(self.program.instructions),
+        ):
+            out = self._sample(num_shots)
+        for instr in self.program.instructions:
+            t.count("sim.framesim", "kernel", _OP_COUNTER_NAMES[instr[0]])
+        return out
+
+    def _sample(self, num_shots: int) -> np.ndarray:
         program = self.program
         shots = int(num_shots)
         frames = FrameArray(shots, program.num_qubits)

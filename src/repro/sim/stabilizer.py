@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..paulis.pauli_string import PauliString
+from .. import telemetry
 
 
 class StabilizerSimulator:
@@ -153,6 +154,9 @@ class StabilizerSimulator:
                 f"stabilizer simulator cannot apply non-Clifford gate "
                 f"{name!r}"
             )
+        t = telemetry.ACTIVE
+        if t is not None:
+            t.count("sim.stabilizer", "apply_gate", name)
         handler(self, *qubits)
 
     # ------------------------------------------------------------------
@@ -175,6 +179,13 @@ class StabilizerSimulator:
         Returns the observed bit (0 or 1); the post-measurement state
         is the corresponding projection.
         """
+        t = telemetry.ACTIVE
+        if t is not None:
+            with t.span("sim.stabilizer", "measure"):
+                return self._measure(qubit)
+        return self._measure(qubit)
+
+    def _measure(self, qubit: int) -> int:
         n = self.num_qubits
         stab_x = self.x[n : 2 * n, qubit]
         candidates = np.flatnonzero(stab_x)

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..gates.matrices import matrix_for
+from .. import telemetry
 from .state import QuantumState
 
 
@@ -106,6 +107,9 @@ class StateVectorSimulator:
         name = name.lower()
         if name in ("i", "id"):
             return
+        t = telemetry.ACTIVE
+        if t is not None:
+            t.count("sim.statevector", "apply_gate", name)
         self.apply_matrix(matrix_for(name, *params), qubits)
 
     # ------------------------------------------------------------------
@@ -121,6 +125,13 @@ class StateVectorSimulator:
 
     def measure(self, qubit: int) -> int:
         """Projectively measure ``qubit``; returns the observed bit."""
+        t = telemetry.ACTIVE
+        if t is not None:
+            with t.span("sim.statevector", "measure"):
+                return self._measure(qubit)
+        return self._measure(qubit)
+
+    def _measure(self, qubit: int) -> int:
         p_one = self.probability_of_one(qubit)
         outcome = int(self.rng.random() < p_one)
         self._project(qubit, outcome, p_one if outcome else 1.0 - p_one)

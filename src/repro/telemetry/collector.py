@@ -1,0 +1,205 @@
+"""The telemetry collector: spans, counters and event records.
+
+A single :class:`TelemetryCollector` instance aggregates everything in
+memory (cheap dict updates keyed by ``(category, name)``) and forwards
+structured records to its sinks.  Record payloads are plain dicts of
+JSON-safe scalars so every sink can serialise them without knowing the
+producer.
+
+Record types emitted to sinks:
+
+``span_begin`` / ``span_end``
+    One pair per instrumented span.  ``span_end`` carries the measured
+    ``duration`` in seconds.  ``depth`` is the span-stack depth at
+    emission time, letting a reader reconstruct the call hierarchy.
+``event``
+    A point-in-time occurrence (e.g. a parallel shard commit).
+``counter``
+    Aggregated counter totals, flushed once when the collector closes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sinks import Sink
+
+
+class Span:
+    """Context manager measuring one timed region.
+
+    Created via :meth:`TelemetryCollector.span`; records wall time via
+    ``time.perf_counter`` and updates the collector's per-``(category,
+    name)`` totals on exit.
+    """
+
+    __slots__ = ("collector", "category", "name", "meta", "_start")
+
+    def __init__(self, collector, category, name, meta):
+        self.collector = collector
+        self.category = category
+        self.name = name
+        self.meta = meta
+        self._start = 0.0
+
+    def __enter__(self):
+        collector = self.collector
+        record = {
+            "type": "span_begin",
+            "category": self.category,
+            "name": self.name,
+            "ts": time.perf_counter() - collector.start_time,
+            "depth": len(collector._span_stack),
+        }
+        if self.meta:
+            record["meta"] = self.meta
+        collector._span_stack.append((self.category, self.name))
+        collector._emit(record)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self._start
+        collector = self.collector
+        collector._span_stack.pop()
+        totals = collector.span_totals.setdefault(
+            (self.category, self.name), [0, 0.0]
+        )
+        totals[0] += 1
+        totals[1] += duration
+        collector._emit(
+            {
+                "type": "span_end",
+                "category": self.category,
+                "name": self.name,
+                "ts": time.perf_counter() - collector.start_time,
+                "depth": len(collector._span_stack),
+                "duration": duration,
+            }
+        )
+        return False
+
+
+class TelemetryCollector:
+    """Aggregates spans, counters and events; fans records out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Zero or more :class:`~repro.telemetry.sinks.Sink` instances.
+        With no sinks the collector still aggregates in memory, which
+        is all the stderr ``--metrics`` summary needs.
+    """
+
+    def __init__(self, sinks: Sequence[Sink] = ()):
+        self.sinks: List[Sink] = list(sinks)
+        #: ``(category, name) -> [call_count, total_seconds]``
+        self.span_totals: Dict[Tuple[str, str], List] = {}
+        #: ``(category, name) -> {field: accumulated_amount}``
+        self.counters: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: number of point events seen, by ``(category, name)``
+        self.event_totals: Dict[Tuple[str, str], int] = {}
+        self.start_time = time.perf_counter()
+        self._span_stack: List[Tuple[str, str]] = []
+        self._closed = False
+
+    # -- producer API ---------------------------------------------------
+    def span(self, category: str, name: str, **meta) -> Span:
+        """A context manager timing one ``category``/``name`` region."""
+        return Span(self, category, name, meta)
+
+    def count(
+        self,
+        category: str,
+        name: str,
+        field: str = "count",
+        amount: float = 1,
+    ) -> None:
+        """Add ``amount`` to the ``field`` tally of ``(category, name)``."""
+        fields = self.counters.setdefault((category, name), {})
+        fields[field] = fields.get(field, 0) + amount
+
+    def event(self, category: str, name: str, **meta) -> None:
+        """Record a point-in-time occurrence with optional metadata."""
+        key = (category, name)
+        self.event_totals[key] = self.event_totals.get(key, 0) + 1
+        record = {
+            "type": "event",
+            "category": category,
+            "name": name,
+            "ts": time.perf_counter() - self.start_time,
+            "depth": len(self._span_stack),
+        }
+        if meta:
+            record["meta"] = meta
+        self._emit(record)
+
+    # -- sink plumbing --------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def flush(self) -> None:
+        """Emit one ``counter`` record per aggregated counter key."""
+        for (category, name), fields in sorted(self.counters.items()):
+            self._emit(
+                {
+                    "type": "counter",
+                    "category": category,
+                    "name": name,
+                    "fields": dict(sorted(fields.items())),
+                }
+            )
+
+    def close(self) -> None:
+        """Flush aggregated counters and close every sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+    # -- reporting ------------------------------------------------------
+    def summary_table(self) -> str:
+        """The end-of-run stderr summary (``--metrics``)."""
+        lines = ["telemetry summary"]
+        if self.span_totals:
+            lines.append("  spans (calls, total seconds):")
+            for (category, name), (calls, seconds) in sorted(
+                self.span_totals.items(),
+                key=lambda item: -item[1][1],
+            ):
+                lines.append(
+                    f"    {category + '/' + name:<44s} "
+                    f"{calls:>9d}  {seconds:10.4f}s"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            for (category, name), fields in sorted(self.counters.items()):
+                rendered = ", ".join(
+                    f"{field}={_format_amount(value)}"
+                    for field, value in sorted(fields.items())
+                )
+                lines.append(
+                    f"    {category + '/' + name:<44s} {rendered}"
+                )
+        if self.event_totals:
+            lines.append("  events:")
+            for (category, name), total in sorted(
+                self.event_totals.items()
+            ):
+                lines.append(
+                    f"    {category + '/' + name:<44s} {total:>9d}"
+                )
+        if len(lines) == 1:
+            lines.append("  (no instrumented activity recorded)")
+        return "\n".join(lines)
+
+
+def _format_amount(value) -> str:
+    """Counters keep ints exact and floats short."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))

@@ -1,0 +1,76 @@
+"""Pluggable consumers of telemetry records.
+
+Every sink receives plain-dict records from the collector via
+:meth:`Sink.emit`.  Records are JSON-safe by construction, so the
+JSON-lines sink can serialise them directly and the in-memory sink can
+hand them to tests unmodified.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+
+class Sink:
+    """Interface for telemetry record consumers."""
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class MemorySink(Sink):
+    """Collects records in a list; the test-suite workhorse."""
+
+    def __init__(self):
+        self.records: List[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, record_type: str) -> List[dict]:
+        """The received records of one ``type`` (e.g. ``span_end``)."""
+        return [r for r in self.records if r["type"] == record_type]
+
+
+class JsonLinesSink(Sink):
+    """Streams records to a JSON-lines file, one record per line.
+
+    Accepts either a path (opened lazily, closed by :meth:`close`) or
+    an already-open text stream (left open — the caller owns it).
+    """
+
+    def __init__(self, destination: Union[str, IO[str]]):
+        if hasattr(destination, "write"):
+            self._stream: Optional[IO[str]] = destination
+            self._path = None
+            self._owns_stream = False
+        else:
+            self._stream = None
+            self._path = destination
+            self._owns_stream = True
+
+    def emit(self, record: dict) -> None:
+        if self._stream is None:
+            self._stream = open(self._path, "w", encoding="utf-8")
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._stream is None:
+            if self._owns_stream:
+                # No records arrived; still leave a valid empty file.
+                open(self._path, "w", encoding="utf-8").close()
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self._stream = None
+        self._owns_stream = False

@@ -1,0 +1,10 @@
+"""Repository maintenance gates run from CI.
+
+* :mod:`repro.tools.validate_cli_json` — run one ``--json``
+  invocation per CLI subcommand and validate each document against
+  its schema (:mod:`repro.experiments.schemas`) plus the unified
+  results round-trip.
+* :mod:`repro.tools.check_deprecations` — import every ``repro``
+  module and fail on any :class:`DeprecationWarning` raised from
+  inside the package itself.
+"""

@@ -1,0 +1,89 @@
+"""CI gate: no DeprecationWarning originates from inside ``repro``.
+
+Imports every module of the package with warnings recorded and fails
+if any :class:`DeprecationWarning` is attributed to a file under the
+package source tree.  Out-of-tree warnings (third-party libraries,
+callers exercising the deprecated aliases on purpose) are ignored —
+the gate pins that *our own code* never goes through a deprecated
+path.
+
+Usage::
+
+    python -m repro.tools.check_deprecations
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+import sys
+import warnings
+from typing import List, Tuple
+
+
+def iter_module_names() -> List[str]:
+    """Every importable module name under the ``repro`` package."""
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        # ``__main__`` modules run the CLI on import; skip them.
+        if info.name.rsplit(".", 1)[-1] == "__main__":
+            continue
+        names.append(info.name)
+    return names
+
+
+def collect_in_tree_deprecations() -> List[Tuple[str, str]]:
+    """(module, warning) pairs for in-tree DeprecationWarnings."""
+    import repro
+
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    offences: List[Tuple[str, str]] = []
+    for name in iter_module_names():
+        # Re-import from scratch so import-time warnings fire again.
+        for cached in [
+            key
+            for key in sys.modules
+            if key == name or key.startswith(name + ".")
+        ]:
+            del sys.modules[cached]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            importlib.import_module(name)
+        for warning in caught:
+            if not issubclass(
+                warning.category, DeprecationWarning
+            ):
+                continue
+            origin = os.path.abspath(warning.filename)
+            if origin.startswith(package_root):
+                offences.append(
+                    (name, f"{warning.filename}:{warning.lineno}: "
+                           f"{warning.message}")
+                )
+    return offences
+
+
+def main() -> int:
+    offences = collect_in_tree_deprecations()
+    if offences:
+        for module, detail in offences:
+            print(f"FAIL importing {module}: {detail}")
+        print(
+            f"{len(offences)} DeprecationWarning(s) raised from "
+            f"inside src/repro"
+        )
+        return 1
+    print(
+        "no DeprecationWarning originates from inside the repro "
+        "package"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
