@@ -1,0 +1,62 @@
+"""Static verification layer: analyze circuits and code before running.
+
+Two coordinated passes share one findings vocabulary
+(:mod:`repro.analysis.findings`):
+
+* the **circuit pre-flight verifier**
+  (:func:`~repro.analysis.verifier.verify_circuit`) analyzes circuit
+  IR without simulating -- gate/arity validation, slot conflicts,
+  qubit liveness, Clifford classification with backend routing, and
+  abstract Pauli-frame propagation over the paper's record tables;
+* the **determinism linter** (:mod:`repro.tools.lint`) walks the
+  package's own Python sources for reproducibility hazards.
+
+:class:`~repro.analysis.preflight.PreflightLayer` wires the verifier
+into QPDO stacks as an opt-in compile-time gate.
+"""
+
+from .findings import (
+    FINDING_CODES,
+    Finding,
+    Severity,
+    format_findings_table,
+)
+from .frame_flow import IDENTITY, TOP, FrameFlow
+from .catalog import (
+    CIRCUIT_CATALOG,
+    build_catalog_circuit,
+    catalog_names,
+    inject_t_gate,
+)
+from .preflight import PreflightError, PreflightLayer, circuit_digest
+from .verifier import (
+    FRAME_FORBID,
+    FRAME_WARN,
+    ROUTE_STABILIZER,
+    ROUTE_STATE_VECTOR,
+    CircuitAnalysis,
+    verify_circuit,
+)
+
+__all__ = [
+    "FINDING_CODES",
+    "Finding",
+    "Severity",
+    "format_findings_table",
+    "IDENTITY",
+    "TOP",
+    "FrameFlow",
+    "CIRCUIT_CATALOG",
+    "build_catalog_circuit",
+    "catalog_names",
+    "inject_t_gate",
+    "PreflightError",
+    "PreflightLayer",
+    "circuit_digest",
+    "FRAME_FORBID",
+    "FRAME_WARN",
+    "ROUTE_STABILIZER",
+    "ROUTE_STATE_VECTOR",
+    "CircuitAnalysis",
+    "verify_circuit",
+]

@@ -1,0 +1,131 @@
+"""Named circuit catalog for ``repro lint-circuit``.
+
+The CLI verifies circuits by name; the catalog maps those names to the
+repo's real builders (the SC17 and Steane ESM rounds, the workload
+suite, a Bell pair) so the pre-flight verifier exercises exactly the
+circuits the experiments run.  A ``--inject-t`` hook grafts a T gate
+onto a data qubit mid-circuit, producing the canonical *negative*
+example: a non-Clifford gate meeting an unknown Pauli frame, which the
+verifier must reject with a ``CIR009`` frame-commutation finding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, TimeSlot
+from ..circuits.operation import Operation
+from ..circuits.workloads import (
+    cnot_adder_workload,
+    clifford_t_workload,
+    teleportation_workload,
+)
+from ..codes.steane import code as steane
+from ..codes.surface17 import esm as sc17
+
+
+def _sc17_esm() -> Circuit:
+    return sc17.parallel_esm(
+        list(range(17)), name="sc17-esm"
+    ).circuit
+
+
+def _sc17_esm_serial() -> Circuit:
+    return sc17.serialized_esm(
+        list(range(9)), 9, name="sc17-esm-serial"
+    ).circuit
+
+
+def _sc17_esm_z_only() -> Circuit:
+    return sc17.parallel_esm(
+        list(range(17)), dance_mode="z_only", name="sc17-esm-z-only"
+    ).circuit
+
+
+def _steane_esm() -> Circuit:
+    return steane.serialized_esm(
+        list(range(7)), 7, name="steane-esm"
+    ).circuit
+
+
+def _bell() -> Circuit:
+    circuit = Circuit("bell")
+    circuit.add("prep_z", 0)
+    circuit.add("prep_z", 1)
+    circuit.add("h", 0)
+    circuit.add("cnot", 0, 1)
+    circuit.add("measure", 0)
+    circuit.add("measure", 1)
+    return circuit
+
+
+def _adder() -> Circuit:
+    return cnot_adder_workload()
+
+
+def _teleport() -> Circuit:
+    return teleportation_workload()
+
+
+def _clifford_t() -> Circuit:
+    return clifford_t_workload(
+        rng=np.random.default_rng(2016)
+    )
+
+
+#: name -> zero-argument builder of a fresh circuit.
+CIRCUIT_CATALOG: Dict[str, Callable[[], Circuit]] = {
+    "sc17-esm": _sc17_esm,
+    "sc17-esm-serial": _sc17_esm_serial,
+    "sc17-esm-z-only": _sc17_esm_z_only,
+    "steane-esm": _steane_esm,
+    "bell": _bell,
+    "adder": _adder,
+    "teleport": _teleport,
+    "clifford-t": _clifford_t,
+}
+
+
+def catalog_names() -> List[str]:
+    """Sorted list of available circuit names."""
+    return sorted(CIRCUIT_CATALOG)
+
+
+def build_catalog_circuit(name: str) -> Circuit:
+    """Build the named circuit, raising ``KeyError`` with choices."""
+    try:
+        builder = CIRCUIT_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; choose one of "
+            f"{', '.join(catalog_names())}"
+        ) from None
+    return builder()
+
+
+def inject_t_gate(circuit: Circuit) -> Circuit:
+    """Return a copy with a T gate spliced in after the midpoint slot.
+
+    The T gate lands on the lowest-numbered qubit the circuit touches,
+    in a fresh time slot inserted halfway through -- the point where an
+    abstract Pauli frame pushed from the circuit's entry is maximally
+    unknown.  Used by ``repro lint-circuit --inject-t`` to produce the
+    negative control the acceptance criteria require.
+    """
+    qubits = circuit.qubits()
+    if not qubits:
+        raise ValueError("cannot inject into an empty circuit")
+    target = min(qubits)
+    tainted = Circuit(circuit.name + "+t")
+    midpoint = max(1, circuit.num_slots() // 2)
+    for index, slot in enumerate(circuit):
+        new_slot = tainted.new_slot()
+        for operation in slot:
+            new_slot.add(operation.copy())
+        if index + 1 == midpoint:
+            t_slot = TimeSlot()
+            t_slot.add(Operation("t", (target,)))
+            tainted.slots.append(t_slot)
+    return tainted

@@ -1,0 +1,165 @@
+"""Abstract Pauli-frame propagation (symbolic frame commutation).
+
+The paper's correctness argument (section 5.3) relies on one static
+property: the whole circuit stays inside the regime where a Pauli
+frame *commutes* -- every gate is Clifford (the frame records map
+through Tables 3.3-3.5), preparations reset records and measurements
+are classically correctable (Table 3.2).  This module checks that
+property without simulating, by pushing an *abstract* frame through
+the circuit.
+
+The abstract domain is, per qubit, the **set of Pauli records the
+frame could hold** at that program point -- a subset of
+``{I, X, Z, XZ}``.  The transfer functions are the literal mapping
+tables of :mod:`repro.paulis.tables` lifted to sets:
+
+* preparation collapses the record to ``{I}`` (a reset discards any
+  pending record);
+* measurements are always safe -- the X component only flips the
+  classical result, which Table 3.2 corrects -- and leave the set
+  unchanged;
+* Pauli and Clifford gates map each possible record through the
+  matching table (two-qubit gates map the cartesian product and
+  project back per qubit, a sound over-approximation that forgets
+  cross-qubit correlation);
+* a non-Clifford gate commutes with the frame **only** when every
+  target qubit's set is exactly ``{I}`` -- i.e. the frame is
+  *provably* empty there.  Anything else is a frame-commutation
+  violation: the gate would force a flush at run time, which the
+  pre-flight verifier reports as ``CIR009``.
+
+Soundness property (tested): for any concrete per-qubit record
+assignment contained in the initial abstract state, the concrete
+record after any prefix of the circuit is contained in the abstract
+set computed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..circuits.operation import Operation
+from ..gates.gateset import GateClass
+from ..paulis.record import PauliRecord
+from ..paulis.tables import (
+    SINGLE_QUBIT_MAP_TABLES,
+    TWO_QUBIT_MAP_TABLES,
+)
+
+#: The abstract value of one qubit: the set of records the frame could
+#: currently hold there.
+RecordSet = FrozenSet[PauliRecord]
+
+#: Completely unknown frame (circuit fragment executed mid-stream).
+TOP: RecordSet = frozenset(PauliRecord)
+
+#: Provably empty frame (freshly prepared qubit).
+IDENTITY: RecordSet = frozenset({PauliRecord.I})
+
+
+class FrameFlow:
+    """Forward abstract interpretation of a frame over one circuit.
+
+    Parameters
+    ----------
+    initial:
+        Abstract record set assumed for every qubit on entry.
+        :data:`TOP` (default) models a circuit fragment executed with
+        an arbitrary pending frame; :data:`IDENTITY` models the start
+        of a program where the frame is known clean.
+    """
+
+    def __init__(self, initial: RecordSet = TOP) -> None:
+        self.initial = frozenset(initial)
+        self._records: Dict[int, RecordSet] = {}
+
+    def record_set(self, qubit: int) -> RecordSet:
+        """The abstract record set currently tracked for ``qubit``."""
+        return self._records.get(qubit, self.initial)
+
+    def _set(self, qubit: int, records: Iterable[PauliRecord]) -> None:
+        self._records[qubit] = frozenset(records)
+
+    # ------------------------------------------------------------------
+    # Transfer functions
+    # ------------------------------------------------------------------
+    def apply(self, operation: Operation) -> Optional[str]:
+        """Push the abstract frame through one operation.
+
+        Returns ``None`` when the frame commutes (possibly after
+        mapping records), or a human-readable description of the
+        violation when it cannot.
+        """
+        gate_class = operation.gate_class
+        if gate_class is GateClass.PREPARE:
+            self._set(operation.qubits[0], IDENTITY)
+            return None
+        if gate_class is GateClass.MEASURE:
+            # The record's X component flips the classical result,
+            # which Table 3.2 corrects; the state itself is
+            # unaffected up to that flip.  Records persist.
+            return None
+        if operation.is_error:
+            # Error-layer injections model physical noise *below* the
+            # frame; they never interact with frame commutation.  The
+            # noise widens nothing in record space (it is not part of
+            # the tracked frame), so the abstract state is unchanged.
+            return None
+        name = operation.name
+        if gate_class in (GateClass.PAULI, GateClass.CLIFFORD):
+            table = SINGLE_QUBIT_MAP_TABLES.get(name)
+            if table is not None:
+                qubit = operation.qubits[0]
+                self._set(
+                    qubit,
+                    {table[r] for r in self.record_set(qubit)},
+                )
+                return None
+            pair_table = TWO_QUBIT_MAP_TABLES.get(name)
+            if pair_table is not None:
+                self._apply_pair(operation, pair_table)
+                return None
+            # A Clifford gate without a record-mapping table behaves
+            # like a non-Clifford one from the frame's perspective: the
+            # Pauli Frame Unit has no rule for it and must flush.
+            return (
+                f"gate {name!r} is Clifford but has no record-mapping "
+                f"table; the frame must flush before it"
+            )
+        # Non-Clifford: commutes only through a provably empty frame.
+        dirty = [
+            qubit
+            for qubit in operation.qubits
+            if self.record_set(qubit) != IDENTITY
+        ]
+        if not dirty:
+            return None
+        return (
+            f"non-Clifford gate {name!r} meets a possibly non-identity "
+            f"frame on qubit(s) {dirty}; the frame cannot commute and "
+            f"would force a flush"
+        )
+
+    def _apply_pair(
+        self,
+        operation: Operation,
+        table: Dict[
+            Tuple[PauliRecord, PauliRecord],
+            Tuple[PauliRecord, PauliRecord],
+        ],
+    ) -> None:
+        first, second = operation.qubits
+        outs_first = set()
+        outs_second = set()
+        for a in self.record_set(first):
+            for b in self.record_set(second):
+                out_a, out_b = table[(a, b)]
+                outs_first.add(out_a)
+                outs_second.add(out_b)
+        self._set(first, outs_first)
+        self._set(second, outs_second)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, RecordSet]:
+        """Current per-qubit abstract state (explicitly tracked only)."""
+        return dict(self._records)

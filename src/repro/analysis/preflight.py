@@ -1,0 +1,132 @@
+"""Opt-in pre-flight verification wired into QPDO stacks.
+
+:class:`PreflightLayer` is a transparent stack element: every circuit
+travelling down is statically verified (:func:`verify_circuit`)
+against the capabilities of the stack *below* it before the lower
+element ever sees it.  Verification happens once per circuit
+*structure* -- experiments re-add the same ESM round thousands of
+times, so the layer keys a cache on a structural digest and pays the
+analysis cost only at "compile time", exactly as the issue's pre-flight
+contract requires.
+
+A failing circuit raises :class:`PreflightError` carrying the full
+:class:`~repro.analysis.verifier.CircuitAnalysis`, so callers can
+render or serialize the findings instead of parsing an exception
+string.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..circuits.circuit import Circuit
+from ..qpdo.core import Core
+from ..qpdo.layer import Layer
+from .. import telemetry
+from .verifier import FRAME_WARN, CircuitAnalysis, verify_circuit
+
+#: A hashable structural fingerprint of a circuit.
+CircuitDigest = Tuple
+
+
+class PreflightError(RuntimeError):
+    """A circuit failed static pre-flight verification.
+
+    Attributes
+    ----------
+    analysis:
+        The full :class:`CircuitAnalysis`, findings included.
+    """
+
+    def __init__(self, analysis: CircuitAnalysis):
+        self.analysis = analysis
+        errors = analysis.errors
+        detail = "; ".join(
+            f"{f.code}: {f.message}" for f in errors[:3]
+        )
+        more = len(errors) - 3
+        if more > 0:
+            detail += f"; and {more} more"
+        super().__init__(
+            f"circuit {analysis.circuit_name!r} failed pre-flight "
+            f"verification ({len(errors)} error(s)): {detail}"
+        )
+
+
+def circuit_digest(circuit: Circuit) -> CircuitDigest:
+    """A hashable digest of the circuit's verifier-visible structure.
+
+    Two circuits with equal digests produce identical analyses: the
+    digest covers gate names, qubit targets, parameters, the error
+    flag and the slot structure -- everything :func:`verify_circuit`
+    looks at except the circuit name (which only decorates locations).
+    """
+    return tuple(
+        tuple(
+            (
+                operation.name,
+                operation.qubits,
+                operation.params,
+                operation.is_error,
+            )
+            for operation in slot
+        )
+        for slot in circuit
+    )
+
+
+class PreflightLayer(Layer):
+    """Statically verify every circuit before it reaches the stack.
+
+    Parameters
+    ----------
+    lower:
+        The stack element below (its ``supports`` set is the
+        capability target circuits are checked against).
+    initial_frame:
+        Passed through to :func:`verify_circuit`; ``"unknown"``
+        (default) is sound for mid-stream fragments.
+    frame_policy:
+        Passed through to :func:`verify_circuit`; ``"warn"``
+        (default) lets circuits that merely force a frame flush pass,
+        ``"forbid"`` rejects them.
+    """
+
+    def __init__(
+        self,
+        lower: Core,
+        initial_frame: str = "unknown",
+        frame_policy: str = FRAME_WARN,
+    ):
+        super().__init__(lower)
+        self.initial_frame = initial_frame
+        self.frame_policy = frame_policy
+        self._verified: Dict[CircuitDigest, str] = {}
+        self.circuits_seen = 0
+        self.circuits_verified = 0
+
+    def process_down(self, circuit: Circuit) -> Circuit:
+        self.circuits_seen += 1
+        digest = circuit_digest(circuit)
+        if digest in self._verified:
+            return circuit
+        analysis = verify_circuit(
+            circuit,
+            target=self.lower,
+            initial_frame=self.initial_frame,
+            frame_policy=self.frame_policy,
+        )
+        self.circuits_verified += 1
+        t = telemetry.ACTIVE
+        if t is not None:
+            t.count("analysis", "preflight_verified")
+            t.count(
+                "analysis",
+                "preflight_verified",
+                field="findings",
+                amount=len(analysis.findings),
+            )
+        if not analysis.passed:
+            raise PreflightError(analysis)
+        self._verified[digest] = circuit.name
+        return circuit

@@ -1,0 +1,360 @@
+"""Circuit pre-flight verifier: analyze a :class:`Circuit` as data.
+
+Stim-style static verification (Gidney 2021): a circuit is analyzed
+*before* any simulator touches it, so malformed or mis-routed circuits
+fail fast with precise, machine-readable findings instead of a
+mid-run simulator exception.  One :func:`verify_circuit` call runs
+five coordinated checks:
+
+1. **Gate and arity validation** -- every operation must name a gate
+   in :mod:`repro.gates.gateset` with matching arity (``CIR001`` /
+   ``CIR002``); defensive against hand-built or rewritten IR.
+2. **Per-slot conflict audit** -- within one time slot every qubit
+   may participate in at most one operation (``CIR003``), the
+   invariant that makes a slot a parallel execution step.
+3. **Qubit liveness** -- operations on a measured-but-not-reprepared
+   qubit (``CIR004``), bare measurements of untouched qubits
+   (``CIR005``) and dead preparations (``CIR006``).
+4. **Clifford classification** -- the Aaronson-Gottesman criterion:
+   a circuit of preparations, measurements, Pauli and Clifford gates
+   is stabilizer-simulable and routes to the tableau backend; any
+   non-Clifford gate routes it to the state-vector backend
+   (``CIR007``) and is checked against the target core's
+   :meth:`~repro.qpdo.core.Core.supports` capability set (``CIR008``).
+5. **Abstract Pauli-frame propagation** -- a symbolic frame is pushed
+   through the circuit (:mod:`repro.analysis.frame_flow`) using the
+   paper's record-mapping tables; any operation the frame cannot
+   commute through is flagged (``CIR009``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Set, Union
+
+from ..circuits.circuit import Circuit
+from ..gates.gateset import GateClass, is_supported
+from ..qpdo.core import CAP_NON_CLIFFORD, Core
+from . import findings as F
+from .findings import Finding, Severity
+from .frame_flow import IDENTITY, TOP, FrameFlow, RecordSet
+
+#: Routing decision values.
+ROUTE_STABILIZER = "stabilizer"
+ROUTE_STATE_VECTOR = "statevector"
+
+#: ``target`` argument: a live core (queried via ``supports``), an
+#: explicit capability set, or ``None`` for structure-only checks.
+CapabilityTarget = Union[Core, Iterable[str], None]
+
+
+#: ``CIR009`` findings are errors: the circuit must stay in the
+#: commuting regime (the paper's ESM guarantee, section 5.3).
+FRAME_FORBID = "forbid"
+#: ``CIR009`` findings are warnings: a runtime frame unit can still
+#: execute the circuit by flushing records before the gate
+#: (Table 3.1), it just loses the zero-overhead guarantee.
+FRAME_WARN = "warn"
+
+
+@dataclass
+class CircuitAnalysis:
+    """The complete static-analysis result of one circuit."""
+
+    circuit_name: str
+    num_qubits: int
+    num_slots: int
+    num_operations: int
+    gate_census: Dict[str, int]
+    is_clifford: bool
+    routing: str
+    frame_safe: bool
+    frame_policy: str = FRAME_WARN
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Error-severity findings (these fail a pre-flight)."""
+        return [f for f in self.findings if f.is_error]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Warning-severity findings."""
+        return [
+            f for f in self.findings if f.severity is Severity.WARNING
+        ]
+
+    @property
+    def passed(self) -> bool:
+        """Whether the circuit has no error-severity findings."""
+        return not self.errors
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict for the results API."""
+        return {
+            "circuit_name": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "num_slots": self.num_slots,
+            "num_operations": self.num_operations,
+            "gate_census": dict(self.gate_census),
+            "is_clifford": self.is_clifford,
+            "routing": self.routing,
+            "frame_safe": self.frame_safe,
+            "frame_policy": self.frame_policy,
+            "findings": [f.to_json_dict() for f in self.findings],
+            "passed": self.passed,
+        }
+
+
+def _capability_probe(target: CapabilityTarget):
+    """Normalize ``target`` into a ``supports(name) -> bool`` callable."""
+    if target is None:
+        return None
+    if isinstance(target, Core):
+        return target.supports
+    capabilities = frozenset(target)
+    return capabilities.__contains__
+
+
+def verify_circuit(
+    circuit: Circuit,
+    target: CapabilityTarget = None,
+    initial_frame: str = "unknown",
+    frame_policy: str = FRAME_WARN,
+) -> CircuitAnalysis:
+    """Statically verify ``circuit``; never executes anything.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit IR to analyze.
+    target:
+        Optional capability target: a :class:`~repro.qpdo.core.Core`
+        (queried through ``supports``) or an iterable of capability
+        names.  With a target, a non-Clifford circuit on a core
+        without :data:`~repro.qpdo.core.CAP_NON_CLIFFORD` raises a
+        ``CIR008`` error finding.
+    initial_frame:
+        ``"unknown"`` (default) assumes an arbitrary pending Pauli
+        frame on entry -- correct for circuit fragments executed
+        mid-stream; ``"clean"`` assumes a provably empty frame --
+        correct for the first circuit of a program.
+    frame_policy:
+        :data:`FRAME_WARN` (default) reports frame-commutation
+        violations (``CIR009``) as warnings -- the runtime frame unit
+        can still run the circuit by flushing records before the gate;
+        :data:`FRAME_FORBID` makes them errors, demanding the
+        zero-flush commuting regime the paper's ESM circuits live in.
+    """
+    if initial_frame not in ("unknown", "clean"):
+        raise ValueError("initial_frame must be 'unknown' or 'clean'")
+    if frame_policy not in (FRAME_FORBID, FRAME_WARN):
+        raise ValueError("frame_policy must be 'forbid' or 'warn'")
+    start: RecordSet = TOP if initial_frame == "unknown" else IDENTITY
+    flow = FrameFlow(initial=start)
+    out: List[Finding] = []
+
+    #: None = untouched, "prep" / "used" / "measured" per qubit.
+    liveness: Dict[int, str] = {}
+    prepared_unused: Dict[int, Dict[str, Any]] = {}
+    non_clifford_seen: Set[str] = set()
+    census: Dict[str, int] = {}
+    is_clifford = True
+    frame_safe = True
+    num_operations = 0
+
+    for slot_index, slot in enumerate(circuit):
+        busy: Set[int] = set()
+        for op_index, operation in enumerate(slot):
+            num_operations += 1
+            location = {
+                "circuit": circuit.name,
+                "slot": slot_index,
+                "operation": op_index,
+                "gate": operation.name,
+                "qubits": list(operation.qubits),
+            }
+            census[operation.name] = census.get(operation.name, 0) + 1
+
+            # 1. Gate-name / arity validation --------------------------
+            if not is_supported(operation.name):
+                out.append(
+                    Finding(
+                        F.CIR_UNKNOWN_GATE,
+                        Severity.ERROR,
+                        f"gate {operation.name!r} is not in the "
+                        f"supported gate set",
+                        location,
+                    )
+                )
+                # No metadata to reason about further for this op.
+                continue
+            info = operation.info
+            if len(operation.qubits) != info.num_qubits:
+                out.append(
+                    Finding(
+                        F.CIR_ARITY,
+                        Severity.ERROR,
+                        f"gate {info.name!r} takes {info.num_qubits} "
+                        f"qubit(s), operation names "
+                        f"{len(operation.qubits)}",
+                        location,
+                    )
+                )
+                continue
+
+            # 2. Per-slot conflict audit -------------------------------
+            conflict = busy.intersection(operation.qubits)
+            if len(set(operation.qubits)) != len(operation.qubits):
+                conflict.update(operation.qubits)
+            if conflict:
+                out.append(
+                    Finding(
+                        F.CIR_SLOT_CONFLICT,
+                        Severity.ERROR,
+                        f"qubit(s) {sorted(conflict)} appear twice in "
+                        f"time slot {slot_index}",
+                        location,
+                    )
+                )
+            busy.update(operation.qubits)
+
+            # 3. Liveness ---------------------------------------------
+            _check_liveness(
+                operation, location, liveness, prepared_unused, out
+            )
+
+            # 4. Clifford classification ------------------------------
+            if info.gate_class is GateClass.NON_CLIFFORD:
+                is_clifford = False
+                if info.name not in non_clifford_seen:
+                    non_clifford_seen.add(info.name)
+                    out.append(
+                        Finding(
+                            F.CIR_NON_CLIFFORD,
+                            Severity.INFO,
+                            f"non-Clifford gate {info.name!r} routes "
+                            f"this circuit to the state-vector "
+                            f"backend",
+                            location,
+                        )
+                    )
+
+            # 5. Abstract frame propagation ---------------------------
+            violation = flow.apply(operation)
+            if violation is not None:
+                frame_safe = False
+                out.append(
+                    Finding(
+                        F.CIR_FRAME_COMMUTE,
+                        Severity.ERROR
+                        if frame_policy == FRAME_FORBID
+                        else Severity.WARNING,
+                        violation,
+                        location,
+                    )
+                )
+
+    # Dead allocations: preparations never followed by any use.
+    for qubit in sorted(prepared_unused):
+        out.append(
+            Finding(
+                F.CIR_DEAD_ALLOCATION,
+                Severity.INFO,
+                f"qubit {qubit} is prepared but never used nor "
+                f"measured in this circuit",
+                prepared_unused[qubit],
+            )
+        )
+
+    routing = ROUTE_STABILIZER if is_clifford else ROUTE_STATE_VECTOR
+
+    # Capability check against the target core ------------------------
+    supports = _capability_probe(target)
+    if supports is not None and routing == ROUTE_STATE_VECTOR:
+        if not supports(CAP_NON_CLIFFORD):
+            out.append(
+                Finding(
+                    F.CIR_CAPABILITY,
+                    Severity.ERROR,
+                    f"circuit requires the state-vector backend "
+                    f"(non-Clifford gates "
+                    f"{sorted(non_clifford_seen)}) but the target "
+                    f"core does not support "
+                    f"{CAP_NON_CLIFFORD!r}",
+                    {"circuit": circuit.name},
+                )
+            )
+
+    return CircuitAnalysis(
+        circuit_name=circuit.name,
+        num_qubits=len(circuit.qubits()),
+        num_slots=circuit.num_slots(),
+        num_operations=num_operations,
+        gate_census=census,
+        is_clifford=is_clifford,
+        routing=routing,
+        frame_safe=frame_safe,
+        frame_policy=frame_policy,
+        findings=out,
+    )
+
+
+def _check_liveness(
+    operation,
+    location: Dict[str, Any],
+    liveness: Dict[int, str],
+    prepared_unused: Dict[int, Dict[str, Any]],
+    out: List[Finding],
+) -> None:
+    """Per-qubit state machine: untouched -> prep -> used -> measured."""
+    if operation.is_preparation:
+        qubit = operation.qubits[0]
+        if liveness.get(qubit) == "prep":
+            # Re-preparing an untouched preparation: the first prep
+            # was dead.
+            out.append(
+                Finding(
+                    F.CIR_DEAD_ALLOCATION,
+                    Severity.INFO,
+                    f"qubit {qubit} is re-prepared before its "
+                    f"previous preparation was ever used",
+                    location,
+                )
+            )
+        liveness[qubit] = "prep"
+        prepared_unused[qubit] = location
+        return
+    if operation.is_measurement:
+        qubit = operation.qubits[0]
+        state = liveness.get(qubit)
+        if state is None:
+            out.append(
+                Finding(
+                    F.CIR_BARE_MEASURE,
+                    Severity.WARNING,
+                    f"measurement reads qubit {qubit} with no prior "
+                    f"operation in this circuit",
+                    location,
+                )
+            )
+        liveness[qubit] = "measured"
+        prepared_unused.pop(qubit, None)
+        return
+    # A unitary gate (error injections included: they also act on the
+    # physical qubit).
+    for qubit in operation.qubits:
+        state = liveness.get(qubit)
+        if state == "measured" and not operation.is_error:
+            out.append(
+                Finding(
+                    F.CIR_USE_AFTER_MEASURE,
+                    Severity.WARNING,
+                    f"gate {operation.name!r} acts on qubit {qubit} "
+                    f"after it was measured and before any "
+                    f"re-preparation",
+                    location,
+                )
+            )
+        liveness[qubit] = "used"
+        prepared_unused.pop(qubit, None)

@@ -22,35 +22,37 @@ class TimeSlot:
     simultaneous; every operation is assumed to take one slot.
     """
 
-    __slots__ = ("operations",)
+    __slots__ = ("operations", "_busy")
 
     def __init__(self, operations: Optional[Iterable[Operation]] = None):
         self.operations: List[Operation] = []
+        # Cached busy-qubit set, kept in sync by add(); building wide
+        # slots used to be quadratic because every insertion rebuilt
+        # the set from scratch.
+        self._busy: set = set()
         if operations:
             for operation in operations:
                 self.add(operation)
 
     def add(self, operation: Operation) -> None:
         """Append ``operation``; rejects qubit conflicts within the slot."""
-        busy = self.qubits()
         for qubit in operation.qubits:
-            if qubit in busy:
+            if qubit in self._busy:
                 raise ValueError(
                     f"qubit {qubit} already busy in this time slot"
                 )
         self.operations.append(operation)
+        self._busy.update(operation.qubits)
 
     def can_accept(self, operation: Operation) -> bool:
         """Whether ``operation`` fits without a qubit conflict."""
-        busy = self.qubits()
-        return all(qubit not in busy for qubit in operation.qubits)
+        return all(
+            qubit not in self._busy for qubit in operation.qubits
+        )
 
     def qubits(self) -> set:
-        """The set of qubits already busy in this slot."""
-        busy = set()
-        for operation in self.operations:
-            busy.update(operation.qubits)
-        return busy
+        """The set of qubits already busy in this slot (a copy)."""
+        return set(self._busy)
 
     def __len__(self) -> int:
         return len(self.operations)

@@ -13,6 +13,8 @@ Every experiment of the paper is reachable from the shell::
     python -m repro memory          # ch. 6 circuit-level d=3 vs d=5
     python -m repro inject          # future work: state injection
     python -m repro report TRACE    # render a saved telemetry trace
+    python -m repro lint-circuit    # static circuit pre-flight checks
+    python -m repro lint-code       # determinism linter (REPxxx)
 
 Scale knobs (seeds, sample counts, error budgets) are exposed as flags
 so paper-scale runs are a command line away.
@@ -267,6 +269,62 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_file",
         metavar="TRACE",
         help="JSON-lines trace written by --trace FILE",
+    )
+
+    lint_circuit = add_parser(
+        "lint-circuit",
+        help="statically verify a named circuit without simulating "
+        "(gate/arity checks, slot conflicts, liveness, Clifford "
+        "routing, abstract Pauli-frame propagation)",
+    )
+    lint_circuit.add_argument(
+        "circuit",
+        nargs="?",
+        default="sc17-esm",
+        help="catalog name (sc17-esm, sc17-esm-serial, "
+        "sc17-esm-z-only, steane-esm, bell, adder, teleport, "
+        "clifford-t); default sc17-esm",
+    )
+    lint_circuit.add_argument(
+        "--target",
+        choices=["stabilizer", "statevector", "none"],
+        default="stabilizer",
+        help="capability set the circuit's routing is checked "
+        "against (default: the stabilizer core)",
+    )
+    lint_circuit.add_argument(
+        "--initial-frame",
+        choices=["unknown", "clean"],
+        default="unknown",
+        help="abstract Pauli frame assumed on entry (default: "
+        "unknown, sound for mid-stream fragments)",
+    )
+    lint_circuit.add_argument(
+        "--frame-policy",
+        choices=["forbid", "warn"],
+        default="forbid",
+        help="'forbid' fails circuits a frame cannot commute "
+        "through; 'warn' only reports them (a runtime frame unit "
+        "could still flush)",
+    )
+    lint_circuit.add_argument(
+        "--inject-t",
+        action="store_true",
+        help="splice a T gate into the circuit's midpoint first "
+        "(negative control: must produce a CIR009 finding)",
+    )
+
+    lint_code = add_parser(
+        "lint-code",
+        help="run the determinism linter (REPxxx rules) over the "
+        "package sources",
+    )
+    lint_code.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="directory or file to lint (default: the installed "
+        "repro package sources)",
     )
 
     return parser
@@ -696,6 +754,83 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint_circuit(args) -> int:
+    from .analysis import (
+        build_catalog_circuit,
+        inject_t_gate,
+        verify_circuit,
+    )
+    from .cli_format import render_circuit_report
+    from .experiments.results import CircuitReport
+    from .qpdo.core import CAP_NON_CLIFFORD, CAP_QUANTUM_STATE
+
+    try:
+        circuit = build_catalog_circuit(args.circuit)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.inject_t:
+        circuit = inject_t_gate(circuit)
+    target = {
+        "none": None,
+        "stabilizer": frozenset(),
+        "statevector": frozenset(
+            {CAP_QUANTUM_STATE, CAP_NON_CLIFFORD}
+        ),
+    }[args.target]
+    analysis = verify_circuit(
+        circuit,
+        target=target,
+        initial_frame=args.initial_frame,
+        frame_policy=args.frame_policy,
+    )
+    report = CircuitReport(
+        circuit=circuit.name,
+        target=None if args.target == "none" else args.target,
+        initial_frame=args.initial_frame,
+        frame_policy=args.frame_policy,
+        num_qubits=analysis.num_qubits,
+        num_slots=analysis.num_slots,
+        num_operations=analysis.num_operations,
+        gate_census=analysis.gate_census,
+        is_clifford=analysis.is_clifford,
+        routing=analysis.routing,
+        frame_safe=analysis.frame_safe,
+        findings=[f.to_json_dict() for f in analysis.findings],
+        errors=len(analysis.errors),
+        warnings=len(analysis.warnings),
+        passed=analysis.passed,
+    )
+    _emit(args, report, lambda: render_circuit_report(report))
+    return 0 if analysis.passed else 1
+
+
+def cmd_lint_code(args) -> int:
+    from pathlib import Path
+
+    from .cli_format import render_lint_report
+    from .experiments.results import LintReport
+    from .tools import lint
+
+    root = Path(args.root) if args.root else lint.default_root()
+    findings = lint.lint_paths(root)
+    offending = lint.unsuppressed(findings)
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    report = LintReport(
+        root=str(root),
+        files_checked=len(lint.iter_source_files(root)),
+        findings=[f.to_json_dict() for f in findings],
+        counts_by_code=counts,
+        suppressed=len(findings) - len(offending),
+        unsuppressed=len(offending),
+        passed=not offending,
+    )
+    _emit(args, report, lambda: render_lint_report(report))
+    return 0 if report.passed else 1
+
+
 _HANDLERS = {
     "verify": cmd_verify,
     "ler": cmd_ler,
@@ -708,6 +843,8 @@ _HANDLERS = {
     "memory": cmd_memory,
     "inject": cmd_inject,
     "report": cmd_report,
+    "lint-circuit": cmd_lint_circuit,
+    "lint-code": cmd_lint_code,
 }
 
 

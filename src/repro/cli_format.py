@@ -15,9 +15,11 @@ from typing import Dict
 from .experiments.results import (
     ArmReport,
     BoundReport,
+    CircuitReport,
     DistanceReport,
     InjectReport,
     LerReport,
+    LintReport,
     MemoryReport,
     PhenomenologicalReport,
     ScheduleReport,
@@ -285,4 +287,72 @@ def render_trace_report(report: TraceReport) -> str:
                 f"{row['category'] + '/' + row['name']:<46s} "
                 f"{row['occurrences']}"
             )
+    return "\n".join(lines)
+
+
+def _finding_line(finding: Dict) -> str:
+    location = finding.get("location", {})
+    if "path" in location:
+        where = f"{location['path']}:{location.get('line', '?')}"
+    elif "slot" in location:
+        where = (
+            f"slot {location['slot']} "
+            f"op {location.get('operation', '?')}"
+        )
+    else:
+        where = location.get("circuit", "-")
+    suffix = " (suppressed)" if finding.get("suppressed") else ""
+    return (
+        f"  {finding['code']} [{finding['severity']}] {where}: "
+        f"{finding['message']}{suffix}"
+    )
+
+
+def render_circuit_report(report: CircuitReport) -> str:
+    """The ``repro lint-circuit`` pre-flight analysis summary."""
+    census = ", ".join(
+        f"{gate}x{count}"
+        for gate, count in sorted(report.gate_census.items())
+    )
+    lines = [
+        f"circuit: {report.circuit}",
+        f"  qubits {report.num_qubits}, slots {report.num_slots}, "
+        f"operations {report.num_operations}",
+        f"  gate census: {census}",
+        f"  clifford: {'yes' if report.is_clifford else 'no'} "
+        f"-> routing: {report.routing}"
+        + (f" (target: {report.target})" if report.target else ""),
+        f"  frame-safe: {'yes' if report.frame_safe else 'no'} "
+        f"(initial frame {report.initial_frame}, "
+        f"policy {report.frame_policy})",
+    ]
+    if report.findings:
+        lines.append("findings:")
+        lines.extend(_finding_line(f) for f in report.findings)
+    lines.append(
+        f"pre-flight {'PASSED' if report.passed else 'FAILED'} "
+        f"({report.errors} error(s), {report.warnings} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_lint_report(report: LintReport) -> str:
+    """The ``repro lint-code`` determinism-linter summary."""
+    lines = [
+        f"linted {report.files_checked} file(s) under {report.root}"
+    ]
+    if report.findings:
+        lines.append("findings:")
+        lines.extend(_finding_line(f) for f in report.findings)
+    if report.counts_by_code:
+        per_code = ", ".join(
+            f"{code}: {count}"
+            for code, count in sorted(report.counts_by_code.items())
+        )
+        lines.append(f"by code: {per_code}")
+    lines.append(
+        f"lint {'PASSED' if report.passed else 'FAILED'} "
+        f"({report.unsuppressed} unsuppressed, "
+        f"{report.suppressed} suppressed)"
+    )
     return "\n".join(lines)

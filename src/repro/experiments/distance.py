@@ -74,9 +74,13 @@ class CodeCapacitySimulator:
         trials: int,
         rng: Optional[np.random.Generator] = None,
     ) -> DistanceLerResult:
-        """Monte-Carlo LER estimate at physical error rate ``p``."""
+        """Monte-Carlo LER estimate at physical error rate ``p``.
+
+        Deterministic by default: with ``rng`` omitted a fixed-seed
+        generator is used, so repeated calls reproduce bit-for-bit.
+        """
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(0)
         logical_errors = sum(
             1 for _ in range(trials) if self.run_trial(p, rng)
         )

@@ -176,6 +176,7 @@ class LerExperiment:
         init_rounds: int = DEFAULT_INIT_ROUNDS,
         use_majority_vote: bool = True,
         frame_placement: str = "physical",
+        preflight: bool = False,
     ) -> None:
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
@@ -201,6 +202,9 @@ class LerExperiment:
         self.qubit_map = list(range(NUM_QUBITS))
         self.probe_ancilla = NUM_QUBITS  # physical index 17
         self._reference_eigenvalue: Optional[int] = None
+        self.preflight_analyses = (
+            self.run_preflight() if preflight else None
+        )
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -261,8 +265,8 @@ class LerExperiment:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
-    def initialize_logical_qubit(self) -> None:
-        """Noisy FT preparation of ``|0>_L`` / ``|+>_L`` + decoding."""
+    def _prepare_circuit(self) -> Circuit:
+        """The FT preparation circuit of ``|0>_L`` / ``|+>_L``."""
         prepare = Circuit("prepare")
         slot = prepare.new_slot()
         for data in range(9):
@@ -271,6 +275,45 @@ class LerExperiment:
             slot = prepare.new_slot()
             for data in range(9):
                 slot.add(Operation("h", (data,)))
+        return prepare
+
+    def _prototype_circuits(self) -> List[Circuit]:
+        """One instance of every circuit structure the protocol runs."""
+        return [
+            self._prepare_circuit(),
+            parallel_esm(self.qubit_map, name="esm").circuit,
+            self._logical_probe_circuit()[0],
+        ]
+
+    def run_preflight(self) -> List["CircuitAnalysis"]:
+        """Statically verify the protocol's circuits at compile time.
+
+        Every circuit *structure* the experiment will submit -- FT
+        preparation, the parallel ESM round, the logical probe -- is
+        verified once against the assembled stack's capabilities,
+        under the strict frame policy (the protocol must stay in the
+        commuting regime, paper section 5.3).  Raises
+        :class:`~repro.analysis.preflight.PreflightError` before a
+        single window executes if any check fails.
+        """
+        from ..analysis.preflight import PreflightError
+        from ..analysis.verifier import FRAME_FORBID, verify_circuit
+
+        analyses = []
+        for circuit in self._prototype_circuits():
+            analysis = verify_circuit(
+                circuit,
+                target=self.stack.top,
+                frame_policy=FRAME_FORBID,
+            )
+            if not analysis.passed:
+                raise PreflightError(analysis)
+            analyses.append(analysis)
+        return analyses
+
+    def initialize_logical_qubit(self) -> None:
+        """Noisy FT preparation of ``|0>_L`` / ``|+>_L`` + decoding."""
+        prepare = self._prepare_circuit()
         self.stack.top.add(prepare)
         self.stack.top.execute()
         rounds = [self._esm_round() for _ in range(self.init_rounds)]
@@ -401,6 +444,7 @@ class BatchedLerExperiment:
         rounds_per_window: int = DEFAULT_ROUNDS_PER_WINDOW,
         init_rounds: int = DEFAULT_INIT_ROUNDS,
         use_majority_vote: bool = True,
+        preflight: bool = False,
     ) -> None:
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
@@ -432,6 +476,35 @@ class BatchedLerExperiment:
         ]
         self.qubit_map = list(range(NUM_QUBITS))
         self.probe_ancilla = NUM_QUBITS
+        self.preflight_analyses = (
+            self.run_preflight() if preflight else None
+        )
+
+    def run_preflight(self) -> List["CircuitAnalysis"]:
+        """Statically verify the batched protocol's circuits.
+
+        Mirrors :meth:`LerExperiment.run_preflight`: the ESM round and
+        the probe circuit (the only non-Pauli streams the batched core
+        ever sees) are checked against the core's capabilities before
+        any shot executes.
+        """
+        from ..analysis.preflight import PreflightError
+        from ..analysis.verifier import FRAME_FORBID, verify_circuit
+
+        analyses = []
+        for circuit in (
+            parallel_esm(self.qubit_map, name="esm").circuit,
+            self._probe_circuit()[0],
+        ):
+            analysis = verify_circuit(
+                circuit,
+                target=self.core,
+                frame_policy=FRAME_FORBID,
+            )
+            if not analysis.passed:
+                raise PreflightError(analysis)
+            analyses.append(analysis)
+        return analyses
 
     # ------------------------------------------------------------------
     # Building blocks (batched)
@@ -482,8 +555,8 @@ class BatchedLerExperiment:
                 )
         return commanded
 
-    def _measure_logical_eigenvalues(self) -> np.ndarray:
-        """Per-shot ±1 eigenvalue bits of the logical stabilizer."""
+    def _probe_circuit(self) -> Tuple[Circuit, Operation]:
+        """The bypass logical-stabilizer probe for our error kind."""
         circuit = Circuit("logical_probe", bypass=True)
         ancilla = self.probe_ancilla
         circuit.add("prep_z", ancilla)
@@ -496,6 +569,11 @@ class BatchedLerExperiment:
                 circuit.add("cnot", ancilla, data)
             circuit.add("h", ancilla)
         measure = circuit.add("measure", ancilla)
+        return circuit, measure
+
+    def _measure_logical_eigenvalues(self) -> np.ndarray:
+        """Per-shot ±1 eigenvalue bits of the logical stabilizer."""
+        circuit, measure = self._probe_circuit()
         return self.core.run(circuit).bits_of(measure)
 
     def _clean_shots(self) -> np.ndarray:

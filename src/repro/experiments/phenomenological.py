@@ -98,11 +98,15 @@ class PhenomenologicalSimulator:
         trials: int = 500,
         rng: Optional[np.random.Generator] = None,
     ) -> PhenomenologicalResult:
-        """Monte-Carlo LER estimate at one noise point."""
+        """Monte-Carlo LER estimate at one noise point.
+
+        Deterministic by default: with ``rng`` omitted a fixed-seed
+        generator is used, so repeated calls reproduce bit-for-bit.
+        """
         if measurement_error_rate is None:
             measurement_error_rate = data_error_rate
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(0)
         logical_errors = sum(
             1
             for _ in range(trials)

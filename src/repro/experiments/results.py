@@ -728,6 +728,49 @@ class TraceReport(ResultBase):
     events: List[Dict]
 
 
+@dataclass
+class CircuitReport(ResultBase):
+    """``repro lint-circuit``: static pre-flight analysis of a circuit.
+
+    Wraps one
+    :class:`~repro.analysis.verifier.CircuitAnalysis` -- findings are
+    serialized :class:`~repro.analysis.findings.Finding` dicts.
+    """
+
+    kind = "circuit_report"
+
+    circuit: str
+    target: Optional[str]
+    initial_frame: str
+    frame_policy: str
+    num_qubits: int
+    num_slots: int
+    num_operations: int
+    gate_census: Dict[str, int]
+    is_clifford: bool
+    routing: str
+    frame_safe: bool
+    findings: List[Dict]
+    errors: int
+    warnings: int
+    passed: bool
+
+
+@dataclass
+class LintReport(ResultBase):
+    """``repro lint-code``: determinism-linter findings over a tree."""
+
+    kind = "lint_report"
+
+    root: str
+    files_checked: int
+    findings: List[Dict]
+    counts_by_code: Dict[str, int]
+    suppressed: int
+    unsuppressed: int
+    passed: bool
+
+
 def deprecated_alias(
     module: str, old_name: str, replacement: type
 ) -> type:

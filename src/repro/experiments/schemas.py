@@ -54,6 +54,18 @@ _STREAM_COUNTS = _obj(
 
 _FRAME_STATISTICS = {"type": "object"}
 
+#: One static-analysis finding (:mod:`repro.analysis.findings`).
+_FINDING = _obj(
+    {
+        "code": _STRING,
+        "severity": {"enum": ["error", "warning", "info"]},
+        "message": _STRING,
+        "location": {"type": "object"},
+        "suppressed": _BOOL,
+        "suppression_reason": _nullable(_STRING),
+    }
+)
+
 _RUN_RESULT = _obj(
     {
         "kind": _kind("run"),
@@ -343,6 +355,38 @@ REPORT_SCHEMAS: Dict[str, Dict] = {
                     }
                 )
             ),
+        }
+    ),
+    "circuit_report": _obj(
+        {
+            "kind": _kind("circuit_report"),
+            "circuit": _STRING,
+            "target": _nullable(_STRING),
+            "initial_frame": {"enum": ["unknown", "clean"]},
+            "frame_policy": {"enum": ["forbid", "warn"]},
+            "num_qubits": _INT,
+            "num_slots": _INT,
+            "num_operations": _INT,
+            "gate_census": _int_map(),
+            "is_clifford": _BOOL,
+            "routing": {"enum": ["stabilizer", "statevector"]},
+            "frame_safe": _BOOL,
+            "findings": _array(_FINDING),
+            "errors": _INT,
+            "warnings": _INT,
+            "passed": _BOOL,
+        }
+    ),
+    "lint_report": _obj(
+        {
+            "kind": _kind("lint_report"),
+            "root": _STRING,
+            "files_checked": _INT,
+            "findings": _array(_FINDING),
+            "counts_by_code": _int_map(),
+            "suppressed": _INT,
+            "unsuppressed": _INT,
+            "passed": _BOOL,
         }
     ),
 }

@@ -275,6 +275,7 @@ def random_pauli_string(
         When ``False``, resample until at least one qubit is non-trivial.
     """
     if rng is None:
+        # allow-lint: REP002 documented fresh-entropy fallback
         rng = np.random.default_rng()
     while True:
         x = rng.integers(0, 2, num_qubits, dtype=np.uint8).astype(bool)

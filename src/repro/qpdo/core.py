@@ -32,6 +32,12 @@ from ..sim.state import QuantumState, State
 CAP_QUANTUM_STATE = "getquantumstate"
 #: Capability name for lockstep multi-shot (batched) execution.
 CAP_BATCH = "batch"
+#: Capability name for executing non-Clifford gates (t, rz, ...).
+#: Stabilizer back-ends lack it; the state-vector core provides it.
+#: The pre-flight verifier (:mod:`repro.analysis`) checks a circuit's
+#: static Clifford classification against this capability before
+#: anything runs.
+CAP_NON_CLIFFORD = "non_clifford"
 
 
 class UnsupportedFeatureError(RuntimeError):
@@ -104,8 +110,9 @@ class Core(abc.ABC):
 
         Callers should query this instead of provoking (and catching)
         :class:`UnsupportedFeatureError`.  Known capability names are
-        :data:`CAP_QUANTUM_STATE` and :data:`CAP_BATCH`; unknown names
-        simply report ``False``.
+        :data:`CAP_QUANTUM_STATE`, :data:`CAP_BATCH` and
+        :data:`CAP_NON_CLIFFORD`; unknown names simply report
+        ``False``.
         """
         return False
 

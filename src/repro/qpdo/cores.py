@@ -22,6 +22,7 @@ from ..sim.stabilizer import StabilizerSimulator
 from ..sim.statevector import StateVectorSimulator
 from .. import telemetry
 from .core import (
+    CAP_NON_CLIFFORD,
     CAP_QUANTUM_STATE,
     Core,
     ExecutionResult,
@@ -181,6 +182,7 @@ class StateVectorCore(_SimulatorCore):
         return self.simulator.quantum_state_of(range(self._num_qubits))
 
     def supports(self, capability: str) -> bool:
-        return capability == CAP_QUANTUM_STATE or super().supports(
-            capability
-        )
+        return capability in (
+            CAP_QUANTUM_STATE,
+            CAP_NON_CLIFFORD,
+        ) or super().supports(capability)

@@ -30,9 +30,33 @@ class TestBench(abc.ABC):
     Subclasses implement :meth:`initialize`, :meth:`single_test` and
     :meth:`shutdown`; :meth:`run` loops ``iterations`` times and
     collects the per-iteration outcomes.
+
+    Parameters
+    ----------
+    stack:
+        The control stack under test (``None`` for benches that build
+        their own stacks).
+    iterations:
+        How many times :meth:`single_test` runs.
+    preflight:
+        When true, the stack is wrapped in a
+        :class:`~repro.analysis.preflight.PreflightLayer` so every
+        circuit the bench submits is statically verified once (per
+        structure) before execution; failures raise
+        :class:`~repro.analysis.preflight.PreflightError` instead of a
+        mid-run simulator exception.
     """
 
-    def __init__(self, stack: Core, iterations: int = 1):
+    def __init__(
+        self,
+        stack: Core,
+        iterations: int = 1,
+        preflight: bool = False,
+    ):
+        if preflight and stack is not None:
+            from ..analysis.preflight import PreflightLayer
+
+            stack = PreflightLayer(stack)
         self.stack = stack
         self.iterations = int(iterations)
         self.outcomes: List[object] = []
@@ -66,8 +90,13 @@ class BellStateHistoTb(TestBench):
     ``"11"`` with near-equal frequencies.
     """
 
-    def __init__(self, stack: Core, iterations: int = 100):
-        super().__init__(stack, iterations)
+    def __init__(
+        self,
+        stack: Core,
+        iterations: int = 100,
+        preflight: bool = False,
+    ):
+        super().__init__(stack, iterations, preflight=preflight)
         self.histogram: Dict[str, int] = {}
 
     def initialize(self) -> None:
@@ -110,8 +139,8 @@ class GateSupportTb(TestBench):
     #: gate -> (circuit builder, expected deterministic bit of qubit 0)
     _PROBES: Dict[str, Tuple[Callable[[Circuit], None], int]] = {}
 
-    def __init__(self, stack: Core):
-        super().__init__(stack, iterations=1)
+    def __init__(self, stack: Core, preflight: bool = False):
+        super().__init__(stack, iterations=1, preflight=preflight)
         self.reports: List[GateSupportReport] = []
         #: Optional capabilities the stack advertises, probed via
         #: :meth:`~repro.qpdo.core.Core.supports` (never by provoking

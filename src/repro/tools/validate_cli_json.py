@@ -55,6 +55,10 @@ def subcommand_invocations(trace_path: str) -> Dict[str, List[str]]:
         "memory": ["memory", "--distances", "3", "--trials", "5"],
         "inject": ["inject"],
         "report": ["report", trace_path],
+        # Doubles as the zero-unsuppressed-findings lint gate: a
+        # non-zero exit fails validation.
+        "lint-code": ["lint-code"],
+        "lint-circuit": ["lint-circuit", "sc17-esm"],
     }
 
 

@@ -1,0 +1,152 @@
+"""Soundness tests for the abstract Pauli-frame propagation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.frame_flow import IDENTITY, TOP, FrameFlow
+from repro.circuits.operation import op
+from repro.circuits.random_circuits import random_clifford_circuit
+from repro.gates.gateset import GateClass
+from repro.paulis.record import PauliRecord
+from repro.paulis.tables import (
+    SINGLE_QUBIT_MAP_TABLES,
+    TWO_QUBIT_MAP_TABLES,
+)
+
+
+def concrete_step(records, operation):
+    """Push one *concrete* per-qubit record assignment through an op.
+
+    The reference semantics the abstract domain must over-approximate:
+    the literal mapping tables of the paper, applied to single records.
+    """
+    if operation.gate_class is GateClass.PREPARE:
+        records[operation.qubits[0]] = PauliRecord.I
+        return
+    if operation.gate_class is GateClass.MEASURE or operation.is_error:
+        return
+    table = SINGLE_QUBIT_MAP_TABLES.get(operation.name)
+    if table is not None:
+        qubit = operation.qubits[0]
+        records[qubit] = table[records.get(qubit, PauliRecord.I)]
+        return
+    pair_table = TWO_QUBIT_MAP_TABLES[operation.name]
+    first, second = operation.qubits
+    out = pair_table[
+        (
+            records.get(first, PauliRecord.I),
+            records.get(second, PauliRecord.I),
+        )
+    ]
+    records[first], records[second] = out
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_abstract_state_contains_every_concrete_trajectory(seed):
+    """Soundness: concrete records stay inside the abstract sets.
+
+    Start from a concrete record assignment contained in the initial
+    abstract state and run both semantics in lockstep; after every
+    operation the concrete record of every qubit must be a member of
+    the abstract record set computed for it.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = random_clifford_circuit(4, 50, rng=rng)
+    flow = FrameFlow(initial=TOP)
+    records = {
+        qubit: PauliRecord(int(rng.integers(4))) for qubit in range(4)
+    }
+    for slot in circuit:
+        for operation in slot:
+            assert flow.apply(operation) is None
+            concrete_step(records, operation)
+            for qubit in range(4):
+                concrete = records.get(qubit, None)
+                if concrete is None:
+                    continue
+                assert concrete in flow.record_set(qubit), (
+                    f"qubit {qubit} holds {concrete!r} outside "
+                    f"abstract set after {operation!r}"
+                )
+
+
+def test_identity_start_single_qubit_flow_is_exact():
+    """With a singleton start, single-qubit flow tracks concretely."""
+    flow = FrameFlow(initial=IDENTITY)
+    record = PauliRecord.I
+    for gate in ("x", "h", "s", "z", "h", "sdg", "y"):
+        flow.apply(op(gate, 0))
+        record = SINGLE_QUBIT_MAP_TABLES[gate][record]
+        assert flow.record_set(0) == frozenset({record})
+
+
+def test_preparation_collapses_to_identity():
+    flow = FrameFlow(initial=TOP)
+    assert flow.record_set(0) == TOP
+    flow.apply(op("prep_z", 0))
+    assert flow.record_set(0) == IDENTITY
+
+
+def test_measurement_preserves_the_record_set():
+    flow = FrameFlow(initial=TOP)
+    flow.apply(op("prep_z", 0))
+    flow.apply(op("x", 0))
+    before = flow.record_set(0)
+    assert flow.apply(op("measure", 0)) is None
+    assert flow.record_set(0) == before
+
+
+def test_error_operations_do_not_touch_the_frame():
+    flow = FrameFlow(initial=IDENTITY)
+    assert flow.apply(op("x", 0, is_error=True)) is None
+    assert flow.record_set(0) == IDENTITY
+
+
+def test_non_clifford_commutes_only_through_identity():
+    flow = FrameFlow(initial=IDENTITY)
+    assert flow.apply(op("t", 0)) is None
+    flow.apply(op("x", 0))
+    violation = flow.apply(op("t", 0))
+    assert violation is not None
+    assert "t" in violation
+
+
+def test_two_qubit_projection_is_a_superset_of_the_pair_map():
+    """The per-qubit projection over-approximates the exact pair map."""
+    flow = FrameFlow(initial=IDENTITY)
+    flow.apply(op("x", 0))  # q0: {X}, q1: {I}
+    flow.apply(op("cnot", 0, 1))
+    exact = TWO_QUBIT_MAP_TABLES["cnot"][
+        (PauliRecord.X, PauliRecord.I)
+    ]
+    assert exact[0] in flow.record_set(0)
+    assert exact[1] in flow.record_set(1)
+
+
+def test_cnot_from_top_stays_within_the_full_domain():
+    flow = FrameFlow(initial=TOP)
+    flow.apply(op("cnot", 0, 1))
+    for qubit in (0, 1):
+        assert flow.record_set(qubit) <= TOP
+        assert flow.record_set(qubit)
+
+
+def test_pairwise_exhaustive_cnot_soundness():
+    """All 16 concrete pairs stay inside the projected abstract sets."""
+    for a, b in itertools.product(PauliRecord, repeat=2):
+        flow = FrameFlow(initial=IDENTITY)
+        flow._records = {0: frozenset({a}), 1: frozenset({b})}
+        flow.apply(op("cnot", 0, 1))
+        out_a, out_b = TWO_QUBIT_MAP_TABLES["cnot"][(a, b)]
+        assert out_a in flow.record_set(0)
+        assert out_b in flow.record_set(1)
+
+
+def test_snapshot_only_reports_touched_qubits():
+    flow = FrameFlow(initial=TOP)
+    flow.apply(op("h", 2))
+    snapshot = flow.snapshot()
+    assert set(snapshot) == {2}
+    assert flow.record_set(5) == TOP

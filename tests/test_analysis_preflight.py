@@ -1,0 +1,146 @@
+"""Tests for the opt-in QPDO pre-flight wiring."""
+
+import pytest
+
+from repro import telemetry
+from repro.analysis import (
+    PreflightError,
+    PreflightLayer,
+    circuit_digest,
+)
+from repro.circuits.circuit import Circuit
+from repro.qpdo.cores import StabilizerCore, StateVectorCore
+from repro.qpdo.testbench import BellStateHistoTb
+
+
+def _bell() -> Circuit:
+    circuit = Circuit("bell")
+    circuit.add("prep_z", 0)
+    circuit.add("prep_z", 1)
+    circuit.add("h", 0)
+    circuit.add("cnot", 0, 1)
+    circuit.add("measure", 0)
+    circuit.add("measure", 1)
+    return circuit
+
+
+def _t_circuit() -> Circuit:
+    circuit = Circuit("t-on-stabilizer")
+    circuit.add("prep_z", 0)
+    circuit.add("t", 0)
+    circuit.add("measure", 0)
+    return circuit
+
+
+def test_preflight_layer_passes_clean_circuits_through():
+    layer = PreflightLayer(StabilizerCore(seed=0))
+    layer.createqubit(2)
+    layer.add(_bell())
+    result = layer.execute()
+    assert len(result.measurements) == 2
+    assert layer.circuits_seen == 1
+    assert layer.circuits_verified == 1
+
+
+def test_preflight_layer_rejects_capability_mismatch():
+    layer = PreflightLayer(StabilizerCore(seed=0))
+    layer.createqubit(1)
+    with pytest.raises(PreflightError) as excinfo:
+        layer.add(_t_circuit())
+    analysis = excinfo.value.analysis
+    assert not analysis.passed
+    assert analysis.routing == "statevector"
+    assert "CIR008" in str(excinfo.value)
+
+
+def test_preflight_layer_accepts_t_on_statevector_core():
+    layer = PreflightLayer(StateVectorCore(seed=0))
+    layer.createqubit(1)
+    layer.add(_t_circuit())
+    result = layer.execute()
+    assert len(result.measurements) == 1
+
+
+def test_preflight_verifies_once_per_structure():
+    layer = PreflightLayer(StabilizerCore(seed=0))
+    layer.createqubit(2)
+    for _ in range(5):
+        layer.add(_bell())
+        layer.execute()
+    assert layer.circuits_seen == 5
+    assert layer.circuits_verified == 1
+
+
+def test_circuit_digest_ignores_name_but_not_structure():
+    first, second = _bell(), _bell()
+    second.name = "renamed"
+    assert circuit_digest(first) == circuit_digest(second)
+    second.add("x", 0)
+    assert circuit_digest(first) != circuit_digest(second)
+
+
+def test_frame_forbid_policy_rejects_flush_forcing_circuits():
+    circuit = Circuit("t-fragment")
+    circuit.add("t", 0)
+    circuit.add("measure", 0)
+    layer = PreflightLayer(
+        StateVectorCore(seed=0), frame_policy="forbid"
+    )
+    layer.createqubit(1)
+    with pytest.raises(PreflightError, match="CIR009"):
+        layer.add(circuit)
+
+
+def test_testbench_opt_in_preflight():
+    bench = BellStateHistoTb(
+        StabilizerCore(seed=7), iterations=4, preflight=True
+    )
+    bench.run()
+    assert isinstance(bench.stack, PreflightLayer)
+    assert bench.stack.circuits_verified >= 1
+    assert bench.stack.circuits_seen >= bench.stack.circuits_verified
+    assert sum(bench.histogram.values()) == 4
+    assert set(bench.histogram) <= {"00", "11"}
+
+
+def test_ler_experiment_opt_in_preflight():
+    from repro.experiments.ler import LerExperiment
+
+    experiment = LerExperiment(
+        1e-2, use_pauli_frame=True, seed=1, preflight=True
+    )
+    analyses = experiment.preflight_analyses
+    assert analyses is not None
+    assert all(a.passed for a in analyses)
+    assert all(a.routing == "stabilizer" for a in analyses)
+    assert all(a.frame_safe for a in analyses)
+
+
+def test_ler_experiment_preflight_off_by_default():
+    from repro.experiments.ler import LerExperiment
+
+    experiment = LerExperiment(1e-2, use_pauli_frame=True, seed=1)
+    assert experiment.preflight_analyses is None
+
+
+def test_batched_ler_experiment_opt_in_preflight():
+    from repro.experiments.ler import BatchedLerExperiment
+
+    experiment = BatchedLerExperiment(
+        1e-2, 4, use_pauli_frame=True, seed=1, preflight=True
+    )
+    analyses = experiment.preflight_analyses
+    assert analyses is not None
+    assert all(a.passed for a in analyses)
+
+
+def test_preflight_telemetry_counts():
+    with telemetry.enabled() as collector:
+        layer = PreflightLayer(StabilizerCore(seed=0))
+        layer.createqubit(2)
+        layer.add(_bell())
+        layer.add(_bell())
+        layer.execute()
+    key = ("analysis", "preflight_verified")
+    assert collector.counters[key]["count"] == 1
+    assert "findings" in collector.counters[key]

@@ -1,0 +1,309 @@
+"""Tests for the circuit pre-flight verifier (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CIRCUIT_CATALOG,
+    FRAME_FORBID,
+    FRAME_WARN,
+    ROUTE_STABILIZER,
+    ROUTE_STATE_VECTOR,
+    build_catalog_circuit,
+    catalog_names,
+    inject_t_gate,
+    verify_circuit,
+)
+from repro.analysis import findings as F
+from repro.circuits.circuit import Circuit, TimeSlot
+from repro.circuits.operation import op
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_clifford_circuit,
+)
+from repro.circuits.workloads import all_workloads
+from repro.gates.gateset import GateClass, GateInfo
+from repro.qpdo.core import CAP_NON_CLIFFORD, CAP_QUANTUM_STATE
+from repro.qpdo.cores import StabilizerCore, StateVectorCore
+
+
+def codes(analysis, errors_only=False):
+    pool = analysis.errors if errors_only else analysis.findings
+    return [f.code for f in pool]
+
+
+# ----------------------------------------------------------------------
+# Property: every builder circuit in the repo passes pre-flight.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", catalog_names())
+def test_catalog_circuits_pass_default_policy(name):
+    analysis = verify_circuit(build_catalog_circuit(name))
+    assert analysis.passed, codes(analysis, errors_only=True)
+
+
+@pytest.mark.parametrize("name", sorted(all_workloads()))
+def test_workloads_pass_default_policy(name):
+    analysis = verify_circuit(all_workloads()[name])
+    assert analysis.passed, codes(analysis, errors_only=True)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["sc17-esm", "sc17-esm-serial", "sc17-esm-z-only", "steane-esm"],
+)
+def test_esm_rounds_are_clifford_stabilizer_and_frame_safe(name):
+    """The acceptance scenario: ESM rounds verify clean end to end."""
+    analysis = verify_circuit(
+        build_catalog_circuit(name),
+        target=StabilizerCore(seed=0),
+        frame_policy=FRAME_FORBID,
+    )
+    assert analysis.is_clifford
+    assert analysis.routing == ROUTE_STABILIZER
+    assert analysis.frame_safe
+    assert analysis.passed
+
+
+def test_injected_t_gate_is_rejected_with_frame_finding():
+    """The acceptance counter-scenario: T-tainted ESM fails."""
+    tainted = inject_t_gate(build_catalog_circuit("sc17-esm"))
+    analysis = verify_circuit(
+        tainted,
+        target=StabilizerCore(seed=0),
+        frame_policy=FRAME_FORBID,
+    )
+    assert not analysis.passed
+    assert not analysis.is_clifford
+    assert analysis.routing == ROUTE_STATE_VECTOR
+    assert not analysis.frame_safe
+    error_codes = set(codes(analysis, errors_only=True))
+    assert F.CIR_FRAME_COMMUTE in error_codes
+    assert F.CIR_CAPABILITY in error_codes
+
+
+def test_injected_t_gate_on_statevector_core_only_frame_error():
+    tainted = inject_t_gate(build_catalog_circuit("sc17-esm"))
+    analysis = verify_circuit(
+        tainted,
+        target=StateVectorCore(seed=0),
+        frame_policy=FRAME_FORBID,
+    )
+    error_codes = set(codes(analysis, errors_only=True))
+    assert error_codes == {F.CIR_FRAME_COMMUTE}
+
+
+def test_frame_policy_warn_downgrades_frame_findings():
+    tainted = inject_t_gate(build_catalog_circuit("sc17-esm"))
+    analysis = verify_circuit(tainted, frame_policy=FRAME_WARN)
+    assert analysis.passed  # only warnings left without a target
+    assert not analysis.frame_safe
+    assert F.CIR_FRAME_COMMUTE in {
+        f.code for f in analysis.warnings
+    }
+
+
+# ----------------------------------------------------------------------
+# Property: Clifford classification agrees with the gate set.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_clifford_classification_matches_gateclass(seed):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(4, 30, rng=rng)
+    analysis = verify_circuit(circuit)
+    expected = all(
+        operation.gate_class is not GateClass.NON_CLIFFORD
+        for slot in circuit
+        for operation in slot
+    )
+    assert analysis.is_clifford == expected
+    assert analysis.routing == (
+        ROUTE_STABILIZER if expected else ROUTE_STATE_VECTOR
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_clifford_circuits_route_to_stabilizer(seed):
+    rng = np.random.default_rng(seed)
+    analysis = verify_circuit(random_clifford_circuit(4, 40, rng=rng))
+    assert analysis.is_clifford
+    assert analysis.routing == ROUTE_STABILIZER
+    assert analysis.frame_safe
+    assert analysis.passed
+
+
+def test_census_counts_every_operation():
+    circuit = build_catalog_circuit("bell")
+    analysis = verify_circuit(circuit)
+    assert sum(analysis.gate_census.values()) == sum(
+        len(slot) for slot in circuit
+    )
+    assert analysis.num_operations == sum(
+        len(slot) for slot in circuit
+    )
+
+
+# ----------------------------------------------------------------------
+# Negative tests: one per finding code.
+# ----------------------------------------------------------------------
+def _bogus_operation():
+    """An operation whose gate the library does not know.
+
+    Operation validates at construction, so an unknown gate can only
+    enter the IR through mutation (hand-built or rewritten circuits)
+    -- exactly what the verifier defends against.
+    """
+    operation = op("h", 0)
+    operation.info = GateInfo("warp", 1, GateClass.CLIFFORD)
+    return operation
+
+
+def test_cir001_unknown_gate():
+    circuit = Circuit("broken")
+    circuit.new_slot().add(_bogus_operation())
+    analysis = verify_circuit(circuit)
+    assert codes(analysis, errors_only=True) == [F.CIR_UNKNOWN_GATE]
+
+
+def test_cir002_arity_mismatch():
+    operation = op("h", 0)
+    operation.qubits = (0, 1)
+    circuit = Circuit("broken")
+    slot = TimeSlot()
+    slot.operations.append(operation)
+    circuit.slots.append(slot)
+    analysis = verify_circuit(circuit)
+    assert codes(analysis, errors_only=True) == [F.CIR_ARITY]
+
+
+def test_cir003_slot_conflict():
+    circuit = Circuit("broken")
+    slot = TimeSlot()
+    # Bypass TimeSlot.add's own guard: hand-built IR.
+    slot.operations.append(op("h", 0))
+    slot.operations.append(op("x", 0))
+    circuit.slots.append(slot)
+    analysis = verify_circuit(circuit)
+    assert F.CIR_SLOT_CONFLICT in codes(analysis, errors_only=True)
+
+
+def test_cir003_duplicate_qubits_within_operation():
+    operation = op("cnot", 0, 1)
+    operation.qubits = (0, 0)
+    circuit = Circuit("broken")
+    slot = TimeSlot()
+    slot.operations.append(operation)
+    circuit.slots.append(slot)
+    analysis = verify_circuit(circuit)
+    assert F.CIR_SLOT_CONFLICT in codes(analysis, errors_only=True)
+
+
+def test_cir004_use_after_measure_is_warning():
+    circuit = Circuit("reuse")
+    circuit.add("prep_z", 0)
+    circuit.add("measure", 0)
+    circuit.add("x", 0)
+    analysis = verify_circuit(circuit)
+    assert analysis.passed
+    assert F.CIR_USE_AFTER_MEASURE in {
+        f.code for f in analysis.warnings
+    }
+
+
+def test_cir005_bare_measurement_is_warning():
+    circuit = Circuit("bare")
+    circuit.add("measure", 3)
+    analysis = verify_circuit(circuit)
+    assert analysis.passed
+    assert F.CIR_BARE_MEASURE in {f.code for f in analysis.warnings}
+
+
+def test_cir006_dead_allocation_is_info():
+    circuit = Circuit("dead")
+    circuit.add("prep_z", 0)
+    circuit.add("h", 1)
+    analysis = verify_circuit(circuit)
+    assert analysis.passed
+    assert F.CIR_DEAD_ALLOCATION in codes(analysis)
+
+
+def test_cir007_non_clifford_reported_once_per_gate_name():
+    circuit = Circuit("tt")
+    circuit.add("prep_z", 0)
+    circuit.add("t", 0)
+    circuit.add("t", 0)
+    circuit.add("tdg", 0)
+    analysis = verify_circuit(circuit)
+    reported = [c for c in codes(analysis) if c == F.CIR_NON_CLIFFORD]
+    assert len(reported) == 2  # t once, tdg once
+
+
+def test_cir008_capability_mismatch_against_explicit_set():
+    circuit = Circuit("t")
+    circuit.add("prep_z", 0)
+    circuit.add("t", 0)
+    bad = verify_circuit(circuit, target=frozenset())
+    assert codes(bad, errors_only=True) == [F.CIR_CAPABILITY]
+    good = verify_circuit(
+        circuit,
+        target=frozenset({CAP_QUANTUM_STATE, CAP_NON_CLIFFORD}),
+    )
+    assert good.passed
+
+
+def test_cir009_depends_on_initial_frame():
+    circuit = Circuit("t-fragment")
+    circuit.add("t", 0)
+    unknown = verify_circuit(
+        circuit, initial_frame="unknown", frame_policy=FRAME_FORBID
+    )
+    assert F.CIR_FRAME_COMMUTE in codes(unknown, errors_only=True)
+    clean = verify_circuit(
+        circuit, initial_frame="clean", frame_policy=FRAME_FORBID
+    )
+    assert clean.passed
+    assert clean.frame_safe
+
+
+def test_preparation_cleans_the_frame_for_non_clifford():
+    circuit = Circuit("prep-t")
+    circuit.add("prep_z", 0)
+    circuit.add("t", 0)
+    analysis = verify_circuit(circuit, frame_policy=FRAME_FORBID)
+    assert analysis.frame_safe
+    assert analysis.passed
+
+
+def test_invalid_arguments_raise():
+    circuit = Circuit("x")
+    circuit.add("h", 0)
+    with pytest.raises(ValueError):
+        verify_circuit(circuit, initial_frame="dirty")
+    with pytest.raises(ValueError):
+        verify_circuit(circuit, frame_policy="maybe")
+
+
+def test_analysis_json_dict_is_serializable_and_complete():
+    import json
+
+    tainted = inject_t_gate(build_catalog_circuit("steane-esm"))
+    analysis = verify_circuit(tainted, frame_policy=FRAME_FORBID)
+    payload = analysis.to_json_dict()
+    json.dumps(payload, sort_keys=True)
+    assert payload["passed"] == analysis.passed
+    assert payload["frame_policy"] == FRAME_FORBID
+    assert len(payload["findings"]) == len(analysis.findings)
+
+
+def test_inject_t_gate_leaves_original_untouched():
+    original = build_catalog_circuit("bell")
+    before = sum(len(slot) for slot in original)
+    tainted = inject_t_gate(original)
+    assert sum(len(slot) for slot in original) == before
+    assert sum(len(slot) for slot in tainted) == before + 1
+    assert tainted.name == original.name + "+t"
+
+
+def test_catalog_rejects_unknown_names():
+    with pytest.raises(KeyError, match="sc17-esm"):
+        build_catalog_circuit("no-such-circuit")
+    assert set(catalog_names()) == set(CIRCUIT_CATALOG)

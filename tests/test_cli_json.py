@@ -69,6 +69,8 @@ def test_every_subcommand_has_an_invocation_and_schema(trace_path):
         "memory",
         "inject",
         "report",
+        "lint-circuit",
+        "lint-code",
     ],
 )
 def test_json_document_validates_and_round_trips(
