@@ -203,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         "lockstep shot count per arm and each shot runs exactly this "
         "many windows",
     )
+    sweep.add_argument(
+        "--per-shot-decoder",
+        action="store_true",
+        help="in --batch mode, decode with the per-shot reference "
+        "engine instead of the array-native batched decoder "
+        "(bit-identical results, for validation/benchmarking; "
+        "incompatible with --workers)",
+    )
     _add_parallel_arguments(sweep)
 
     add_parser(
@@ -483,6 +491,13 @@ def cmd_sweep(args) -> int:
     if args.workers is not None:
         from .experiments.parallel import run_parallel_sweep
 
+        if args.per_shot_decoder:
+            print(
+                "--per-shot-decoder applies to the in-process batch "
+                "path only; drop --workers to use it",
+                file=sys.stderr,
+            )
+            return 2
         parallel = run_parallel_sweep(
             per_values=args.per,
             error_kind=args.kind,
@@ -518,6 +533,9 @@ def cmd_sweep(args) -> int:
             max_logical_errors=args.errors,
             seed=args.seed,
             batch_windows=args.batch,
+            decoder_impl=(
+                "per-shot" if args.per_shot_decoder else "batched"
+            ),
         )
         extra = {}
     comparisons = [point.comparison for point in sweep.points]

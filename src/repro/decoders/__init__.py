@@ -1,5 +1,22 @@
-"""Error-syndrome decoders: LUT-based and matching-based."""
+"""Error-syndrome decoders: LUT-based and matching-based.
 
+Scalar decoders (`LutDecoder`, `WindowedLutDecoder`, ...) decode one
+syndrome at a time; the :mod:`~repro.decoders.batched` layer decodes
+whole shot batches as numpy gathers over process-cached dense tables.
+"""
+
+from .batched import (
+    BatchedWindowDecision,
+    BatchedWindowedLutDecoder,
+    BatchedWindowedMatchingDecoder,
+    build_dense_lut,
+    clear_lut_cache,
+    dense_lut,
+    lut_cache_size,
+    mwpm_dense_lut,
+    pack_syndromes,
+    unpack_syndromes,
+)
 from .lut import (
     LutDecoder,
     TwoLutDecoder,
@@ -36,4 +53,14 @@ __all__ = [
     "boundary_qubits_for",
     "SpaceTimeMatchingDecoder",
     "WindowedMatchingDecoder",
+    "BatchedWindowDecision",
+    "BatchedWindowedLutDecoder",
+    "BatchedWindowedMatchingDecoder",
+    "build_dense_lut",
+    "dense_lut",
+    "mwpm_dense_lut",
+    "pack_syndromes",
+    "unpack_syndromes",
+    "clear_lut_cache",
+    "lut_cache_size",
 ]

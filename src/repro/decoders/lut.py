@@ -19,12 +19,28 @@ stabilizer code (the Steane layer reuses the same builder).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from .. import telemetry
+from .batched import (
+    clear_lut_cache,
+    dense_lut,
+    pack_syndromes,
+    unpack_syndromes,
+)
+
+__all__ = [
+    "LutDecoder",
+    "TwoLutDecoder",
+    "build_lut",
+    "clear_lut_cache",
+    "correction_operations",
+    "pack_syndrome",
+    "syndrome_of",
+    "unpack_syndrome",
+]
 
 
 def syndrome_of(
@@ -49,39 +65,29 @@ def build_lut(check_matrix: np.ndarray) -> Dict[int, np.ndarray]:
         syndrome (packed little-endian into an int) -> boolean error
         vector of length ``n``.  Ties between equal-weight errors are
         broken deterministically by lexicographic qubit order.
+
+    The enumeration itself is the vectorized dense-table build of
+    :func:`repro.decoders.batched.build_dense_lut`, memoized at
+    process level by check-matrix digest
+    (:func:`repro.decoders.batched.dense_lut`) — constructing many
+    decoders over the same code no longer repeats the brute-force
+    search.  Entries are fresh copies, safe to mutate.
     """
-    check = np.asarray(check_matrix, dtype=np.uint8)
-    num_checks, num_qubits = check.shape
-    lut: Dict[int, np.ndarray] = {
-        0: np.zeros(num_qubits, dtype=bool)
+    table, reachable = dense_lut(check_matrix)
+    return {
+        int(syndrome): table[syndrome].copy()
+        for syndrome in np.flatnonzero(reachable)
     }
-    target = 2**num_checks
-    for weight in range(1, num_qubits + 1):
-        if len(lut) == target:
-            break
-        for support in itertools.combinations(range(num_qubits), weight):
-            error = np.zeros(num_qubits, dtype=np.uint8)
-            error[list(support)] = 1
-            syndrome = pack_syndrome(syndrome_of(check, error))
-            if syndrome not in lut:
-                lut[syndrome] = error.astype(bool)
-    return lut
 
 
 def pack_syndrome(bits: Sequence[int]) -> int:
     """Pack syndrome bits into an integer (bit ``i`` = check ``i``)."""
-    packed = 0
-    for index, bit in enumerate(bits):
-        if bit:
-            packed |= 1 << index
-    return packed
+    return int(pack_syndromes(np.asarray(bits, dtype=bool)))
 
 
 def unpack_syndrome(packed: int, num_checks: int) -> np.ndarray:
     """Inverse of :func:`pack_syndrome`."""
-    return np.array(
-        [(packed >> index) & 1 for index in range(num_checks)], dtype=bool
-    )
+    return unpack_syndromes(np.int64(packed), num_checks)
 
 
 class LutDecoder:

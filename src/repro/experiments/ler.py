@@ -40,6 +40,7 @@ from ..codes.surface17.layout import (
     Z_CHECK_MATRIX,
     Z_LOGICAL_SUPPORT,
 )
+from ..decoders.batched import BatchedWindowedLutDecoder
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
 from ..qpdo.batched_core import BatchedStabilizerCore
@@ -397,6 +398,42 @@ class LerExperiment:
 DEFAULT_BATCH_WINDOWS = 200
 
 
+def _stack_rounds(
+    rounds: List[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack per-round ``(x_bits, z_bits)`` pairs into window arrays.
+
+    Input: one ``(shots, checks)`` pair per round; output: the
+    ``(shots, rounds, checks)`` pair the batched decoder consumes.
+    """
+    return (
+        np.stack([x for x, _ in rounds], axis=1),
+        np.stack([z for _, z in rounds], axis=1),
+    )
+
+
+def _per_shot_rounds(
+    x_rounds: np.ndarray, z_rounds: np.ndarray, shot: int
+) -> List[SyndromeRound]:
+    """One shot's window as the scalar decoder's round objects."""
+    return [
+        SyndromeRound(
+            x_syndrome=x_rounds[shot, index],
+            z_syndrome=z_rounds[shot, index],
+        )
+        for index in range(x_rounds.shape[1])
+    ]
+
+
+def _stack_decisions(decisions) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-shot ``WindowDecision`` list -> batched decision arrays."""
+    return (
+        np.stack([d.x_corrections for d in decisions]).astype(bool),
+        np.stack([d.z_corrections for d in decisions]).astype(bool),
+        np.array([d.has_corrections for d in decisions], dtype=bool),
+    )
+
+
 class BatchedLerExperiment:
     """The LER protocol of Listing 5.7 over N shots in lockstep.
 
@@ -431,6 +468,18 @@ class BatchedLerExperiment:
     absorbed classically (no noise); without, the correction circuit
     reaches hardware, so its slot is charged depolarizing noise on the
     shots that commanded corrections.
+
+    ``decoder_impl`` picks the decoding engine.  ``"batched"`` (the
+    default) decodes every shot at once through the array-native
+    :class:`~repro.decoders.batched.BatchedWindowedLutDecoder` —
+    majority vote, LUT gather and carry-state as numpy operations over
+    the shot axis, with the dense tables shared process-wide.
+    ``"per-shot"`` keeps one scalar
+    :class:`~repro.decoders.rule_based.WindowedLutDecoder` per shot;
+    it exists as the reference arm of the bit-identical equivalence
+    gate (``tests/test_batched_ler_equivalence.py``, benchmark E21) —
+    both engines produce the same :class:`BatchCounts` for the same
+    seed, bit for bit.
     """
 
     def __init__(
@@ -445,11 +494,16 @@ class BatchedLerExperiment:
         init_rounds: int = DEFAULT_INIT_ROUNDS,
         use_majority_vote: bool = True,
         preflight: bool = False,
+        decoder_impl: str = "batched",
     ) -> None:
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
         if num_shots < 1:
             raise ValueError("num_shots must be positive")
+        if decoder_impl not in ("batched", "per-shot"):
+            raise ValueError(
+                "decoder_impl must be 'batched' or 'per-shot'"
+            )
         self.physical_error_rate = float(physical_error_rate)
         self.num_shots = int(num_shots)
         self.use_pauli_frame = bool(use_pauli_frame)
@@ -457,6 +511,7 @@ class BatchedLerExperiment:
         self.windows = int(windows)
         self.rounds_per_window = int(rounds_per_window)
         self.init_rounds = int(init_rounds)
+        self.decoder_impl = decoder_impl
         self.core = BatchedStabilizerCore(
             self.num_shots,
             noise=NoiseParameters(
@@ -466,14 +521,23 @@ class BatchedLerExperiment:
             seed=seed,
         )
         self.core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla
-        self.decoders = [
-            WindowedLutDecoder(
+        if decoder_impl == "batched":
+            self.decoder = BatchedWindowedLutDecoder(
                 X_CHECK_MATRIX,
                 Z_CHECK_MATRIX,
                 use_majority_vote=use_majority_vote,
             )
-            for _ in range(self.num_shots)
-        ]
+            self.decoders = None
+        else:
+            self.decoder = None
+            self.decoders = [
+                WindowedLutDecoder(
+                    X_CHECK_MATRIX,
+                    Z_CHECK_MATRIX,
+                    use_majority_vote=use_majority_vote,
+                )
+                for _ in range(self.num_shots)
+            ]
         self.qubit_map = list(range(NUM_QUBITS))
         self.probe_ancilla = NUM_QUBITS
         self.preflight_analyses = (
@@ -509,8 +573,15 @@ class BatchedLerExperiment:
     # ------------------------------------------------------------------
     # Building blocks (batched)
     # ------------------------------------------------------------------
-    def _esm_round(self, bypass: bool = False) -> List[SyndromeRound]:
-        """One ESM round for all shots; per-shot syndromes."""
+    def _esm_round(
+        self, bypass: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One ESM round for all shots.
+
+        Returns the stacked ``(x_bits, z_bits)`` syndrome arrays of
+        shape ``(num_shots, num_checks)`` — the packed array form the
+        batched decoder consumes directly.
+        """
         esm = parallel_esm(self.qubit_map, name="esm")
         esm.circuit.bypass = bypass
         result = self.core.run(esm.circuit)
@@ -520,29 +591,72 @@ class BatchedLerExperiment:
         z_bits = np.stack(
             [result.bits_of(m) for m in esm.z_measurements], axis=1
         )
-        return [
-            SyndromeRound(x_syndrome=x_bits[s], z_syndrome=z_bits[s])
-            for s in range(self.num_shots)
-        ]
+        return x_bits, z_bits
 
-    def _apply_corrections(self, decisions) -> np.ndarray:
-        """Apply per-shot decoder decisions as frame XORs.
+    def _decode_init(
+        self, x_rounds: np.ndarray, z_rounds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode the initialization rounds with the selected engine.
 
-        Returns the bool mask of shots that commanded corrections.
+        ``x_rounds`` / ``z_rounds`` are ``(shots, rounds, checks)``;
+        returns ``(x_corrections, z_corrections, commanded)`` arrays.
         """
-        width = self.core.frames.num_qubits
-        x_mask = np.zeros((self.num_shots, width), dtype=bool)
-        z_mask = np.zeros((self.num_shots, width), dtype=bool)
-        commanded = np.zeros(self.num_shots, dtype=bool)
-        data = self.qubit_map[:9]
-        for shot, decision in enumerate(decisions):
-            if not decision.has_corrections:
-                continue
-            commanded[shot] = True
-            for index, physical in enumerate(data):
-                x_mask[shot, physical] = decision.x_corrections[index]
-                z_mask[shot, physical] = decision.z_corrections[index]
+        if self.decoder is not None:
+            self.decoder.reset()
+            decision = self.decoder.initialize(x_rounds, z_rounds)
+            return (
+                decision.x_corrections,
+                decision.z_corrections,
+                decision.has_corrections,
+            )
+        decisions = []
+        for shot, decoder in enumerate(self.decoders):
+            decoder.reset()
+            decisions.append(
+                decoder.initialize(
+                    _per_shot_rounds(x_rounds, z_rounds, shot)
+                )
+            )
+        return _stack_decisions(decisions)
+
+    def _decode_window(
+        self, x_rounds: np.ndarray, z_rounds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode one window of rounds with the selected engine."""
+        if self.decoder is not None:
+            decision = self.decoder.decode_window(x_rounds, z_rounds)
+            return (
+                decision.x_corrections,
+                decision.z_corrections,
+                decision.has_corrections,
+            )
+        decisions = [
+            decoder.decode_window(
+                _per_shot_rounds(x_rounds, z_rounds, shot)
+            )
+            for shot, decoder in enumerate(self.decoders)
+        ]
+        return _stack_decisions(decisions)
+
+    def _apply_corrections(
+        self,
+        x_corrections: np.ndarray,
+        z_corrections: np.ndarray,
+        commanded: np.ndarray,
+    ) -> np.ndarray:
+        """Apply the decision arrays as per-shot frame XORs.
+
+        ``x_corrections`` / ``z_corrections`` are ``(shots, 9)`` over
+        the data qubits, ``commanded`` the per-shot any-correction
+        mask.  Returns ``commanded`` for counting.
+        """
         if commanded.any():
+            width = self.core.frames.num_qubits
+            x_mask = np.zeros((self.num_shots, width), dtype=bool)
+            z_mask = np.zeros((self.num_shots, width), dtype=bool)
+            data = self.qubit_map[:9]
+            x_mask[:, data] = x_corrections
+            z_mask[:, data] = z_corrections
             self.core.apply_pauli_frame(x_mask, z_mask)
             if not self.use_pauli_frame:
                 # Frame-less arm: the correction circuit physically
@@ -578,10 +692,8 @@ class BatchedLerExperiment:
 
     def _clean_shots(self) -> np.ndarray:
         """Perfect diagnostic round: which shots show no syndrome."""
-        rounds = self._esm_round(bypass=True)
-        return np.array(
-            [r.is_trivial() for r in rounds], dtype=bool
-        )
+        x_bits, z_bits = self._esm_round(bypass=True)
+        return ~(x_bits.any(axis=1) | z_bits.any(axis=1))
 
     # ------------------------------------------------------------------
     def run(self) -> List[RunResult]:
@@ -605,6 +717,7 @@ class BatchedLerExperiment:
             windows=self.windows,
             physical_error_rate=self.physical_error_rate,
             use_pauli_frame=self.use_pauli_frame,
+            decoder_impl=self.decoder_impl,
         ):
             return self._run_counts()
 
@@ -618,31 +731,25 @@ class BatchedLerExperiment:
             for data in range(9):
                 slot.add(Operation("h", (data,)))
         self.core.run(prepare)
-        init_rounds = [
-            self._esm_round() for _ in range(self.init_rounds)
-        ]
-        decisions = []
-        for shot, decoder in enumerate(self.decoders):
-            decoder.reset()
-            decisions.append(
-                decoder.initialize([r[shot] for r in init_rounds])
-            )
-        self._apply_corrections(decisions)
+        init_x, init_z = _stack_rounds(
+            [self._esm_round() for _ in range(self.init_rounds)]
+        )
+        self._apply_corrections(*self._decode_init(init_x, init_z))
         reference = self._measure_logical_eigenvalues()
 
         logical_errors = np.zeros(self.num_shots, dtype=np.int64)
         clean_windows = np.zeros(self.num_shots, dtype=np.int64)
         corrections = np.zeros(self.num_shots, dtype=np.int64)
         for _ in range(self.windows):
-            rounds = [
-                self._esm_round()
-                for _ in range(self.rounds_per_window)
-            ]
-            decisions = [
-                decoder.decode_window([r[shot] for r in rounds])
-                for shot, decoder in enumerate(self.decoders)
-            ]
-            corrections += self._apply_corrections(decisions)
+            window_x, window_z = _stack_rounds(
+                [
+                    self._esm_round()
+                    for _ in range(self.rounds_per_window)
+                ]
+            )
+            corrections += self._apply_corrections(
+                *self._decode_window(window_x, window_z)
+            )
             clean = self._clean_shots()
             eigenvalues = self._measure_logical_eigenvalues()
             flipped = clean & (eigenvalues != reference)
@@ -672,6 +779,7 @@ def run_ler_point(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
+    decoder_impl: str = "batched",
 ) -> List[RunResult]:
     """Repeat the experiment ``samples`` times with distinct seeds.
 
@@ -683,7 +791,9 @@ def run_ler_point(
     per-shot tableau loop: ``samples`` becomes the number of lockstep
     shots, each running exactly ``batch_windows`` windows
     (``max_logical_errors`` and ``max_windows`` are then unused — the
-    stopping rule is the fixed window count).
+    stopping rule is the fixed window count).  ``decoder_impl``
+    selects the batched decoding engine (bit-identical either way;
+    see :class:`BatchedLerExperiment`).
     """
     if batch_windows is not None:
         experiment = BatchedLerExperiment(
@@ -693,6 +803,7 @@ def run_ler_point(
             error_kind=error_kind,
             windows=batch_windows,
             seed=seed,
+            decoder_impl=decoder_impl,
         )
         return experiment.run()
     results = []

@@ -64,6 +64,7 @@ def run_ler_sweep(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
+    decoder_impl: str = "batched",
 ) -> SweepResult:
     """Run the full with/without-frame sweep.
 
@@ -75,7 +76,10 @@ def run_ler_sweep(
     (:class:`~repro.experiments.ler.BatchedLerExperiment`):
     ``samples`` becomes the number of lockstep shots per arm and each
     shot runs exactly ``batch_windows`` windows, so far larger shot
-    counts per PER become affordable.
+    counts per PER become affordable.  ``decoder_impl`` then selects
+    the decoding engine — ``"batched"`` (array-native, the default) or
+    the ``"per-shot"`` reference; results are bit-identical either
+    way.
     """
     sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
@@ -89,6 +93,7 @@ def run_ler_sweep(
             seed=base_seed,
             max_windows=max_windows,
             batch_windows=batch_windows,
+            decoder_impl=decoder_impl,
         )
         with_frame = run_ler_point(
             per,
@@ -99,6 +104,7 @@ def run_ler_sweep(
             seed=base_seed + ARM_SEED_OFFSET,
             max_windows=max_windows,
             batch_windows=batch_windows,
+            decoder_impl=decoder_impl,
         )
         sweep.points.append(build_sweep_point(per, without, with_frame))
     return sweep

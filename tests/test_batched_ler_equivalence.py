@@ -1,0 +1,124 @@
+"""The required equivalence gate for the batched LER decode path.
+
+`BatchedLerExperiment` decodes with the array-native
+:class:`~repro.decoders.batched.BatchedWindowedLutDecoder` by default;
+``decoder_impl="per-shot"`` keeps the pre-vectorization reference (one
+scalar :class:`~repro.decoders.rule_based.WindowedLutDecoder` per
+shot).  Because decoder decisions feed back into the cores' frame
+state, any divergence — in the tables, the vote, the carry-state or
+the correction masks — cascades into different syndrome streams, so
+comparing final :class:`~repro.experiments.results.BatchCounts` bit
+for bit is a complete end-to-end check of the batched hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.decoders import clear_lut_cache
+from repro.experiments.ler import BatchedLerExperiment
+
+
+def _counts(decoder_impl, seed, per=8e-3, use_frame=True, kind="x", **kw):
+    return BatchedLerExperiment(
+        per,
+        num_shots=kw.pop("num_shots", 6),
+        use_pauli_frame=use_frame,
+        error_kind=kind,
+        windows=kw.pop("windows", 8),
+        seed=seed,
+        decoder_impl=decoder_impl,
+        **kw,
+    ).run_counts()
+
+
+def _assert_identical(batched, per_shot):
+    assert np.array_equal(batched.logical_errors, per_shot.logical_errors)
+    assert np.array_equal(batched.clean_windows, per_shot.clean_windows)
+    assert np.array_equal(
+        batched.corrections_commanded, per_shot.corrections_commanded
+    )
+
+
+class TestBitIdenticalCounts:
+    @pytest.mark.parametrize("seed", [0, 7, 2017])
+    @pytest.mark.parametrize("use_frame", [False, True])
+    def test_both_arms(self, seed, use_frame):
+        _assert_identical(
+            _counts("batched", seed, use_frame=use_frame),
+            _counts("per-shot", seed, use_frame=use_frame),
+        )
+
+    @pytest.mark.parametrize("kind", ["x", "z"])
+    def test_both_error_kinds(self, kind):
+        _assert_identical(
+            _counts("batched", 42, kind=kind),
+            _counts("per-shot", 42, kind=kind),
+        )
+
+    def test_single_shot_batch(self):
+        _assert_identical(
+            _counts("batched", 3, num_shots=1),
+            _counts("per-shot", 3, num_shots=1),
+        )
+
+    def test_without_majority_vote(self):
+        _assert_identical(
+            _counts("batched", 5, use_majority_vote=False),
+            _counts("per-shot", 5, use_majority_vote=False),
+        )
+
+    def test_three_round_windows(self):
+        """Odd window size exercises the drop-oldest vote rule."""
+        _assert_identical(
+            _counts("batched", 6, rounds_per_window=3),
+            _counts("per-shot", 6, rounds_per_window=3),
+        )
+
+    def test_wider_batch_near_threshold(self):
+        _assert_identical(
+            _counts("batched", 1, per=2e-2, num_shots=20, windows=6),
+            _counts("per-shot", 1, per=2e-2, num_shots=20, windows=6),
+        )
+
+
+class TestDecoderImplWiring:
+    def test_invalid_decoder_impl_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedLerExperiment(
+                5e-3, num_shots=2, decoder_impl="quantum"
+            )
+
+    def test_batched_default_has_no_per_shot_list(self):
+        experiment = BatchedLerExperiment(5e-3, num_shots=4, seed=0)
+        assert experiment.decoder_impl == "batched"
+        assert experiment.decoders is None
+        assert experiment.decoder is not None
+
+    def test_lut_built_once_per_process_not_per_shot(self):
+        """O(shots) brute-force builds collapse to O(1) cached ones."""
+        clear_lut_cache()
+        with telemetry.enabled() as collector:
+            BatchedLerExperiment(5e-3, num_shots=50, seed=0)
+        counters = collector.counters[("decoder.batched", "lut_cache")]
+        assert counters["misses"] == 2  # one build per check species
+        with telemetry.enabled() as collector:
+            BatchedLerExperiment(5e-3, num_shots=50, seed=1)
+        counters = collector.counters[("decoder.batched", "lut_cache")]
+        assert counters == {"hits": 2}
+
+    def test_batched_run_emits_batch_decode_spans(self):
+        with telemetry.enabled() as collector:
+            BatchedLerExperiment(
+                5e-3, num_shots=3, windows=4, seed=9
+            ).run_counts()
+        key = (
+            "decoder.batched",
+            "BatchedWindowedLutDecoder.decode_window",
+        )
+        assert collector.span_totals[key][0] == 4
+        counters = collector.counters[
+            ("decoder.batched", "BatchedWindowedLutDecoder")
+        ]
+        assert counters["batch_decisions"] == 5  # init + 4 windows
+        assert counters["shots"] == 15
