@@ -82,6 +82,19 @@ def _add_output_arguments(
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    """The batched-core selector (ler and sweep, --batch mode)."""
+    parser.add_argument(
+        "--engine",
+        choices=["framesim", "packed", "packed-fast"],
+        default="framesim",
+        help="simulation core of --batch mode: 'framesim' (bool "
+        "arrays), 'packed' (64 shots per word, bit-identical "
+        "results), or 'packed-fast' (packed with word-level noise "
+        "draws; statistically identical, fastest)",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     """The shot-sharded parallel runner's flags (ler and sweep)."""
     parser.add_argument(
@@ -176,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent per-shot runs per arm when the parallel "
         "runner is used without --batch (loop mode)",
     )
+    _add_engine_argument(ler)
     _add_parallel_arguments(ler)
 
     sweep = add_parser(
@@ -211,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical results, for validation/benchmarking; "
         "incompatible with --workers)",
     )
+    _add_engine_argument(sweep)
     _add_parallel_arguments(sweep)
 
     add_parser(
@@ -295,10 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_circuit.add_argument(
         "--target",
-        choices=["stabilizer", "statevector", "none"],
+        choices=["stabilizer", "statevector", "packed", "none"],
         default="stabilizer",
         help="capability set the circuit's routing is checked "
-        "against (default: the stabilizer core)",
+        "against (default: the stabilizer core; 'packed' is the "
+        "bit-packed batched core, which refuses non-Clifford "
+        "circuits)",
     )
     lint_circuit.add_argument(
         "--initial-frame",
@@ -419,10 +436,24 @@ def _arm_report(aggregator, use_pauli_frame: bool):
     )
 
 
+def _require_batch_for_engine(args) -> bool:
+    """Engines other than framesim exist only behind --batch."""
+    if args.engine != "framesim" and args.batch is None:
+        print(
+            "--engine applies to the batched sampler only; "
+            "add --batch WINDOWS/SHOTS to use it",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def cmd_ler(args) -> int:
     from .cli_format import render_ler
     from .experiments.results import ArmReport, LerReport
 
+    if not _require_batch_for_engine(args):
+        return 2
     if args.workers is not None or args.batch is not None:
         from .experiments.parallel import run_parallel_point
 
@@ -434,6 +465,7 @@ def cmd_ler(args) -> int:
             seed=args.seed,
             config=_parallel_config(args),
             max_logical_errors=args.errors,
+            engine=args.engine,
         )
         report = LerReport(
             physical_error_rate=args.per,
@@ -488,6 +520,8 @@ def cmd_sweep(args) -> int:
     from .experiments.results import SweepReport
     from .experiments.stats import mean_rho, significant_fraction
 
+    if not _require_batch_for_engine(args):
+        return 2
     if args.workers is not None:
         from .experiments.parallel import run_parallel_sweep
 
@@ -506,6 +540,7 @@ def cmd_sweep(args) -> int:
             seed=args.seed,
             config=_parallel_config(args),
             max_logical_errors=args.errors,
+            engine=args.engine,
         )
         sweep = parallel.sweep
         arms = []
@@ -536,6 +571,7 @@ def cmd_sweep(args) -> int:
             decoder_impl=(
                 "per-shot" if args.per_shot_decoder else "batched"
             ),
+            engine=args.engine,
         )
         extra = {}
     comparisons = [point.comparison for point in sweep.points]
@@ -780,7 +816,12 @@ def cmd_lint_circuit(args) -> int:
     )
     from .cli_format import render_circuit_report
     from .experiments.results import CircuitReport
-    from .qpdo.core import CAP_NON_CLIFFORD, CAP_QUANTUM_STATE
+    from .qpdo.core import (
+        CAP_BATCH,
+        CAP_NON_CLIFFORD,
+        CAP_PACKED,
+        CAP_QUANTUM_STATE,
+    )
 
     try:
         circuit = build_catalog_circuit(args.circuit)
@@ -795,6 +836,7 @@ def cmd_lint_circuit(args) -> int:
         "statevector": frozenset(
             {CAP_QUANTUM_STATE, CAP_NON_CLIFFORD}
         ),
+        "packed": frozenset({CAP_BATCH, CAP_PACKED}),
     }[args.target]
     analysis = verify_circuit(
         circuit,

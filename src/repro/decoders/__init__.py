@@ -15,6 +15,8 @@ from .batched import (
     lut_cache_size,
     mwpm_dense_lut,
     pack_syndromes,
+    pack_syndromes_words,
+    PackedWindowedLutDecoder,
     unpack_syndromes,
 )
 from .lut import (
@@ -56,6 +58,8 @@ __all__ = [
     "BatchedWindowDecision",
     "BatchedWindowedLutDecoder",
     "BatchedWindowedMatchingDecoder",
+    "PackedWindowedLutDecoder",
+    "pack_syndromes_words",
     "build_dense_lut",
     "dense_lut",
     "mwpm_dense_lut",

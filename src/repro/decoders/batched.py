@@ -54,6 +54,33 @@ _LUT_CACHE: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
 # ----------------------------------------------------------------------
 # Vectorized syndrome packing
 # ----------------------------------------------------------------------
+#: Frozen per-check-count weight / bit-index vectors.  The packers run
+#: once per decoded window on the hot path, so the arrays are built at
+#: most once per check count instead of per call.
+_PACK_WEIGHTS: Dict[int, np.ndarray] = {}
+_BIT_INDEX: Dict[int, np.ndarray] = {}
+
+
+def _pack_weights(num_checks: int) -> np.ndarray:
+    weights = _PACK_WEIGHTS.get(num_checks)
+    if weights is None:
+        weights = np.left_shift(
+            np.int64(1), np.arange(num_checks, dtype=np.int64)
+        )
+        weights.setflags(write=False)
+        _PACK_WEIGHTS[num_checks] = weights
+    return weights
+
+
+def _bit_index(num_checks: int) -> np.ndarray:
+    index = _BIT_INDEX.get(num_checks)
+    if index is None:
+        index = np.arange(num_checks, dtype=np.int64)
+        index.setflags(write=False)
+        _BIT_INDEX[num_checks] = index
+    return index
+
+
 def pack_syndromes(bits: np.ndarray) -> np.ndarray:
     """Pack syndrome bit arrays along the last axis into integers.
 
@@ -62,10 +89,7 @@ def pack_syndromes(bits: np.ndarray) -> np.ndarray:
     (little-endian, matching :func:`repro.decoders.lut.pack_syndrome`).
     """
     bits = np.asarray(bits, dtype=bool)
-    weights = np.left_shift(
-        np.int64(1), np.arange(bits.shape[-1], dtype=np.int64)
-    )
-    return bits.astype(np.int64) @ weights
+    return bits.astype(np.int64) @ _pack_weights(bits.shape[-1])
 
 
 def unpack_syndromes(packed: np.ndarray, num_checks: int) -> np.ndarray:
@@ -75,8 +99,33 @@ def unpack_syndromes(packed: np.ndarray, num_checks: int) -> np.ndarray:
     length ``num_checks`` holding the bits.
     """
     packed = np.asarray(packed, dtype=np.int64)
-    bit_index = np.arange(num_checks, dtype=np.int64)
-    return ((packed[..., np.newaxis] >> bit_index) & 1).astype(bool)
+    return (
+        (packed[..., np.newaxis] >> _bit_index(num_checks)) & 1
+    ).astype(bool)
+
+
+def pack_syndromes_words(
+    planes: np.ndarray, num_shots: int
+) -> np.ndarray:
+    """Packed-word fast path of :func:`pack_syndromes`.
+
+    ``planes`` holds one bit-packed row per check — shape
+    ``(num_checks, num_words)`` ``uint64``, bit ``s & 63`` of word
+    ``s >> 6`` being shot ``s``'s syndrome bit (the
+    :mod:`repro.sim.packedsim` layout).  Returns the same
+    ``(num_shots,)`` int64 packed syndromes that
+    ``pack_syndromes(bits)`` would produce from the equivalent
+    ``(num_shots, num_checks)`` bool array.
+    """
+    from ..sim.packedsim import unpack_bits
+
+    planes = np.asarray(planes, dtype=np.uint64)
+    packed = np.zeros(num_shots, dtype=np.int64)
+    for check in range(planes.shape[0]):
+        packed |= unpack_bits(planes[check], num_shots).astype(
+            np.int64
+        ) << np.int64(check)
+    return packed
 
 
 # ----------------------------------------------------------------------
@@ -465,6 +514,175 @@ class BatchedWindowedMatchingDecoder(BatchedWindowedLutDecoder):
             check_matrix, boundary_qubits_for(self._code, species)
         )
         return table
+
+
+class PackedWindowedLutDecoder(BatchedWindowedLutDecoder):
+    """Windowed LUT decoding over bit-packed syndrome planes.
+
+    The :class:`~repro.qpdo.packed_core.PackedStabilizerCore` hands
+    back syndromes as ``uint64`` word planes; this decoder keeps them
+    packed through the vote and the carry-state, unpacking only at the
+    LUT gather (the table is indexed per shot no matter what).  Round
+    arrays are passed as ``(rounds, checks, num_words)`` ``uint64`` —
+    leading rounds axis, the :func:`repro.sim.packedsim.packed_majority`
+    convention — instead of the parent's ``(shots, rounds, checks)``
+    bools:
+
+    * the majority vote is the bit-sliced popcount comparator of
+      :func:`~repro.sim.packedsim.packed_majority`;
+    * syndrome packing is :func:`pack_syndromes_words`;
+    * the carry-state is stored as word planes and re-expressed in the
+      corrected frame by packing the correction syndromes once.
+
+    Decisions (:class:`BatchedWindowDecision`) are bit-identical to the
+    parent decoder fed the unpacked equivalent of the same streams.
+    """
+
+    def __init__(
+        self,
+        x_check_matrix: np.ndarray,
+        z_check_matrix: np.ndarray,
+        num_shots: int,
+        use_majority_vote: bool = True,
+    ) -> None:
+        super().__init__(
+            x_check_matrix, z_check_matrix, use_majority_vote
+        )
+        if num_shots < 1:
+            raise ValueError("num_shots must be positive")
+        self.num_shots = int(num_shots)
+        self._previous_x_words: np.ndarray | None = None
+        self._previous_z_words: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def initialize(
+        self, x_rounds: np.ndarray, z_rounds: np.ndarray
+    ) -> BatchedWindowDecision:
+        """Consume the initialization rounds, packed layout.
+
+        ``x_rounds`` / ``z_rounds`` have shape
+        ``(rounds, checks, num_words)``; the round count must be odd.
+        """
+        from ..sim.packedsim import packed_majority
+
+        x_rounds = np.asarray(x_rounds, dtype=np.uint64)
+        z_rounds = np.asarray(z_rounds, dtype=np.uint64)
+        if x_rounds.shape[0] % 2 == 0:
+            raise ValueError("initialization needs an odd number of rounds")
+        return self._decide_words(
+            packed_majority(x_rounds),
+            packed_majority(z_rounds),
+            x_rounds[-1],
+            z_rounds[-1],
+        )
+
+    def decode_window(
+        self, x_rounds: np.ndarray, z_rounds: np.ndarray
+    ) -> BatchedWindowDecision:
+        """Decode one packed window of ESM rounds for every shot."""
+        t = telemetry.ACTIVE
+        if t is None:
+            return self._decode_window(x_rounds, z_rounds)
+        with t.span(
+            "decoder.batched",
+            type(self).__name__ + ".decode_window",
+            shots=self.num_shots,
+            rounds=int(np.asarray(x_rounds).shape[0]),
+        ):
+            return self._decode_window(x_rounds, z_rounds)
+
+    def _decode_window(
+        self, x_rounds: np.ndarray, z_rounds: np.ndarray
+    ) -> BatchedWindowDecision:
+        from ..sim.packedsim import packed_majority
+
+        if self._previous_x_words is None or self._previous_z_words is None:
+            raise RuntimeError("decoder not initialized; call initialize()")
+        x_rounds = np.asarray(x_rounds, dtype=np.uint64)
+        z_rounds = np.asarray(z_rounds, dtype=np.uint64)
+        if not self.use_majority_vote:
+            return self._decide_words(
+                x_rounds[-1],
+                z_rounds[-1],
+                x_rounds[-1],
+                z_rounds[-1],
+            )
+        history_x = np.concatenate(
+            [self._previous_x_words[np.newaxis], x_rounds], axis=0
+        )
+        history_z = np.concatenate(
+            [self._previous_z_words[np.newaxis], z_rounds], axis=0
+        )
+        if history_x.shape[0] % 2 == 0:
+            # Even total: drop the oldest round, as in the parent.
+            history_x = history_x[1:]
+            history_z = history_z[1:]
+        return self._decide_words(
+            packed_majority(history_x),
+            packed_majority(history_z),
+            x_rounds[-1],
+            z_rounds[-1],
+        )
+
+    # ------------------------------------------------------------------
+    def _decide_words(
+        self,
+        voted_x_words: np.ndarray,
+        voted_z_words: np.ndarray,
+        last_x_words: np.ndarray,
+        last_z_words: np.ndarray,
+    ) -> BatchedWindowDecision:
+        from ..sim.packedsim import pack_bits
+
+        packed_x = pack_syndromes_words(voted_x_words, self.num_shots)
+        packed_z = pack_syndromes_words(voted_z_words, self.num_shots)
+        z_corrections = self._z_error_table[packed_x]
+        x_corrections = self._x_error_table[packed_z]
+        # Carry-state, packed: XOR the newest round's word planes with
+        # the packed syndromes of the commanded corrections.
+        self._previous_x_words = last_x_words ^ pack_bits(
+            _syndromes_of(self.x_check_matrix, z_corrections).T
+        )
+        self._previous_z_words = last_z_words ^ pack_bits(
+            _syndromes_of(self.z_check_matrix, x_corrections).T
+        )
+        has_corrections = x_corrections.any(axis=1) | z_corrections.any(
+            axis=1
+        )
+        t = telemetry.ACTIVE
+        if t is not None:
+            name = type(self).__name__
+            t.count("decoder.batched", name, "batch_decisions")
+            t.count("decoder.batched", name, "shots", self.num_shots)
+            t.count(
+                "decoder.batched",
+                name,
+                "x_correction_weight",
+                int(x_corrections.sum()),
+            )
+            t.count(
+                "decoder.batched",
+                name,
+                "z_correction_weight",
+                int(z_corrections.sum()),
+            )
+        return BatchedWindowDecision(
+            x_corrections=x_corrections,
+            z_corrections=z_corrections,
+            has_corrections=has_corrections,
+            voted_x=unpack_syndromes(
+                packed_x, self.x_check_matrix.shape[0]
+            ),
+            voted_z=unpack_syndromes(
+                packed_z, self.z_check_matrix.shape[0]
+            ),
+        )
+
+    def reset(self) -> None:
+        """Forget all history (before re-initializing the batch)."""
+        super().reset()
+        self._previous_x_words = None
+        self._previous_z_words = None
 
 
 def _vote(rounds: np.ndarray) -> np.ndarray:

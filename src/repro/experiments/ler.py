@@ -40,10 +40,15 @@ from ..codes.surface17.layout import (
     Z_CHECK_MATRIX,
     Z_LOGICAL_SUPPORT,
 )
-from ..decoders.batched import BatchedWindowedLutDecoder
+from ..decoders.batched import (
+    BatchedWindowedLutDecoder,
+    PackedWindowedLutDecoder,
+)
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
 from ..qpdo.batched_core import BatchedStabilizerCore
+from ..qpdo.packed_core import PackedStabilizerCore
+from ..sim.packedsim import unpack_bits
 from ..qpdo.core import Core
 from ..qpdo.cores import StabilizerCore
 from ..qpdo.counter_layer import CounterLayer
@@ -480,6 +485,23 @@ class BatchedLerExperiment:
     gate (``tests/test_batched_ler_equivalence.py``, benchmark E21) —
     both engines produce the same :class:`BatchCounts` for the same
     seed, bit for bit.
+
+    ``engine`` picks the simulation core:
+
+    * ``"framesim"`` (default) — the bool-array
+      :class:`~repro.qpdo.batched_core.BatchedStabilizerCore`;
+    * ``"packed"`` — the bit-packed
+      :class:`~repro.qpdo.packed_core.PackedStabilizerCore` in its
+      ``"exact"`` RNG mode: 64 shots per ``uint64`` word, same draw
+      stream, bit-identical :class:`BatchCounts` for the same seed;
+    * ``"packed-fast"`` — the packed core with word-level noise
+      draws (``"fast"`` RNG mode): the same channel sampled through a
+      different stream — statistically identical, not bit-identical,
+      and the fastest of the three (benchmark E22).
+
+    With a packed engine, syndromes flow to the decoder as ``uint64``
+    word planes (:class:`~repro.decoders.batched.
+    PackedWindowedLutDecoder`) and only unpack at the LUT gather.
     """
 
     def __init__(
@@ -495,6 +517,7 @@ class BatchedLerExperiment:
         use_majority_vote: bool = True,
         preflight: bool = False,
         decoder_impl: str = "batched",
+        engine: str = "framesim",
     ) -> None:
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
@@ -504,6 +527,10 @@ class BatchedLerExperiment:
             raise ValueError(
                 "decoder_impl must be 'batched' or 'per-shot'"
             )
+        if engine not in ("framesim", "packed", "packed-fast"):
+            raise ValueError(
+                "engine must be 'framesim', 'packed' or 'packed-fast'"
+            )
         self.physical_error_rate = float(physical_error_rate)
         self.num_shots = int(num_shots)
         self.use_pauli_frame = bool(use_pauli_frame)
@@ -512,21 +539,38 @@ class BatchedLerExperiment:
         self.rounds_per_window = int(rounds_per_window)
         self.init_rounds = int(init_rounds)
         self.decoder_impl = decoder_impl
-        self.core = BatchedStabilizerCore(
-            self.num_shots,
-            noise=NoiseParameters(
-                self.physical_error_rate,
-                active_qubits=range(NUM_QUBITS),
-            ),
-            seed=seed,
+        self.engine = engine
+        self._packed = engine != "framesim"
+        noise = NoiseParameters(
+            self.physical_error_rate,
+            active_qubits=range(NUM_QUBITS),
         )
+        if self._packed:
+            self.core = PackedStabilizerCore(
+                self.num_shots,
+                noise=noise,
+                seed=seed,
+                rng_mode="fast" if engine == "packed-fast" else "exact",
+            )
+        else:
+            self.core = BatchedStabilizerCore(
+                self.num_shots, noise=noise, seed=seed
+            )
         self.core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla
         if decoder_impl == "batched":
-            self.decoder = BatchedWindowedLutDecoder(
-                X_CHECK_MATRIX,
-                Z_CHECK_MATRIX,
-                use_majority_vote=use_majority_vote,
-            )
+            if self._packed:
+                self.decoder = PackedWindowedLutDecoder(
+                    X_CHECK_MATRIX,
+                    Z_CHECK_MATRIX,
+                    num_shots=self.num_shots,
+                    use_majority_vote=use_majority_vote,
+                )
+            else:
+                self.decoder = BatchedWindowedLutDecoder(
+                    X_CHECK_MATRIX,
+                    Z_CHECK_MATRIX,
+                    use_majority_vote=use_majority_vote,
+                )
             self.decoders = None
         else:
             self.decoder = None
@@ -578,20 +622,62 @@ class BatchedLerExperiment:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One ESM round for all shots.
 
-        Returns the stacked ``(x_bits, z_bits)`` syndrome arrays of
-        shape ``(num_shots, num_checks)`` — the packed array form the
-        batched decoder consumes directly.
+        With the framesim engine, returns the stacked
+        ``(x_bits, z_bits)`` syndrome arrays of shape
+        ``(num_shots, num_checks)`` — the array form the batched
+        decoder consumes directly.  With a packed engine, returns
+        ``uint64`` word planes of shape ``(num_checks, num_words)``
+        per species instead; syndromes stay bit-packed all the way to
+        the decoder's LUT gather.
         """
         esm = parallel_esm(self.qubit_map, name="esm")
         esm.circuit.bypass = bypass
         result = self.core.run(esm.circuit)
-        x_bits = np.stack(
-            [result.bits_of(m) for m in esm.x_measurements], axis=1
-        )
-        z_bits = np.stack(
-            [result.bits_of(m) for m in esm.z_measurements], axis=1
-        )
+        if self._packed:
+            x_bits = np.stack(
+                [result.words_of(m) for m in esm.x_measurements]
+            )
+            z_bits = np.stack(
+                [result.words_of(m) for m in esm.z_measurements]
+            )
+        else:
+            x_bits = np.stack(
+                [result.bits_of(m) for m in esm.x_measurements], axis=1
+            )
+            z_bits = np.stack(
+                [result.bits_of(m) for m in esm.z_measurements], axis=1
+            )
         return x_bits, z_bits
+
+    def _stack_window(
+        self, rounds: List[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack per-round syndromes into the decoder's window layout.
+
+        Framesim: ``(shots, rounds, checks)`` bools.  Packed:
+        ``(rounds, checks, num_words)`` ``uint64`` planes (the leading
+        rounds axis of :func:`~repro.sim.packedsim.packed_majority`).
+        """
+        if self._packed:
+            return (
+                np.stack([x for x, _ in rounds], axis=0),
+                np.stack([z for _, z in rounds], axis=0),
+            )
+        return _stack_rounds(rounds)
+
+    def _unpack_window(self, planes: np.ndarray) -> np.ndarray:
+        """Packed ``(rounds, checks, words)`` -> ``(shots, rounds,
+        checks)`` bools (the per-shot decoder path's input)."""
+        num_rounds, num_checks, _ = planes.shape
+        bits = np.empty(
+            (self.num_shots, num_rounds, num_checks), dtype=bool
+        )
+        for round_index in range(num_rounds):
+            for check in range(num_checks):
+                bits[:, round_index, check] = unpack_bits(
+                    planes[round_index, check], self.num_shots
+                )
+        return bits
 
     def _decode_init(
         self, x_rounds: np.ndarray, z_rounds: np.ndarray
@@ -609,6 +695,9 @@ class BatchedLerExperiment:
                 decision.z_corrections,
                 decision.has_corrections,
             )
+        if self._packed:
+            x_rounds = self._unpack_window(x_rounds)
+            z_rounds = self._unpack_window(z_rounds)
         decisions = []
         for shot, decoder in enumerate(self.decoders):
             decoder.reset()
@@ -630,6 +719,9 @@ class BatchedLerExperiment:
                 decision.z_corrections,
                 decision.has_corrections,
             )
+        if self._packed:
+            x_rounds = self._unpack_window(x_rounds)
+            z_rounds = self._unpack_window(z_rounds)
         decisions = [
             decoder.decode_window(
                 _per_shot_rounds(x_rounds, z_rounds, shot)
@@ -693,6 +785,11 @@ class BatchedLerExperiment:
     def _clean_shots(self) -> np.ndarray:
         """Perfect diagnostic round: which shots show no syndrome."""
         x_bits, z_bits = self._esm_round(bypass=True)
+        if self._packed:
+            dirty = np.bitwise_or.reduce(
+                x_bits, axis=0
+            ) | np.bitwise_or.reduce(z_bits, axis=0)
+            return ~unpack_bits(dirty, self.num_shots)
         return ~(x_bits.any(axis=1) | z_bits.any(axis=1))
 
     # ------------------------------------------------------------------
@@ -718,6 +815,7 @@ class BatchedLerExperiment:
             physical_error_rate=self.physical_error_rate,
             use_pauli_frame=self.use_pauli_frame,
             decoder_impl=self.decoder_impl,
+            engine=self.engine,
         ):
             return self._run_counts()
 
@@ -731,7 +829,7 @@ class BatchedLerExperiment:
             for data in range(9):
                 slot.add(Operation("h", (data,)))
         self.core.run(prepare)
-        init_x, init_z = _stack_rounds(
+        init_x, init_z = self._stack_window(
             [self._esm_round() for _ in range(self.init_rounds)]
         )
         self._apply_corrections(*self._decode_init(init_x, init_z))
@@ -741,7 +839,7 @@ class BatchedLerExperiment:
         clean_windows = np.zeros(self.num_shots, dtype=np.int64)
         corrections = np.zeros(self.num_shots, dtype=np.int64)
         for _ in range(self.windows):
-            window_x, window_z = _stack_rounds(
+            window_x, window_z = self._stack_window(
                 [
                     self._esm_round()
                     for _ in range(self.rounds_per_window)
@@ -780,6 +878,7 @@ def run_ler_point(
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
     decoder_impl: str = "batched",
+    engine: str = "framesim",
 ) -> List[RunResult]:
     """Repeat the experiment ``samples`` times with distinct seeds.
 
@@ -792,8 +891,10 @@ def run_ler_point(
     shots, each running exactly ``batch_windows`` windows
     (``max_logical_errors`` and ``max_windows`` are then unused — the
     stopping rule is the fixed window count).  ``decoder_impl``
-    selects the batched decoding engine (bit-identical either way;
-    see :class:`BatchedLerExperiment`).
+    selects the batched decoding engine (bit-identical either way)
+    and ``engine`` the simulation core (``"packed"`` is bit-identical
+    to ``"framesim"``, ``"packed-fast"`` statistically identical; see
+    :class:`BatchedLerExperiment`).
     """
     if batch_windows is not None:
         experiment = BatchedLerExperiment(
@@ -804,6 +905,7 @@ def run_ler_point(
             windows=batch_windows,
             seed=seed,
             decoder_impl=decoder_impl,
+            engine=engine,
         )
         return experiment.run()
     results = []

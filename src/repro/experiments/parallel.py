@@ -95,6 +95,10 @@ class ShardSpec:
     max_logical_errors: int
     max_windows: int
     arm_seed: int
+    #: Simulation core of batch-mode shards ("framesim", "packed" or
+    #: "packed-fast").  "framesim" and "packed" consume the same RNG
+    #: stream, so their records are interchangeable bit for bit.
+    engine: str = "framesim"
 
     @property
     def key(self) -> Tuple[int, bool, int]:
@@ -119,21 +123,33 @@ def plan_shards(
     seed: int,
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
+    engine: str = "framesim",
 ) -> List[ShardSpec]:
     """The full deterministic shard schedule of a sweep.
 
     ``shots`` per arm are split into ``ceil(shots / shard_shots)``
     shards; the last shard takes the remainder.  ``windows`` selects
     batch mode (fixed windows per shot); ``None`` selects the per-shot
-    tableau loop terminated at ``max_logical_errors``.
+    tableau loop terminated at ``max_logical_errors``.  ``engine``
+    selects the batch-mode simulation core (the loop mode has no
+    batched core and accepts only ``"framesim"``).
     """
     if shots < 1:
         raise ValueError("shots must be positive")
     if shard_shots < 1:
         raise ValueError("shard_shots must be positive")
+    if engine not in ("framesim", "packed", "packed-fast"):
+        raise ValueError(
+            "engine must be 'framesim', 'packed' or 'packed-fast'"
+        )
     mode = "batch" if windows is not None else "loop"
     if mode == "batch" and windows < 1:
         raise ValueError("windows must be positive in batch mode")
+    if mode == "loop" and engine != "framesim":
+        raise ValueError(
+            "the per-shot loop mode has no batched core; "
+            "engine selection requires batch mode (windows set)"
+        )
     specs: List[ShardSpec] = []
     num_shards = math.ceil(shots / shard_shots)
     for index, per in enumerate(per_values):
@@ -157,6 +173,7 @@ def plan_shards(
                         max_logical_errors=int(max_logical_errors),
                         max_windows=int(max_windows),
                         arm_seed=arm_seed,
+                        engine=engine,
                     )
                 )
     return specs
@@ -197,6 +214,7 @@ def _run_shard(spec: ShardSpec) -> ShardResult:
             error_kind=spec.error_kind,
             windows=spec.windows,
             seed=spec.shard_seed,
+            engine=spec.engine,
         ).run_counts()
         return ShardResult(
             point_index=spec.point_index,
@@ -491,12 +509,17 @@ def _checkpoint_config(
     seed: int,
     max_logical_errors: int,
     max_windows: int,
+    engine: str = "framesim",
 ) -> Dict:
     """The result-affecting configuration pinned in the header.
 
     ``workers``, ``target_ci`` and the checkpoint path itself are
     deliberately absent: they do not change shard contents, so a
-    resume may legally use different values for them.
+    resume may legally use different values for them.  The engine is
+    pinned as its *RNG stream* rather than its name: ``framesim`` and
+    ``packed`` draw identical streams (records are interchangeable bit
+    for bit), so a sweep checkpointed under one may resume under the
+    other; ``packed-fast`` draws a different stream and may not.
     """
     return {
         "per_values": [float(p) for p in per_values],
@@ -507,6 +530,7 @@ def _checkpoint_config(
         "seed": int(seed),
         "max_logical_errors": int(max_logical_errors),
         "max_windows": int(max_windows),
+        "rng_stream": "fast" if engine == "packed-fast" else "exact",
     }
 
 
@@ -589,6 +613,7 @@ def run_parallel_sweep(
     config: ParallelConfig = ParallelConfig(),
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
+    engine: str = "framesim",
 ) -> ParallelSweepReport:
     """Run a full with/without-frame PER sweep, shot-sharded.
 
@@ -608,6 +633,10 @@ def run_parallel_sweep(
         as documented in :func:`plan_shards`.
     config:
         Execution knobs (:class:`ParallelConfig`).
+    engine:
+        Batch-mode simulation core (``"framesim"``, ``"packed"``,
+        ``"packed-fast"``; see
+        :class:`~repro.experiments.ler.BatchedLerExperiment`).
 
     Returns a :class:`ParallelSweepReport` whose ``sweep`` is the same
     :class:`~repro.experiments.results.SweepResult` structure the
@@ -622,6 +651,7 @@ def run_parallel_sweep(
         seed,
         max_logical_errors=max_logical_errors,
         max_windows=max_windows,
+        engine=engine,
     )
     num_shards = math.ceil(shots / config.shard_shots)
     target = config.target_ci
@@ -643,6 +673,7 @@ def run_parallel_sweep(
         seed,
         max_logical_errors,
         max_windows,
+        engine=engine,
     )
 
     resumed = 0
@@ -750,6 +781,7 @@ def run_parallel_point(
     config: ParallelConfig = ParallelConfig(),
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
+    engine: str = "framesim",
 ) -> ParallelSweepReport:
     """One-point convenience wrapper around :func:`run_parallel_sweep`."""
     return run_parallel_sweep(
@@ -761,6 +793,7 @@ def run_parallel_point(
         config=config,
         max_logical_errors=max_logical_errors,
         max_windows=max_windows,
+        engine=engine,
     )
 
 

@@ -65,6 +65,7 @@ def run_ler_sweep(
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
     decoder_impl: str = "batched",
+    engine: str = "framesim",
 ) -> SweepResult:
     """Run the full with/without-frame sweep.
 
@@ -79,7 +80,9 @@ def run_ler_sweep(
     counts per PER become affordable.  ``decoder_impl`` then selects
     the decoding engine — ``"batched"`` (array-native, the default) or
     the ``"per-shot"`` reference; results are bit-identical either
-    way.
+    way.  ``engine`` selects the batched simulation core —
+    ``"framesim"``, ``"packed"`` (bit-identical) or ``"packed-fast"``
+    (statistically identical; fastest).
     """
     sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
@@ -94,6 +97,7 @@ def run_ler_sweep(
             max_windows=max_windows,
             batch_windows=batch_windows,
             decoder_impl=decoder_impl,
+            engine=engine,
         )
         with_frame = run_ler_point(
             per,
@@ -105,6 +109,7 @@ def run_ler_sweep(
             max_windows=max_windows,
             batch_windows=batch_windows,
             decoder_impl=decoder_impl,
+            engine=engine,
         )
         sweep.points.append(build_sweep_point(per, without, with_frame))
     return sweep

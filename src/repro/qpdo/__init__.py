@@ -2,6 +2,7 @@
 
 from .batched_core import BatchedExecutionResult, BatchedStabilizerCore
 from .core import Core, ExecutionResult, UnsupportedFeatureError
+from .packed_core import PackedExecutionResult, PackedStabilizerCore
 from .cores import StabilizerCore, StateVectorCore
 from .layer import ControlStack, Layer
 from .counter_layer import CounterLayer, StreamCounts
@@ -27,6 +28,8 @@ __all__ = [
     "StateVectorCore",
     "BatchedStabilizerCore",
     "BatchedExecutionResult",
+    "PackedStabilizerCore",
+    "PackedExecutionResult",
     "Layer",
     "ControlStack",
     "CounterLayer",

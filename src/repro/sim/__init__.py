@@ -15,6 +15,16 @@ from .framesim import (
     compile_frame_program,
     sample_circuit,
 )
+from .packedsim import (
+    PackedFrameArray,
+    PackedFrameSampler,
+    num_words,
+    pack_bits,
+    packed_majority,
+    popcount_words,
+    sample_circuit_packed,
+    unpack_bits,
+)
 from .stabilizer import StabilizerSimulator
 from .statevector import StateVectorSimulator
 
@@ -32,4 +42,12 @@ __all__ = [
     "BatchedFrameSampler",
     "compile_frame_program",
     "sample_circuit",
+    "PackedFrameArray",
+    "PackedFrameSampler",
+    "sample_circuit_packed",
+    "num_words",
+    "pack_bits",
+    "unpack_bits",
+    "packed_majority",
+    "popcount_words",
 ]

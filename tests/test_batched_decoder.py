@@ -446,3 +446,155 @@ class TestBatchedWindowedMatchingDecoder:
             seed=11,
             windows=4,
         )
+
+
+# ----------------------------------------------------------------------
+# Packed-word syndrome path (regression: per-call allocation fix)
+# ----------------------------------------------------------------------
+def _pack_rounds(rounds):
+    """(shots, rounds, checks) bools -> (rounds, checks, words) uint64."""
+    from repro.sim.packedsim import pack_bits
+
+    return np.stack(
+        [pack_bits(rounds[:, index, :].T) for index in range(rounds.shape[1])]
+    )
+
+
+class TestPackedSyndromeWords:
+    @pytest.mark.parametrize("shots", [1, 63, 64, 65, 200])
+    def test_words_path_matches_scalar_pack(self, shots):
+        from repro.decoders import pack_syndromes_words
+        from repro.sim.packedsim import pack_bits
+
+        rng = np.random.default_rng(31)
+        bits = rng.integers(0, 2, size=(shots, 8)).astype(bool)
+        planes = pack_bits(bits.T)
+        assert np.array_equal(
+            pack_syndromes_words(planes, shots), pack_syndromes(bits)
+        )
+
+    @pytest.mark.parametrize("shots", [1, 64, 65])
+    def test_empty_syndromes(self, shots):
+        from repro.decoders import pack_syndromes_words
+        from repro.sim.packedsim import num_words
+
+        planes = np.zeros((8, num_words(shots)), dtype=np.uint64)
+        packed = pack_syndromes_words(planes, shots)
+        assert packed.shape == (shots,)
+        assert not packed.any()
+        assert np.array_equal(
+            packed, pack_syndromes(np.zeros((shots, 8), dtype=bool))
+        )
+
+    @pytest.mark.parametrize("shots", [1, 64, 65])
+    def test_all_ones_syndromes(self, shots):
+        from repro.decoders import pack_syndromes_words
+        from repro.sim.packedsim import pack_bits
+
+        bits = np.ones((shots, 8), dtype=bool)
+        packed = pack_syndromes_words(pack_bits(bits.T), shots)
+        assert (packed == 255).all()
+        assert np.array_equal(packed, pack_syndromes(bits))
+
+    def test_pack_weights_cached_per_check_count(self):
+        from repro.decoders.batched import _pack_weights
+
+        assert _pack_weights(8) is _pack_weights(8)
+        weights = _pack_weights(8)
+        assert not weights.flags.writeable
+
+
+class TestPackedWindowedLutDecoder:
+    """Packed decoder == unpacked batched decoder, bit for bit."""
+
+    @pytest.mark.parametrize("shots", [1, 64, 65])
+    @pytest.mark.parametrize("vote", [True, False])
+    def test_equivalent_to_unpacked_batched(self, shots, vote):
+        from repro.decoders import PackedWindowedLutDecoder
+
+        rng = np.random.default_rng(17)
+        reference = BatchedWindowedLutDecoder(
+            X_CHECK_MATRIX, Z_CHECK_MATRIX, use_majority_vote=vote
+        )
+        packed = PackedWindowedLutDecoder(
+            X_CHECK_MATRIX,
+            Z_CHECK_MATRIX,
+            num_shots=shots,
+            use_majority_vote=vote,
+        )
+        init_x = _random_stream(rng, shots, 3, 4, 0.25)
+        init_z = _random_stream(rng, shots, 3, 4, 0.25)
+        decision_ref = reference.initialize(init_x, init_z)
+        decision_packed = packed.initialize(
+            _pack_rounds(init_x), _pack_rounds(init_z)
+        )
+        for attribute in (
+            "x_corrections",
+            "z_corrections",
+            "has_corrections",
+            "voted_x",
+            "voted_z",
+        ):
+            assert np.array_equal(
+                getattr(decision_ref, attribute),
+                getattr(decision_packed, attribute),
+            ), attribute
+        for _ in range(6):
+            x_rounds = _random_stream(rng, shots, 2, 4, 0.25)
+            z_rounds = _random_stream(rng, shots, 2, 4, 0.25)
+            decision_ref = reference.decode_window(x_rounds, z_rounds)
+            decision_packed = packed.decode_window(
+                _pack_rounds(x_rounds), _pack_rounds(z_rounds)
+            )
+            for attribute in (
+                "x_corrections",
+                "z_corrections",
+                "has_corrections",
+                "voted_x",
+                "voted_z",
+            ):
+                assert np.array_equal(
+                    getattr(decision_ref, attribute),
+                    getattr(decision_packed, attribute),
+                ), attribute
+
+    def test_requires_positive_shots(self):
+        from repro.decoders import PackedWindowedLutDecoder
+
+        with pytest.raises(ValueError):
+            PackedWindowedLutDecoder(
+                X_CHECK_MATRIX, Z_CHECK_MATRIX, num_shots=0
+            )
+
+    def test_rejects_even_initialization(self):
+        from repro.decoders import PackedWindowedLutDecoder
+
+        decoder = PackedWindowedLutDecoder(
+            X_CHECK_MATRIX, Z_CHECK_MATRIX, num_shots=4
+        )
+        rounds = _pack_rounds(np.zeros((4, 2, 4), dtype=bool))
+        with pytest.raises(ValueError, match="odd number"):
+            decoder.initialize(rounds, rounds)
+
+    def test_decode_before_initialize_raises(self):
+        from repro.decoders import PackedWindowedLutDecoder
+
+        decoder = PackedWindowedLutDecoder(
+            X_CHECK_MATRIX, Z_CHECK_MATRIX, num_shots=4
+        )
+        rounds = _pack_rounds(np.zeros((4, 2, 4), dtype=bool))
+        with pytest.raises(RuntimeError, match="not initialized"):
+            decoder.decode_window(rounds, rounds)
+
+    def test_reset_clears_word_state(self):
+        from repro.decoders import PackedWindowedLutDecoder
+
+        decoder = PackedWindowedLutDecoder(
+            X_CHECK_MATRIX, Z_CHECK_MATRIX, num_shots=4
+        )
+        init = _pack_rounds(np.zeros((4, 3, 4), dtype=bool))
+        decoder.initialize(init, init)
+        decoder.reset()
+        rounds = _pack_rounds(np.zeros((4, 2, 4), dtype=bool))
+        with pytest.raises(RuntimeError, match="not initialized"):
+            decoder.decode_window(rounds, rounds)

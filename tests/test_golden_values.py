@@ -21,7 +21,11 @@ from repro.experiments.parallel import (
     ParallelConfig,
     run_parallel_sweep,
 )
-from repro.sim import NoiseParameters, sample_circuit
+from repro.sim import (
+    NoiseParameters,
+    sample_circuit,
+    sample_circuit_packed,
+)
 
 import pytest
 
@@ -70,14 +74,48 @@ GOLDEN_PARALLEL = {
     ),
 }
 
+#: Per-shot counts of the same runs under ``engine="packed-fast"``.
+#: The fast mode draws word-level noise from its own stream, so its
+#: bits legitimately differ from GOLDEN_LER_COUNTS — but they are
+#: still a pure function of the seed, which these constants pin.
+GOLDEN_LER_COUNTS_PACKED_FAST = {
+    (11, 2e-3, False): (
+        [0, 0, 0, 0, 0, 0],
+        [8, 7, 9, 7, 8, 8],
+        [2, 3, 1, 4, 3, 2],
+    ),
+    (11, 2e-3, True): (
+        [0, 0, 0, 1, 0, 0],
+        [8, 7, 8, 9, 9, 9],
+        [2, 2, 4, 1, 1, 1],
+    ),
+    (23, 8e-3, False): (
+        [1, 0, 1, 1, 0, 1],
+        [5, 3, 3, 2, 5, 4],
+        [6, 8, 7, 8, 8, 8],
+    ),
+    (23, 8e-3, True): (
+        [2, 1, 1, 1, 0, 2],
+        [4, 7, 3, 3, 7, 5],
+        [8, 4, 9, 9, 6, 7],
+    ),
+}
+
 SEED_PER_CASES = [(11, 2e-3), (23, 8e-3)]
 
 
+@pytest.mark.parametrize(
+    "sampler", [sample_circuit, sample_circuit_packed]
+)
 @pytest.mark.parametrize("seed,per", SEED_PER_CASES)
-def test_golden_syndrome_stream(seed, per):
-    """Exact ancilla readout bits of one noisy SC17 ESM round."""
+def test_golden_syndrome_stream(seed, per, sampler):
+    """Exact ancilla readout bits of one noisy SC17 ESM round.
+
+    The packed sampler replays the same per-instruction streams, so
+    it must reproduce the very same pinned bits.
+    """
     esm = parallel_esm(list(range(17)), name="esm")
-    samples = sample_circuit(
+    samples = sampler(
         esm.circuit,
         4,
         seed=seed,
@@ -89,16 +127,22 @@ def test_golden_syndrome_stream(seed, per):
     assert rows == GOLDEN_SYNDROME_STREAMS[(seed, per)]
 
 
+@pytest.mark.parametrize("engine", ["framesim", "packed"])
 @pytest.mark.parametrize("seed,per", SEED_PER_CASES)
 @pytest.mark.parametrize("use_frame", [False, True])
-def test_golden_ler_counts(seed, per, use_frame):
-    """Exact per-shot LER counts of a small batched SC17 run."""
+def test_golden_ler_counts(seed, per, use_frame, engine):
+    """Exact per-shot LER counts of a small batched SC17 run.
+
+    ``engine="packed"`` must hit the same pinned constants bit for
+    bit — that is its conformance contract.
+    """
     counts = BatchedLerExperiment(
         per,
         num_shots=6,
         use_pauli_frame=use_frame,
         windows=10,
         seed=seed,
+        engine=engine,
     ).run_counts()
     errors, clean, corrections = GOLDEN_LER_COUNTS[
         (seed, per, use_frame)
@@ -109,7 +153,28 @@ def test_golden_ler_counts(seed, per, use_frame):
 
 
 @pytest.mark.parametrize("seed,per", SEED_PER_CASES)
-def test_golden_parallel_shard_records(seed, per):
+@pytest.mark.parametrize("use_frame", [False, True])
+def test_golden_ler_counts_packed_fast(seed, per, use_frame):
+    """Exact per-shot counts of the packed-fast engine's own stream."""
+    counts = BatchedLerExperiment(
+        per,
+        num_shots=6,
+        use_pauli_frame=use_frame,
+        windows=10,
+        seed=seed,
+        engine="packed-fast",
+    ).run_counts()
+    errors, clean, corrections = GOLDEN_LER_COUNTS_PACKED_FAST[
+        (seed, per, use_frame)
+    ]
+    assert counts.logical_errors.tolist() == errors
+    assert counts.clean_windows.tolist() == clean
+    assert counts.corrections_commanded.tolist() == corrections
+
+
+@pytest.mark.parametrize("engine", ["framesim", "packed"])
+@pytest.mark.parametrize("seed,per", SEED_PER_CASES)
+def test_golden_parallel_shard_records(seed, per, engine):
     """Exact digest of the parallel engine's committed shard records."""
     report = run_parallel_sweep(
         [per],
@@ -117,6 +182,7 @@ def test_golden_parallel_shard_records(seed, per):
         windows=6,
         seed=seed,
         config=ParallelConfig(workers=1, shard_shots=2),
+        engine=engine,
     )
     blob = "\n".join(
         record.to_json()

@@ -1,0 +1,319 @@
+"""Conformance gate of the bit-packed frame-differential engine.
+
+The packed engine's contract has two halves, and both are tested at
+the bit level where possible:
+
+* ``engine="packed"`` (exact RNG mode) consumes the same random
+  stream as ``framesim`` draw for draw, so sampled measurement
+  streams and whole-experiment :class:`BatchCounts` must be
+  **bit-identical** — across every arm, error kind, window shape, and
+  in particular across shot counts that exercise the ragged last
+  ``uint64`` word (1, 63, 64, 65, 1000);
+* ``engine="packed-fast"`` draws noise at the word level: a different
+  stream of the same channel, so it is held to the *distributional*
+  standard of the differential-fuzz corpus (exact state-vector
+  enumeration at small n) instead of bit equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ler import BatchedLerExperiment
+from repro.qpdo import BatchedStabilizerCore, PackedStabilizerCore
+from repro.sim import (
+    NoiseParameters,
+    sample_circuit,
+    sample_circuit_packed,
+)
+from repro.sim.packedsim import PackedFrameSampler, unpack_bits
+from repro.sim.framesim import (
+    BatchedFrameSampler,
+    compile_frame_program,
+)
+from repro.codes.surface17.esm import parallel_esm
+
+from .test_framesim_equivalence import exact_distribution
+from .test_fuzz_differential import (
+    CORPUS_SEEDS,
+    _chisquare_against_exact,
+    random_noisy_circuit,
+)
+
+#: The ragged-last-word shot counts: below, at, and above one word,
+#: plus the single-shot degenerate case and a many-word count.
+RAGGED_SHOTS = (1, 63, 64, 65)
+
+
+def counts_tuple(counts):
+    return (
+        counts.logical_errors.tolist(),
+        counts.clean_windows.tolist(),
+        counts.corrections_commanded.tolist(),
+    )
+
+
+def run_counts(engine, **kwargs):
+    defaults = dict(
+        physical_error_rate=8e-3,
+        num_shots=65,
+        windows=5,
+        seed=23,
+    )
+    defaults.update(kwargs)
+    return BatchedLerExperiment(engine=engine, **defaults).run_counts()
+
+
+class TestBatchCountsBitIdentity:
+    """engine="packed" == engine="framesim", bit for bit."""
+
+    @pytest.mark.parametrize("num_shots", RAGGED_SHOTS)
+    @pytest.mark.parametrize("use_frame", [False, True])
+    def test_ragged_shot_counts(self, num_shots, use_frame):
+        reference = run_counts(
+            "framesim", num_shots=num_shots, use_pauli_frame=use_frame
+        )
+        packed = run_counts(
+            "packed", num_shots=num_shots, use_pauli_frame=use_frame
+        )
+        assert counts_tuple(reference) == counts_tuple(packed)
+
+    @pytest.mark.parametrize("error_kind", ["x", "z"])
+    @pytest.mark.parametrize("use_frame", [False, True])
+    def test_arms_and_error_kinds(self, error_kind, use_frame):
+        reference = run_counts(
+            "framesim", error_kind=error_kind, use_pauli_frame=use_frame
+        )
+        packed = run_counts(
+            "packed", error_kind=error_kind, use_pauli_frame=use_frame
+        )
+        assert counts_tuple(reference) == counts_tuple(packed)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            # (rounds_per_window, init_rounds, use_majority_vote)
+            (1, 3, True),  # odd history: no drop-oldest
+            (3, 5, True),  # even history: drop-oldest path
+            (2, 3, False),  # last-round-only (no vote)
+        ],
+    )
+    def test_window_shapes(self, shape):
+        rounds, init, vote = shape
+        kwargs = dict(
+            rounds_per_window=rounds,
+            init_rounds=init,
+            use_majority_vote=vote,
+        )
+        reference = run_counts("framesim", **kwargs)
+        packed = run_counts("packed", **kwargs)
+        assert counts_tuple(reference) == counts_tuple(packed)
+
+    def test_per_shot_decoder_path(self):
+        reference = run_counts(
+            "framesim", num_shots=5, decoder_impl="per-shot"
+        )
+        packed = run_counts(
+            "packed", num_shots=5, decoder_impl="per-shot"
+        )
+        assert counts_tuple(reference) == counts_tuple(packed)
+
+    def test_thousand_shots(self):
+        """15.6 words + 40 ragged tail bits, both arms."""
+        for use_frame in (False, True):
+            reference = run_counts(
+                "framesim",
+                num_shots=1000,
+                windows=3,
+                use_pauli_frame=use_frame,
+            )
+            packed = run_counts(
+                "packed",
+                num_shots=1000,
+                windows=3,
+                use_pauli_frame=use_frame,
+            )
+            assert counts_tuple(reference) == counts_tuple(packed)
+
+
+class TestSamplerBitIdentity:
+    """sample_circuit_packed == sample_circuit on the fuzz corpus."""
+
+    @pytest.mark.parametrize("fuzz_seed", CORPUS_SEEDS)
+    def test_fuzz_corpus_streams(self, fuzz_seed):
+        rng = np.random.default_rng(fuzz_seed)
+        num_qubits = int(rng.integers(2, 6))
+        circuit = random_noisy_circuit(
+            num_qubits, int(rng.integers(6, 15)), rng
+        )
+        for shots in RAGGED_SHOTS:
+            reference = sample_circuit(
+                circuit,
+                shots,
+                seed=fuzz_seed,
+                noise=NoiseParameters(0.08),
+                num_qubits=num_qubits,
+            )
+            packed = sample_circuit_packed(
+                circuit,
+                shots,
+                seed=fuzz_seed,
+                noise=NoiseParameters(0.08),
+                num_qubits=num_qubits,
+            )
+            assert np.array_equal(reference, packed), (fuzz_seed, shots)
+
+    def test_split_sampling_matches_one_call(self):
+        """Drawing 37 + 63 shots equals one 100-shot call's stream
+        split at the same point — per-call draws, not per-stream."""
+        esm = parallel_esm(list(range(17)), name="esm")
+        program = compile_frame_program(
+            esm.circuit, noise=NoiseParameters(5e-3), num_qubits=17
+        )
+        packed = PackedFrameSampler(program, seed=11)
+        reference = BatchedFrameSampler(program, seed=11)
+        for block in (37, 63):
+            assert np.array_equal(
+                packed.sample(block), reference.sample(block)
+            )
+
+    def test_noiseless_circuit_matches(self):
+        esm = parallel_esm(list(range(17)), name="esm")
+        for shots in (1, 65):
+            reference = sample_circuit(esm.circuit, shots, seed=3)
+            packed = sample_circuit_packed(esm.circuit, shots, seed=3)
+            assert np.array_equal(reference, packed)
+
+
+class TestPackedCoreBitIdentity:
+    """The streaming packed core against the unpacked batched core."""
+
+    @pytest.mark.parametrize("num_shots", RAGGED_SHOTS)
+    def test_esm_rounds_and_feedback(self, num_shots):
+        esm = parallel_esm(list(range(17)), name="esm")
+        noise = NoiseParameters(8e-3, active_qubits=range(17))
+        reference = BatchedStabilizerCore(
+            num_shots, noise=noise, seed=42
+        )
+        packed = PackedStabilizerCore(num_shots, noise=noise, seed=42)
+        reference.createqubit(17)
+        packed.createqubit(17)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            reference.add(esm.circuit)
+            packed.add(esm.circuit)
+            result_ref = reference.execute()
+            result_packed = packed.execute()
+            for m in esm.x_measurements + esm.z_measurements:
+                bits = result_packed.bits_of(m)
+                assert np.array_equal(result_ref.bits_of(m), bits)
+                assert np.array_equal(
+                    bits,
+                    unpack_bits(result_packed.words_of(m), num_shots),
+                )
+            # Random Pauli feedback + masked depolarizing, the two
+            # per-shot channels the LER experiment uses.
+            x_mask = rng.random((num_shots, 17)) < 0.3
+            z_mask = rng.random((num_shots, 17)) < 0.3
+            reference.apply_pauli_frame(x_mask, z_mask)
+            packed.apply_pauli_frame(x_mask, z_mask)
+            shot_mask = rng.random(num_shots) < 0.5
+            reference.inject_depolarizing(range(17), shot_mask=shot_mask)
+            packed.inject_depolarizing(range(17), shot_mask=shot_mask)
+
+    def test_scalar_core_contract(self):
+        """measurements/getstate expose shot 0, as the batched core."""
+        esm = parallel_esm(list(range(17)), name="esm")
+        noise = NoiseParameters(8e-3, active_qubits=range(17))
+        reference = BatchedStabilizerCore(66, noise=noise, seed=9)
+        packed = PackedStabilizerCore(66, noise=noise, seed=9)
+        reference.createqubit(17)
+        packed.createqubit(17)
+        reference.add(esm.circuit)
+        packed.add(esm.circuit)
+        result_ref = reference.execute()
+        result_packed = packed.execute()
+        assert result_ref.measurements == result_packed.measurements
+
+
+class TestPackedFastDistribution:
+    """packed-fast: a different stream of the same channel."""
+
+    @pytest.mark.parametrize("fuzz_seed", CORPUS_SEEDS[:3])
+    def test_matches_exact_distribution(self, fuzz_seed):
+        rng = np.random.default_rng(fuzz_seed)
+        num_qubits = int(rng.integers(2, 6))
+        circuit = random_noisy_circuit(
+            num_qubits, int(rng.integers(6, 15)), rng
+        )
+        expected = exact_distribution(circuit, num_qubits)
+        shots = 2000
+        samples = sample_circuit_packed(
+            circuit,
+            shots,
+            seed=fuzz_seed + 1,
+            num_qubits=num_qubits,
+            rng_mode="fast",
+        )
+        _chisquare_against_exact(
+            samples, expected, shots, context=fuzz_seed
+        )
+
+    def test_noisy_distribution_matches_exact(self):
+        """Fast-mode depolarizing sampling against enumeration: run
+        a noiseless random circuit under fast-mode built-in noise and
+        compare to the exact framesim distribution at matched shots
+        (homogeneity via the chi-square helper on pooled streams)."""
+        from .test_fuzz_differential import _chisquare_homogeneity
+
+        rng = np.random.default_rng(77)
+        num_qubits = 3
+        circuit = random_noisy_circuit(num_qubits, 10, rng)
+        shots = 4000
+        noise = NoiseParameters(0.05)
+        reference = sample_circuit(
+            circuit, shots, seed=5, noise=noise, num_qubits=num_qubits
+        )
+        fast = sample_circuit_packed(
+            circuit,
+            shots,
+            seed=6,
+            noise=noise,
+            num_qubits=num_qubits,
+            rng_mode="fast",
+        )
+        _chisquare_homogeneity(reference, fast, context="packed-fast")
+
+    def test_deterministic_for_fixed_seed(self):
+        first = run_counts("packed-fast", num_shots=128, windows=3)
+        second = run_counts("packed-fast", num_shots=128, windows=3)
+        assert counts_tuple(first) == counts_tuple(second)
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            BatchedLerExperiment(8e-3, num_shots=4, engine="quantum")
+
+    def test_packed_core_refuses_non_clifford(self):
+        from repro.circuits import Circuit
+        from repro.circuits.operation import Operation
+
+        circuit = Circuit("t")
+        circuit.append(Operation("t", (0,)))
+        core = PackedStabilizerCore(4, seed=1)
+        core.createqubit(1)
+        core.add(circuit)
+        with pytest.raises(ValueError, match="non-Clifford"):
+            core.execute()
+
+    def test_packed_capabilities(self):
+        from repro.qpdo.core import (
+            CAP_BATCH,
+            CAP_NON_CLIFFORD,
+            CAP_PACKED,
+        )
+
+        core = PackedStabilizerCore(4, seed=1)
+        assert core.supports(CAP_BATCH)
+        assert core.supports(CAP_PACKED)
+        assert not core.supports(CAP_NON_CLIFFORD)

@@ -160,6 +160,72 @@ class TestCheckpointResume:
             load_checkpoint(checkpoint)
 
 
+class TestPackedEngineParallel:
+    """The packed engines through the shot-sharded runner."""
+
+    def test_packed_records_match_framesim_bit_for_bit(self):
+        reference = run_sweep()
+        packed = run_sweep(engine="packed")
+        assert committed_records(reference) == committed_records(packed)
+        assert reference.sweep.series(True) == packed.sweep.series(True)
+
+    def test_packed_fast_worker_invariance(self):
+        serial = run_sweep(engine="packed-fast", workers=1)
+        pooled = run_sweep(engine="packed-fast", workers=4)
+        assert committed_records(serial) == committed_records(pooled)
+
+    def test_packed_checkpoint_resume(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        full = run_sweep(engine="packed", checkpoint=checkpoint)
+        lines = open(checkpoint).read().strip().split("\n")
+        with open(checkpoint, "w") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+        resumed = run_sweep(
+            engine="packed", checkpoint=checkpoint, resume=True
+        )
+        assert resumed.resumed_shards == 2
+        assert committed_records(resumed) == committed_records(full)
+
+    def test_framesim_checkpoint_resumes_under_packed(self, tmp_path):
+        """framesim and packed share one exact RNG stream, so a
+        checkpoint written by one legally resumes under the other."""
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        full = run_sweep(checkpoint=checkpoint)
+        lines = open(checkpoint).read().strip().split("\n")
+        with open(checkpoint, "w") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+        resumed = run_sweep(
+            engine="packed", checkpoint=checkpoint, resume=True
+        )
+        assert committed_records(resumed) == committed_records(full)
+
+    def test_packed_fast_checkpoint_is_a_different_sweep(self, tmp_path):
+        """packed-fast draws another stream — resuming its checkpoint
+        under the exact engines must be refused, and vice versa."""
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        run_sweep(checkpoint=checkpoint)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(
+                engine="packed-fast",
+                checkpoint=checkpoint,
+                resume=True,
+            )
+
+    def test_loop_mode_rejects_packed_engine(self):
+        with pytest.raises(ValueError, match="batch mode"):
+            plan_shards(
+                PER_VALUES,
+                "x",
+                2,
+                1,
+                None,
+                SEED,
+                max_logical_errors=2,
+                max_windows=60,
+                engine="packed",
+            )
+
+
 class TestAggregatorFrontier:
     def _record(self, shard_index, errors=1, windows=10):
         return ShardRecord(
