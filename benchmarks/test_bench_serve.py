@@ -1,0 +1,335 @@
+"""E23 -- load test of the ``repro serve`` async decode/sweep service.
+
+Three acceptance bars from ISSUE 7, measured against a live in-process
+server (real sockets, real worker fleet):
+
+* **p99 service latency** over hundreds of concurrent mixed-size jobs
+  stays under a budget.  Latency is measured per job from its own
+  ``started_at``/``finished_at`` status timestamps (execution time on
+  the fleet), so the gate is independent of how deep the queue was —
+  queueing delay is reported separately as context.
+* **Warm-cache speedup >= 3x on repeated-structure jobs.**  "Cold" is
+  what every CLI invocation pays today and the service exists to
+  amortize (ISSUE 7): a throwaway one-shot service per job — worker
+  process spawn + imports, LUT gather-table builds, per-arm reference
+  stabilizer simulations.  "Warm" is the same job resubmitted to a
+  long-lived fleet whose processes hold all of those.  The in-fleet
+  cache contribution alone (first job on a fresh fleet vs repeats,
+  i.e. reference-trace replay + LUT reuse with spawn already paid) is
+  reported as context.
+* **Worker-count invariance.**  The same submissions on a 1-worker
+  and a 2-worker fleet must produce byte-identical ``job_result``
+  documents (shard determinism end-to-end through the service).
+
+Scale note: the default mixed-load replay uses a scaled-down job
+count so the suite stays fast on CI hardware.  Approach paper-style
+sustained load with::
+
+    REPRO_BENCH_SERVE_JOBS=1000 \\
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serve.py -s
+"""
+
+import asyncio
+import json
+import math
+import os
+import time
+
+from repro.serve import ServeApp, ServeConfig
+from repro.serve.app import _http_request
+
+#: Total mixed-size jobs of the load replay ("hundreds").
+TOTAL_JOBS = int(os.environ.get("REPRO_BENCH_SERVE_JOBS", "200"))
+#: Fraction of the mix that is (cheap, varied-size) decode jobs; the
+#: rest are small LER sweeps that exercise the full shard pipeline.
+DECODE_FRACTION = 0.85
+#: Gate on p99 per-job execution latency (seconds).
+P99_BUDGET_SECONDS = float(
+    os.environ.get("REPRO_BENCH_SERVE_P99_BUDGET", "5.0")
+)
+#: Required cold/warm ratio on repeated-structure LER jobs.
+REQUIRED_WARM_SPEEDUP = 3.0
+#: Concurrent in-flight submissions during the replay.
+SUBMIT_BATCH = 32
+
+SEED = 2017
+
+
+def _decode_job(index: int):
+    """One decode job; sizes vary so the mix is genuinely mixed."""
+    shots = 2 + (index % 8)
+    rounds = 3 + 2 * (index % 3)  # 3, 5, 7 -- odd, as decoding wants
+    return {
+        "job_id": f"load-dec-{index:04d}",
+        "job_kind": "decode",
+        "params": {
+            "x_rounds": [[[0, 0, 0, 0]] * rounds] * shots,
+            "z_rounds": [[[0, 1, 0, 0]] * rounds] * shots,
+        },
+    }
+
+
+def _ler_job(index: int):
+    return {
+        "job_id": f"load-ler-{index:04d}",
+        "job_kind": "ler",
+        "params": {
+            "physical_error_rate": 0.002,
+            "shots": 4,
+            "windows": 3,
+            "shard_shots": 2,
+            "seed": SEED + index,
+        },
+    }
+
+
+#: The repeated-structure LER job of the warm-cache bar.  Small shot
+#: count, enough windows that the job does real shard work on top of
+#: the cold costs (spawn, LUT build, reference simulation).
+WARM_JOB_PARAMS = {
+    "physical_error_rate": 0.002,
+    "shots": 2,
+    "windows": 24,
+    "shard_shots": 2,
+    "seed": SEED,
+}
+
+
+def _serve_session(scenario, tmp_path, **overrides):
+    """Run ``scenario(host, port)`` against a live in-process server."""
+
+    async def runner():
+        config = ServeConfig(
+            port=0,
+            spool=str(tmp_path / overrides.pop("spool", "spool")),
+            **overrides,
+        )
+        app = ServeApp(config)
+        server = await app.start()
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            return await scenario(host, port)
+        finally:
+            app.request_stop()
+            await app.run_until_stopped(server)
+
+    return asyncio.run(runner())
+
+
+async def _submit_all(host, port, jobs):
+    for start in range(0, len(jobs), SUBMIT_BATCH):
+        batch = jobs[start:start + SUBMIT_BATCH]
+        responses = await asyncio.gather(
+            *(
+                _http_request(host, port, "POST", "/v1/jobs", job)
+                for job in batch
+            )
+        )
+        for (status, doc), job in zip(responses, batch):
+            assert status == 200, (job["job_id"], doc)
+
+
+async def _await_all_done(host, port, expected, timeout=600.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        _, listing = await _http_request(
+            host, port, "GET", "/v1/jobs", None
+        )
+        rows = listing["jobs"]
+        if len(rows) >= expected and all(
+            row["state"] in ("done", "failed", "cancelled")
+            for row in rows
+        ):
+            return rows
+        await asyncio.sleep(0.2)
+    raise TimeoutError("load replay never drained")
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def test_bench_serve_mixed_load(benchmark, tmp_path):
+    """Replay TOTAL_JOBS concurrent mixed jobs; gate p99 latency."""
+    decode_count = int(TOTAL_JOBS * DECODE_FRACTION)
+    jobs = [_decode_job(i) for i in range(decode_count)]
+    jobs += [_ler_job(i) for i in range(TOTAL_JOBS - decode_count)]
+    # Interleave sizes so the queue sees a genuinely mixed arrival
+    # order rather than all-cheap-then-all-expensive.
+    jobs.sort(key=lambda job: job["job_id"][::-1])
+
+    async def replay(host, port):
+        await _submit_all(host, port, jobs)
+        return await _await_all_done(host, port, len(jobs))
+
+    def run():
+        return _serve_session(
+            replay, tmp_path, workers=2, job_concurrency=2,
+            spool="load-spool",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert len(rows) == len(jobs)
+    failed = [row for row in rows if row["state"] != "done"]
+    assert not failed, failed[:3]
+
+    execution = [
+        row["finished_at"] - row["started_at"] for row in rows
+    ]
+    waiting = [row["started_at"] - row["queued_at"] for row in rows]
+    makespan = max(row["finished_at"] for row in rows) - min(
+        row["queued_at"] for row in rows
+    )
+    p50 = _percentile(execution, 0.50)
+    p99 = _percentile(execution, 0.99)
+
+    print(
+        f"\n[E23] serve mixed load -- {len(jobs)} jobs "
+        f"({decode_count} decode / {len(jobs) - decode_count} ler), "
+        f"2 workers, 2 job slots:"
+    )
+    print(
+        f"  execution latency: p50 {p50 * 1e3:7.1f} ms   "
+        f"p99 {p99 * 1e3:7.1f} ms"
+    )
+    print(
+        f"  queue wait:        p50 {_percentile(waiting, 0.5):7.2f} s "
+        f"  p99 {_percentile(waiting, 0.99):7.2f} s"
+    )
+    print(
+        f"  makespan: {makespan:6.1f} s "
+        f"({len(jobs) / makespan:.1f} jobs/s)"
+    )
+
+    assert p99 <= P99_BUDGET_SECONDS, (
+        f"p99 execution latency {p99:.2f}s exceeds the "
+        f"{P99_BUDGET_SECONDS:.1f}s budget"
+    )
+
+
+def _warm_job(index: int):
+    return {
+        "job_id": f"warm-{index}",
+        "job_kind": "ler",
+        "params": dict(WARM_JOB_PARAMS),
+    }
+
+
+async def _run_one_job(host, port, job):
+    """Submit one job, poll to done, return its execution latency."""
+    await _http_request(host, port, "POST", "/v1/jobs", job)
+    job_id = job["job_id"]
+    while True:
+        _, doc = await _http_request(
+            host, port, "GET", f"/v1/jobs/{job_id}", None
+        )
+        if doc["state"] in ("done", "failed", "cancelled"):
+            break
+        await asyncio.sleep(0.02)
+    assert doc["state"] == "done", doc
+    return doc["finished_at"] - doc["started_at"]
+
+
+def test_bench_serve_warm_cache_speedup(tmp_path):
+    """Repeated-structure jobs must hit the warm fleet (>= 3x)."""
+    repeats = 5
+
+    # Cold: a throwaway service per job -- what a one-shot CLI
+    # invocation pays.  Wall time covers fleet spawn (worker process
+    # start + imports), LUT build, reference simulation, and the job.
+    async def one_shot(host, port):
+        await _run_one_job(host, port, _warm_job(0))
+        return time.perf_counter()
+
+    cold_start = time.perf_counter()
+    cold_end = _serve_session(
+        one_shot, tmp_path, workers=1, spool="cold-spool"
+    )
+    cold = cold_end - cold_start
+
+    # Warm: the same structure on one long-lived fleet.  One worker,
+    # so every repeat lands on the process whose caches the first job
+    # filled and the measurement is deterministic.
+    async def long_lived(host, port):
+        return [
+            await _run_one_job(host, port, _warm_job(index))
+            for index in range(1 + repeats)
+        ]
+
+    latencies = _serve_session(
+        long_lived, tmp_path, workers=1, spool="warm-spool"
+    )
+    fleet_cold = latencies[0]  # spawn already paid; LUT + ref cold
+    warm = sorted(latencies[1:])[len(latencies[1:]) // 2]  # median
+    speedup = cold / max(warm, 1e-9)
+
+    print(
+        f"\n[E23] serve warm-cache speedup -- repeated-structure ler "
+        f"({WARM_JOB_PARAMS['windows']} windows x "
+        f"{WARM_JOB_PARAMS['shots']} shots):"
+    )
+    print(f"  cold (one-shot service):  {cold * 1e3:8.1f} ms")
+    print(f"  first job on warm fleet:  {fleet_cold * 1e3:8.1f} ms")
+    print(f"  warm (median of {repeats}):     {warm * 1e3:8.1f} ms")
+    print(
+        f"  speedup: {speedup:.1f}x end-to-end, "
+        f"{fleet_cold / max(warm, 1e-9):.1f}x from in-fleet caches"
+    )
+
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"warm-cache speedup {speedup:.1f}x below the "
+        f"{REQUIRED_WARM_SPEEDUP:.0f}x bar"
+    )
+
+
+def test_bench_serve_worker_count_invariance(tmp_path):
+    """Fleet size must never leak into job_result documents."""
+    jobs = [
+        {
+            "job_id": "inv-sweep",
+            "job_kind": "sweep",
+            "params": {
+                "per_values": [0.004, 0.008],
+                "shots": 16,
+                "windows": 4,
+                "shard_shots": 4,
+                "seed": SEED,
+            },
+        },
+        _ler_job(7),
+        _decode_job(7),
+    ]
+
+    async def scenario(host, port):
+        await _submit_all(host, port, jobs)
+        await _await_all_done(host, port, len(jobs))
+        results = {}
+        for job in jobs:
+            _, doc = await _http_request(
+                host, port,
+                "GET", f"/v1/jobs/{job['job_id']}/result", None,
+            )
+            results[job["job_id"]] = doc
+        return results
+
+    narrow = _serve_session(
+        scenario, tmp_path, workers=1, spool="fleet1-spool"
+    )
+    wide = _serve_session(
+        scenario, tmp_path, workers=2, spool="fleet2-spool"
+    )
+
+    assert set(narrow) == set(wide)
+    for job_id in narrow:
+        left = json.dumps(narrow[job_id], sort_keys=True)
+        right = json.dumps(wide[job_id], sort_keys=True)
+        assert left == right, f"{job_id} result differs across fleets"
+    print(
+        "\n[E23] serve worker-count invariance -- "
+        f"{len(jobs)} job_result documents identical for "
+        "1- and 2-worker fleets"
+    )

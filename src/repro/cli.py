@@ -339,6 +339,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(negative control: must produce a CIR009 finding)",
     )
 
+    serve = add_parser(
+        "serve",
+        help="run the async decode/sweep HTTP service with a "
+        "persistent warm-cache worker fleet",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8714,
+        help="listen port; 0 picks an ephemeral port (default 8714)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes in the persistent fleet (default 2)",
+    )
+    serve.add_argument(
+        "--job-concurrency",
+        type=int,
+        default=1,
+        help="jobs executed concurrently; 1 (default) also enables "
+        "full per-job shard telemetry on the /events stream",
+    )
+    serve.add_argument(
+        "--spool",
+        default=".repro-spool",
+        help="directory for the job journal, per-job checkpoints "
+        "and trace files (default .repro-spool)",
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="boot an ephemeral server, run one job of each kind "
+        "over HTTP, schema-check every document, then exit",
+    )
+
     lint_code = add_parser(
         "lint-code",
         help="run the determinism linter (REPxxx rules) over the "
@@ -891,6 +933,31 @@ def cmd_lint_code(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeConfig, run_self_test, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_concurrency=args.job_concurrency,
+        spool=args.spool,
+    )
+    if args.self_test:
+        report = run_self_test(config)
+        _emit(
+            args,
+            report,
+            lambda: (
+                f"serve self-test: {'PASS' if report.passed else 'FAIL'} "
+                f"({report.completed}/{report.submitted} jobs, "
+                f"{report.documents_validated} documents validated)"
+            ),
+        )
+        return 0 if report.passed else 1
+    return run_server(config)
+
+
 _HANDLERS = {
     "verify": cmd_verify,
     "ler": cmd_ler,
@@ -903,6 +970,7 @@ _HANDLERS = {
     "memory": cmd_memory,
     "inject": cmd_inject,
     "report": cmd_report,
+    "serve": cmd_serve,
     "lint-circuit": cmd_lint_circuit,
     "lint-code": cmd_lint_code,
 }

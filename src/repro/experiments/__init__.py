@@ -65,9 +65,11 @@ from .sweep import (
 )
 from .parallel import (
     ArmAggregator,
+    AtomicJsonLinesWriter,
     CheckpointWriter,
     ParallelConfig,
     ParallelSweepReport,
+    PoolShutdownError,
     ShardSpec,
     load_checkpoint,
     plan_shards,
@@ -150,9 +152,11 @@ __all__ = [
     "wilson_interval",
     "wilson_halfwidth",
     "ArmAggregator",
+    "AtomicJsonLinesWriter",
     "CheckpointWriter",
     "ParallelConfig",
     "ParallelSweepReport",
+    "PoolShutdownError",
     "ShardRecord",
     "ShardSpec",
     "load_checkpoint",

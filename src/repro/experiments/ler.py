@@ -55,6 +55,7 @@ from ..qpdo.counter_layer import CounterLayer
 from ..qpdo.error_layer import DepolarizingErrorLayer
 from ..qpdo.pauli_frame_layer import PauliFrameLayer
 from ..sim.framesim import NoiseParameters
+from ..sim.refcache import reference_trace_key
 from .results import BatchCounts, RunResult
 
 #: ESM rounds per decoding window (Fig. 5.9 uses two fresh rounds plus
@@ -502,6 +503,14 @@ class BatchedLerExperiment:
     With a packed engine, syndromes flow to the decoder as ``uint64``
     word planes (:class:`~repro.decoders.batched.
     PackedWindowedLutDecoder`) and only unpack at the LUT gather.
+
+    ``reference_cache`` (default on, requires a ``seed``) records the
+    run's noiseless reference trajectory in the process-level trace
+    cache (:mod:`repro.sim.refcache`), keyed by the protocol structure
+    plus the seed entropy, and replays it on any later run with the
+    same key — identical :class:`BatchCounts`, minus the whole tableau
+    pass.  This is what keeps a long-lived worker fleet from
+    re-simulating the reference for repeated-structure jobs.
     """
 
     def __init__(
@@ -518,6 +527,7 @@ class BatchedLerExperiment:
         preflight: bool = False,
         decoder_impl: str = "batched",
         engine: str = "framesim",
+        reference_cache: bool = True,
     ) -> None:
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
@@ -545,16 +555,36 @@ class BatchedLerExperiment:
             self.physical_error_rate,
             active_qubits=range(NUM_QUBITS),
         )
+        # The reference trajectory is a pure function of the protocol
+        # structure and the seed's reference stream — every parameter
+        # that only shapes the *frames* (shots, arm, noise rate,
+        # decoder, rng_mode) is deliberately absent from the key.
+        reference_key = None
+        if reference_cache and seed is not None:
+            reference_key = reference_trace_key(
+                (
+                    "batched_ler",
+                    error_kind,
+                    self.windows,
+                    self.rounds_per_window,
+                    self.init_rounds,
+                ),
+                seed,
+            )
         if self._packed:
             self.core = PackedStabilizerCore(
                 self.num_shots,
                 noise=noise,
                 seed=seed,
                 rng_mode="fast" if engine == "packed-fast" else "exact",
+                reference_key=reference_key,
             )
         else:
             self.core = BatchedStabilizerCore(
-                self.num_shots, noise=noise, seed=seed
+                self.num_shots,
+                noise=noise,
+                seed=seed,
+                reference_key=reference_key,
             )
         self.core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla
         if decoder_impl == "batched":
@@ -857,6 +887,7 @@ class BatchedLerExperiment:
             # exactly like the loop protocol's check_logical_error.
             reference = np.where(clean, eigenvalues, reference)
 
+        self.core.commit_reference_trace()
         return BatchCounts(
             physical_error_rate=self.physical_error_rate,
             error_kind=self.error_kind,

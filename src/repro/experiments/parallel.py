@@ -67,6 +67,20 @@ from .sweep import (
 #: Format version of the JSON-lines checkpoint.
 CHECKPOINT_VERSION = 1
 
+
+class PoolShutdownError(RuntimeError):
+    """The shared worker pool was shut down while a sweep was draining.
+
+    Raised instead of hanging: ``ProcessPoolExecutor.shutdown(
+    cancel_futures=True)`` moves queued work-item futures to
+    ``CANCELLED`` without notifying waiters (CPython never calls
+    ``set_running_or_notify_cancel`` on them), so a concurrent
+    ``concurrent.futures.wait`` would block forever.  Callers that own
+    the pool (``repro serve``) treat this as shutdown collateral — the
+    checkpoint keeps the committed shards and a later resume finishes
+    the run bit-identically.
+    """
+
 #: Arm identifier used in records and keys.
 ArmKey = Tuple[int, bool]
 
@@ -367,13 +381,15 @@ class ArmAggregator:
 # ----------------------------------------------------------------------
 # Checkpointing (JSON lines, atomic append)
 # ----------------------------------------------------------------------
-class CheckpointWriter:
-    """Append-only JSON-lines checkpoint.
+class AtomicJsonLinesWriter:
+    """Append-only JSON-lines file with kill-safe line writes.
 
     Each record is written as exactly one line in a single ``write``
-    call followed by flush + fsync, so a kill between shards leaves a
+    call followed by flush + fsync, so a kill between records leaves a
     parseable file and a kill mid-write leaves at most one truncated
-    final line (which the loader tolerates and drops).
+    final line (which loaders tolerate and drop).  This is the storage
+    primitive shared by the sweep checkpoint below and the serve
+    layer's job journal (:mod:`repro.serve.jobs`).
     """
 
     def __init__(self, path: str, append: bool) -> None:
@@ -398,24 +414,29 @@ class CheckpointWriter:
             if data and not data.endswith(b"\n"):
                 handle.truncate(data.rfind(b"\n") + 1)
 
-    def write_header(self, config: Dict) -> None:
-        payload = {
-            "kind": "header",
-            "version": CHECKPOINT_VERSION,
-            "config": config,
-        }
-        self._write_line(json.dumps(payload, sort_keys=True))
-
-    def write_record(self, record: ShardResult) -> None:
-        self._write_line(record.to_json())
-
-    def _write_line(self, line: str) -> None:
+    def write_line(self, line: str) -> None:
+        """Append one complete line atomically (write+flush+fsync)."""
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         self._handle.close()
+
+
+class CheckpointWriter(AtomicJsonLinesWriter):
+    """Append-only JSON-lines sweep checkpoint (header + shard lines)."""
+
+    def write_header(self, config: Dict) -> None:
+        payload = {
+            "kind": "header",
+            "version": CHECKPOINT_VERSION,
+            "config": config,
+        }
+        self.write_line(json.dumps(payload, sort_keys=True))
+
+    def write_record(self, record: ShardResult) -> None:
+        self.write_line(record.to_json())
 
 
 def load_checkpoint(
@@ -545,6 +566,7 @@ def _execute_shards(
     aggregators: Dict[ArmKey, ArmAggregator],
     workers: int,
     on_record: Callable[[ShardResult], None],
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> int:
     """Run the outstanding shards; returns how many executed.
 
@@ -553,10 +575,16 @@ def _execute_shards(
     outstanding shards are submitted up front and results stream back
     as they finish; shards of arms whose frontier is already satisfied
     are cancelled where possible and discarded otherwise.
+
+    An external ``pool`` (a long-lived executor such as the serve
+    layer's :class:`~repro.serve.workers.WorkerFleet`) is used as-is
+    and **not** shut down — its processes outlive the sweep, which is
+    what keeps their LUT and reference-trace caches warm across jobs.
+    Without one, ``workers > 1`` creates a throwaway pool.
     """
     executed = 0
     t = telemetry.ACTIVE
-    if workers <= 1:
+    if pool is None and workers <= 1:
         for spec in specs:
             if aggregators[spec.arm_key].done:
                 continue
@@ -572,9 +600,9 @@ def _execute_shards(
             on_record(run_shard(spec))
             executed += 1
         return executed
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_pool_context()
-    ) as pool:
+
+    def _drain(pool: ProcessPoolExecutor) -> int:
+        executed = 0
         future_specs = {}
         for spec in specs:
             if aggregators[spec.arm_key].done:
@@ -590,18 +618,40 @@ def _execute_shards(
                 )
             future_specs[pool.submit(run_shard, spec)] = spec
         pending = set(future_specs)
-        while pending:
-            finished, pending = wait(
-                pending, return_when=FIRST_COMPLETED
-            )
-            for future in finished:
-                on_record(future.result())
-                executed += 1
-            for future in list(pending):
-                arm = future_specs[future].arm_key
-                if aggregators[arm].done and future.cancel():
-                    pending.discard(future)
-    return executed
+        try:
+            while pending:
+                # The timeout is load-bearing: a pool shut down under
+                # us (server stopping) cancels queued futures without
+                # notifying waiters, so an untimed wait() never wakes.
+                finished, pending = wait(
+                    pending, return_when=FIRST_COMPLETED, timeout=0.5
+                )
+                for future in finished:
+                    if future.cancelled():
+                        raise PoolShutdownError(
+                            "worker pool shut down mid-sweep"
+                        )
+                    on_record(future.result())
+                    executed += 1
+                if any(f.cancelled() for f in pending):
+                    raise PoolShutdownError(
+                        "worker pool shut down mid-sweep"
+                    )
+                for future in list(pending):
+                    arm = future_specs[future].arm_key
+                    if aggregators[arm].done and future.cancel():
+                        pending.discard(future)
+        finally:
+            for future in pending:
+                future.cancel()
+        return executed
+
+    if pool is not None:
+        return _drain(pool)
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as throwaway:
+        return _drain(throwaway)
 
 
 def run_parallel_sweep(
@@ -614,6 +664,7 @@ def run_parallel_sweep(
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
     engine: str = "framesim",
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> ParallelSweepReport:
     """Run a full with/without-frame PER sweep, shot-sharded.
 
@@ -637,6 +688,10 @@ def run_parallel_sweep(
         Batch-mode simulation core (``"framesim"``, ``"packed"``,
         ``"packed-fast"``; see
         :class:`~repro.experiments.ler.BatchedLerExperiment`).
+    pool:
+        Optional long-lived executor to run shards on instead of a
+        per-sweep pool; it is left running afterwards (warm caches).
+        ``config.workers`` is ignored when a pool is supplied.
 
     Returns a :class:`ParallelSweepReport` whose ``sweep`` is the same
     :class:`~repro.experiments.results.SweepResult` structure the
@@ -739,7 +794,11 @@ def run_parallel_sweep(
     try:
         if t is None:
             executed = _execute_shards(
-                outstanding, aggregators, config.workers, on_record
+                outstanding,
+                aggregators,
+                config.workers,
+                on_record,
+                pool=pool,
             )
         else:
             with t.span(
@@ -750,7 +809,11 @@ def run_parallel_sweep(
                 workers=config.workers,
             ):
                 executed = _execute_shards(
-                    outstanding, aggregators, config.workers, on_record
+                    outstanding,
+                    aggregators,
+                    config.workers,
+                    on_record,
+                    pool=pool,
                 )
     finally:
         if writer is not None:
@@ -782,6 +845,7 @@ def run_parallel_point(
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
     engine: str = "framesim",
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> ParallelSweepReport:
     """One-point convenience wrapper around :func:`run_parallel_sweep`."""
     return run_parallel_sweep(
@@ -794,6 +858,7 @@ def run_parallel_point(
         max_logical_errors=max_logical_errors,
         max_windows=max_windows,
         engine=engine,
+        pool=pool,
     )
 
 

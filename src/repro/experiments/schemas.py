@@ -390,3 +390,91 @@ REPORT_SCHEMAS: Dict[str, Dict] = {
         }
     ),
 }
+
+# -- repro serve wire documents (see :mod:`repro.serve.wire`) ----------
+
+#: One job's lifecycle snapshot; shared by ``job_status`` and the rows
+#: of ``job_list``.
+_JOB_STATUS_FIELDS = {
+    "kind": _kind("job_status"),
+    "job_id": _STRING,
+    "job_kind": {"enum": ["ler", "sweep", "decode"]},
+    "state": {
+        "enum": ["pending", "running", "done", "failed", "cancelled"]
+    },
+    "priority": _INT,
+    "attempts": _INT,
+    "max_attempts": _INT,
+    "seed": _INT,
+    "submitted_seq": _INT,
+    "error": _nullable(_STRING),
+    "queued_at": _nullable(_NUMBER),
+    "started_at": _nullable(_NUMBER),
+    "finished_at": _nullable(_NUMBER),
+}
+
+REPORT_SCHEMAS["job_status"] = _obj(_JOB_STATUS_FIELDS)
+
+REPORT_SCHEMAS["job_list"] = _obj(
+    {
+        "kind": _kind("job_list"),
+        "jobs": _array(
+            _obj(
+                {
+                    key: value
+                    for key, value in _JOB_STATUS_FIELDS.items()
+                    if key != "kind"
+                }
+            )
+        ),
+    }
+)
+
+REPORT_SCHEMAS["job_result"] = _obj(
+    {
+        "kind": _kind("job_result"),
+        "job_id": _STRING,
+        "job_kind": {"enum": ["ler", "sweep", "decode"]},
+        "seed": _INT,
+        # The payload is kind-specific (a ler_report/sweep_report dict
+        # or a decode corrections document); its own schema applies.
+        "result": {"type": "object"},
+    }
+)
+
+REPORT_SCHEMAS["serve_error"] = _obj(
+    {
+        "kind": _kind("serve_error"),
+        "error": _STRING,
+        "message": _STRING,
+        "job_id": _nullable(_STRING),
+    }
+)
+
+REPORT_SCHEMAS["serve_health"] = _obj(
+    {
+        "kind": _kind("serve_health"),
+        "status": {"enum": ["ok", "stopping"]},
+        "workers": _INT,
+        "job_slots": _INT,
+        "jobs_total": _INT,
+        "jobs_pending": _INT,
+        "jobs_running": _INT,
+        "jobs_done": _INT,
+        "jobs_failed": _INT,
+        "jobs_cancelled": _INT,
+        "fleet_respawns": _INT,
+        "uptime_seconds": _NUMBER,
+    }
+)
+
+REPORT_SCHEMAS["serve_selftest"] = _obj(
+    {
+        "kind": _kind("serve_selftest"),
+        "passed": _BOOL,
+        "submitted": _INT,
+        "completed": _INT,
+        "documents_validated": _INT,
+        "health": {"type": "object"},
+    }
+)

@@ -47,8 +47,8 @@ from ..sim.framesim import (
     _seed_sequence,
     _slot_noise_events,
 )
+from ..sim.refcache import ReferenceTableau
 from ..sim.state import State
-from ..sim.stabilizer import StabilizerSimulator
 from .. import telemetry
 from .core import CAP_BATCH, Core, ExecutionResult
 
@@ -95,6 +95,15 @@ class BatchedStabilizerCore(Core):
     seed:
         Seed for both the reference tableau and the per-shot fault /
         gauge randomness (two independent child streams).
+    reference_key:
+        Optional :func:`~repro.sim.refcache.reference_trace_key`
+        digest.  With a key, the reference trajectory is recorded on
+        first execution and *replayed* from the process-level trace
+        cache on subsequent runs with the same key — bit-identical
+        results without re-simulating the noiseless tableau.  The
+        experiment owning the core must call
+        :meth:`commit_reference_trace` once its circuit stream is
+        complete.
 
     Notes
     -----
@@ -112,12 +121,13 @@ class BatchedStabilizerCore(Core):
         num_shots: int,
         noise: Optional[NoiseParameters] = None,
         seed: SeedLike = None,
+        reference_key: Optional[str] = None,
     ) -> None:
         if num_shots < 1:
             raise ValueError("num_shots must be positive")
         reference_ss, frame_ss = _seed_sequence(seed).spawn(2)
-        self.simulator = StabilizerSimulator(
-            0, rng=np.random.default_rng(reference_ss)
+        self.simulator = ReferenceTableau(
+            np.random.default_rng(reference_ss), key=reference_key
         )
         self.frames = FrameArray(num_shots, 0)
         self.noise = noise
@@ -208,6 +218,15 @@ class BatchedStabilizerCore(Core):
 
     def supports(self, capability: str) -> bool:
         return capability == CAP_BATCH or super().supports(capability)
+
+    def commit_reference_trace(self) -> None:
+        """Store the recorded reference trace in the process cache.
+
+        Call exactly once, after the experiment's full circuit stream
+        has executed; no-op without a ``reference_key`` or on a run
+        that replayed a cached trace.
+        """
+        self.simulator.commit()
 
     # -- per-shot Pauli feedback ----------------------------------------
     def apply_pauli_frame(

@@ -47,8 +47,8 @@ from ..sim.framesim import (
     _slot_noise_events,
 )
 from ..sim.packedsim import PackedFrameArray, unpack_bits
+from ..sim.refcache import ReferenceTableau
 from ..sim.state import State
-from ..sim.stabilizer import StabilizerSimulator
 from .. import telemetry
 from .core import CAP_BATCH, CAP_PACKED, Core, ExecutionResult
 
@@ -107,6 +107,12 @@ class PackedStabilizerCore(Core):
         ``"exact"`` (bit-identical to
         :class:`~repro.qpdo.batched_core.BatchedStabilizerCore`) or
         ``"fast"`` (word-level noise; distribution-identical).
+    reference_key:
+        Optional reference-trace cache key (see the unpacked core and
+        :mod:`repro.sim.refcache`).  The reference stream is identical
+        across all engines — ``rng_mode`` only changes the *frame*
+        stream — so packed and unpacked runs of one protocol/seed
+        share one cached trace.
 
     The lockstep restrictions of the unpacked batched core apply
     unchanged: the circuit stream must be shot-independent apart from
@@ -119,12 +125,13 @@ class PackedStabilizerCore(Core):
         noise: Optional[NoiseParameters] = None,
         seed: SeedLike = None,
         rng_mode: str = "exact",
+        reference_key: Optional[str] = None,
     ) -> None:
         if num_shots < 1:
             raise ValueError("num_shots must be positive")
         reference_ss, frame_ss = _seed_sequence(seed).spawn(2)
-        self.simulator = StabilizerSimulator(
-            0, rng=np.random.default_rng(reference_ss)
+        self.simulator = ReferenceTableau(
+            np.random.default_rng(reference_ss), key=reference_key
         )
         self.frames = PackedFrameArray(num_shots, 0, rng_mode=rng_mode)
         self.noise = noise
@@ -219,6 +226,11 @@ class PackedStabilizerCore(Core):
         return capability in (CAP_BATCH, CAP_PACKED) or super().supports(
             capability
         )
+
+    def commit_reference_trace(self) -> None:
+        """Store the recorded reference trace in the process cache
+        (see the unpacked core's docstring)."""
+        self.simulator.commit()
 
     # -- per-shot Pauli feedback ----------------------------------------
     def apply_pauli_frame(

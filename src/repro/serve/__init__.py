@@ -1,0 +1,81 @@
+"""``repro serve`` — an async decode/sweep service over the batched
+experiment stack.
+
+The subsystem splits four ways (see DESIGN.md for the rationale):
+
+* :mod:`.wire` — the JSON documents and their draft 2020-12 schemas;
+* :mod:`.jobs` — job model, priority queue, lifecycle state machine,
+  and the crash-safe transition journal;
+* :mod:`.workers` — the persistent warm-cache worker fleet with
+  broken-pool recovery;
+* :mod:`.routes` — the stdlib-asyncio HTTP endpoints;
+* :mod:`.app` — the application object tying them together, plus the
+  ``repro serve`` entry points.
+"""
+
+from .app import ServeApp, ServeConfig, run_self_test, run_server
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobJournal,
+    JobQueue,
+    JobStateError,
+    derive_job_seed,
+    load_job_journal,
+    recover_jobs,
+)
+from .wire import (
+    JOB_KINDS,
+    JOB_SUBMIT_SCHEMA,
+    JobListReport,
+    JobResultReport,
+    JobStatusReport,
+    ServeErrorReport,
+    ServeHealthReport,
+    ServeSelfTestReport,
+)
+from .workers import (
+    JobParamsError,
+    WorkerFleet,
+    check_job_params,
+    run_decode_job,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JOB_SUBMIT_SCHEMA",
+    "PENDING",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Job",
+    "JobJournal",
+    "JobListReport",
+    "JobParamsError",
+    "JobQueue",
+    "JobResultReport",
+    "JobStateError",
+    "JobStatusReport",
+    "ServeApp",
+    "ServeConfig",
+    "ServeErrorReport",
+    "ServeHealthReport",
+    "ServeSelfTestReport",
+    "WorkerFleet",
+    "check_job_params",
+    "derive_job_seed",
+    "load_job_journal",
+    "recover_jobs",
+    "run_decode_job",
+    "run_self_test",
+    "run_server",
+]

@@ -1,0 +1,276 @@
+"""HTTP endpoints of ``repro serve`` (stdlib asyncio streams only).
+
+The protocol is deliberately small — JSON in, JSON out, one request
+per connection (``Connection: close``) — so the whole parser fits in a
+screen and has no dependency beyond ``asyncio``:
+
+====== ============================= ===============================
+Method Path                          Response document
+====== ============================= ===============================
+POST   /v1/jobs                      ``job_status`` (or ``serve_error``)
+GET    /v1/jobs                      ``job_list``
+GET    /v1/jobs/{id}                 ``job_status``
+GET    /v1/jobs/{id}/result          ``job_result``
+GET    /v1/jobs/{id}/events          telemetry JSON-lines stream
+POST   /v1/jobs/{id}/cancel          ``job_status``
+POST   /v1/shutdown                  ``serve_health`` (then stops)
+GET    /v1/health                    ``serve_health``
+====== ============================= ===============================
+
+The events endpoint streams the job's telemetry trace file as
+newline-delimited JSON while the job runs and closes once the job is
+terminal and the file is drained — the same JSON-lines records
+``--trace`` writes, so ``repro report`` can render a saved stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..experiments.results import ResultBase
+from .jobs import TERMINAL_STATES, JobStateError
+from .wire import ServeErrorReport
+
+#: Largest accepted request body (a decode job posts syndromes).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the handful of statuses the service uses.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Abort the request with a status + ``serve_error`` document."""
+
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        message: str,
+        job_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.report = ServeErrorReport(
+            error=error, message=message, job_id=job_id
+        )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Optional[Dict]]]:
+    """Parse one request: ``(method, path, json_body_or_None)``.
+
+    Returns ``None`` on an empty connection (client connected and
+    left).  Anything unparseable raises :class:`HttpError`.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, "bad_request", "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(
+            413, "too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    body: Optional[Dict] = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise HttpError(
+                400, "bad_json", f"request body is not JSON: {error}"
+            )
+        if not isinstance(body, dict):
+            raise HttpError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+    return method, path, body
+
+
+def _encode_response(status: int, document: Dict) -> bytes:
+    payload = json.dumps(document, sort_keys=True).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + payload
+
+
+async def _send(
+    writer: asyncio.StreamWriter, status: int, report: ResultBase
+) -> None:
+    writer.write(_encode_response(status, report.to_json_dict()))
+    await writer.drain()
+
+
+async def _stream_events(
+    app, writer: asyncio.StreamWriter, job_id: str
+) -> None:
+    """Tail a job's telemetry trace as newline-delimited JSON.
+
+    Follows the file while the job is live; once the job is terminal
+    the remaining lines are flushed and the connection closes (that is
+    the end-of-stream signal — no in-band terminator).
+    """
+    job = app.queue.get(job_id)
+    if job is None:
+        raise HttpError(404, "unknown_job", f"no job {job_id!r}", job_id)
+    head = (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head)
+    await writer.drain()
+    path = app.trace_path(job_id)
+    offset = 0
+    while True:
+        # Snapshot terminality BEFORE reading: lines written between
+        # the read and the check are caught on the next pass, so the
+        # stream can truncate only after the final flush.
+        terminal = app.queue.get(job_id).state in TERMINAL_STATES
+        chunk = b""
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            pass
+        # Relay only complete lines; a torn tail waits for the writer.
+        cut = chunk.rfind(b"\n") + 1
+        if cut:
+            writer.write(chunk[:cut])
+            await writer.drain()
+            offset += cut
+        if terminal and cut == len(chunk):
+            break
+        await asyncio.sleep(0.05)
+
+
+async def handle_connection(
+    app, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one request on one connection, then close it."""
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            await _dispatch(app, writer, method, path, body)
+        except HttpError as error:
+            await _send(writer, error.status, error.report)
+        except JobStateError as error:
+            await _send(
+                writer,
+                409,
+                ServeErrorReport(error="bad_state", message=str(error)),
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # a handler bug must not kill the loop
+            try:
+                await _send(
+                    writer,
+                    500,
+                    ServeErrorReport(
+                        error="internal",
+                        message=f"{type(error).__name__}: {error}",
+                    ),
+                )
+            except ConnectionError:
+                pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _dispatch(
+    app,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    body: Optional[Dict],
+) -> None:
+    segments = [s for s in path.split("/") if s]
+    if segments[:1] != ["v1"]:
+        raise HttpError(404, "unknown_path", f"no route {path!r}")
+    tail = segments[1:]
+    if tail == ["health"] and method == "GET":
+        await _send(writer, 200, app.health())
+        return
+    if tail == ["shutdown"] and method == "POST":
+        report = app.health()
+        await _send(writer, 200, report)
+        app.request_stop()
+        return
+    if tail == ["jobs"] and method == "POST":
+        if body is None:
+            raise HttpError(
+                400, "bad_json", "job submission needs a JSON body"
+            )
+        job = app.submit_job(body)
+        await _send(writer, 200, app.status_report(job.job_id))
+        return
+    if tail == ["jobs"] and method == "GET":
+        await _send(writer, 200, app.list_report())
+        return
+    if len(tail) == 2 and tail[0] == "jobs" and method == "GET":
+        await _send(writer, 200, app.status_report(tail[1]))
+        return
+    if (
+        len(tail) == 3
+        and tail[0] == "jobs"
+        and tail[2] == "result"
+        and method == "GET"
+    ):
+        await _send(writer, 200, app.result_report(tail[1]))
+        return
+    if (
+        len(tail) == 3
+        and tail[0] == "jobs"
+        and tail[2] == "events"
+        and method == "GET"
+    ):
+        await _stream_events(app, writer, tail[1])
+        return
+    if (
+        len(tail) == 3
+        and tail[0] == "jobs"
+        and tail[2] == "cancel"
+        and method == "POST"
+    ):
+        app.queue.cancel(tail[1])
+        await _send(writer, 200, app.status_report(tail[1]))
+        return
+    raise HttpError(
+        404, "unknown_path", f"no route {method} {path!r}"
+    )

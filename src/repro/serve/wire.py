@@ -1,0 +1,147 @@
+"""Wire documents of the ``repro serve`` HTTP/JSON protocol.
+
+Every byte the service reads or writes is a JSON document with a
+pinned draft 2020-12 schema:
+
+* **Requests** — the job-submission body is validated against
+  :data:`JOB_SUBMIT_SCHEMA` before a job is created; a body that
+  fails validation is rejected with a ``serve_error`` document and
+  never enters the queue.
+* **Responses** — every endpoint returns one of the ``ResultBase``
+  dataclasses below (``job_status``, ``job_result``, ``job_list``,
+  ``serve_health``, ``serve_error``), registered in the same
+  :data:`~repro.experiments.results.RESULT_KINDS` family as the CLI
+  reports and schema-checked by the same
+  ``validate_cli_json`` CI gate (via ``repro serve --self-test``).
+
+Response documents deliberately split *status* from *result*: status
+carries wall-clock timestamps (useful, non-deterministic), while
+``job_result`` carries only the deterministic payload — two runs of
+the same job produce byte-identical ``job_result`` documents, which
+is what the restart-resume and worker-count-invariance tests compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..experiments.results import ResultBase
+
+#: Job kinds the service executes (see :mod:`repro.serve.workers`).
+JOB_KINDS = ("ler", "sweep", "decode")
+
+#: Draft 2020-12 schema of the POST /v1/jobs request body.  ``params``
+#: stays an open object here — per-kind parameter validation happens
+#: in :func:`repro.serve.workers.check_job_params` so the schema does
+#: not have to encode conditional structure.
+JOB_SUBMIT_SCHEMA: Dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "type": "object",
+    "properties": {
+        "job_id": {"type": "string", "minLength": 1, "maxLength": 128},
+        "job_kind": {"enum": list(JOB_KINDS)},
+        "priority": {"type": "integer"},
+        "max_attempts": {"type": "integer", "minimum": 1},
+        "params": {"type": "object"},
+    },
+    "required": ["job_kind", "params"],
+    "additionalProperties": False,
+}
+
+
+@dataclass
+class JobStatusReport(ResultBase):
+    """One job's lifecycle snapshot (GET /v1/jobs/{id})."""
+
+    kind = "job_status"
+
+    job_id: str
+    job_kind: str
+    state: str
+    priority: int
+    attempts: int
+    max_attempts: int
+    seed: int
+    submitted_seq: int
+    error: Optional[str] = None
+    queued_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+
+@dataclass
+class JobResultReport(ResultBase):
+    """A finished job's deterministic payload (GET .../result).
+
+    ``result`` is the job-kind-specific document — a ``ler_report`` /
+    ``sweep_report`` dict for simulation jobs, a corrections document
+    for decode jobs.  Timestamps and queue metadata are deliberately
+    absent: this document is byte-reproducible.
+    """
+
+    kind = "job_result"
+
+    job_id: str
+    job_kind: str
+    seed: int
+    result: Dict
+
+
+@dataclass
+class JobListReport(ResultBase):
+    """The queue's jobs as status snapshots (GET /v1/jobs)."""
+
+    kind = "job_list"
+
+    jobs: List[Dict] = field(default_factory=list)
+
+
+@dataclass
+class ServeErrorReport(ResultBase):
+    """Any endpoint failure (bad document, unknown job, bad state)."""
+
+    kind = "serve_error"
+
+    error: str
+    message: str
+    job_id: Optional[str] = None
+
+
+@dataclass
+class ServeHealthReport(ResultBase):
+    """Service liveness + fleet/cache introspection (GET /v1/health)."""
+
+    kind = "serve_health"
+
+    status: str
+    workers: int
+    job_slots: int
+    jobs_total: int
+    jobs_pending: int
+    jobs_running: int
+    jobs_done: int
+    jobs_failed: int
+    jobs_cancelled: int
+    fleet_respawns: int
+    uptime_seconds: float
+
+
+@dataclass
+class ServeSelfTestReport(ResultBase):
+    """``repro serve --self-test``: one end-to-end smoke pass.
+
+    Boots a real server on an ephemeral localhost port, submits one
+    job of every kind over HTTP, polls to completion, validates every
+    response document against its registered schema, and shuts the
+    server down cleanly.  This is the document the ``validate_cli_json``
+    CI gate checks for the ``serve`` subcommand.
+    """
+
+    kind = "serve_selftest"
+
+    passed: bool
+    submitted: int
+    completed: int
+    documents_validated: int
+    health: Dict = field(default_factory=dict)

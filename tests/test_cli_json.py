@@ -52,7 +52,18 @@ def test_every_subcommand_has_an_invocation_and_schema(trace_path):
 
     cases = subcommand_invocations(trace_path)
     assert set(cases) == set(_HANDLERS)
-    assert len(REPORT_SCHEMAS) == len(cases)
+    # Every case's document kind is registered; the serve subcommand
+    # contributes the whole wire-document family beyond its own kind.
+    serve_kinds = {
+        "job_status",
+        "job_result",
+        "job_list",
+        "serve_error",
+        "serve_health",
+        "serve_selftest",
+    }
+    assert serve_kinds <= set(REPORT_SCHEMAS)
+    assert len(REPORT_SCHEMAS) == len(cases) + len(serve_kinds) - 1
 
 
 @pytest.mark.parametrize(
@@ -69,6 +80,7 @@ def test_every_subcommand_has_an_invocation_and_schema(trace_path):
         "memory",
         "inject",
         "report",
+        "serve",
         "lint-circuit",
         "lint-code",
     ],
@@ -226,6 +238,9 @@ def test_acceptance_trace_covers_all_layers(tmp_path, capsys):
     from repro.cli import main
 
     path = str(tmp_path / "accept.jsonl")
+    # A seed no other in-process test uses: the process-level
+    # reference-trace cache replays warm structures, and a replayed
+    # reference pass (by design) emits no stabilizer-sim spans.
     code = main(
         [
             "ler",
@@ -233,6 +248,8 @@ def test_acceptance_trace_covers_all_layers(tmp_path, capsys):
             "4",
             "--windows",
             "10",
+            "--seed",
+            "20260808",
             "--trace",
             path,
             "--metrics",

@@ -1,0 +1,182 @@
+"""Tests for the process-level reference-trace cache (repro.sim.refcache).
+
+The cache's contract: with a ``reference_key``, the first run of a
+(structure, seed) records the noiseless reference trajectory, every
+later run replays it without building a tableau, and replayed
+experiments are bit-identical to cold ones — across every batched
+engine, because the reference stream is engine-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.experiments.ler import BatchedLerExperiment
+from repro.sim.refcache import (
+    REFERENCE_CACHE_CAPACITY,
+    ReferenceTableau,
+    clear_reference_cache,
+    lookup_reference_trace,
+    reference_cache_size,
+    reference_trace_key,
+    store_reference_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_reference_cache()
+    yield
+    clear_reference_cache()
+
+
+def run_ler(engine, seed=11, reference_cache=True):
+    experiment = BatchedLerExperiment(
+        0.002,
+        128,
+        use_pauli_frame=True,
+        windows=3,
+        seed=seed,
+        engine=engine,
+        reference_cache=reference_cache,
+    )
+    result = experiment.run()
+    return result, experiment.core.simulator.replaying
+
+
+class TestReferenceTraceKey:
+    def test_equivalent_seed_spellings_share_a_key(self):
+        structure = ("batched_ler", "x", 3, 1, 2)
+        assert reference_trace_key(structure, 7) == reference_trace_key(
+            structure, np.random.SeedSequence(7)
+        )
+
+    def test_different_seeds_differ(self):
+        structure = ("batched_ler", "x", 3, 1, 2)
+        assert reference_trace_key(structure, 7) != reference_trace_key(
+            structure, 8
+        )
+
+    def test_different_structures_differ(self):
+        assert reference_trace_key(
+            ("batched_ler", "x", 3, 1, 2), 7
+        ) != reference_trace_key(("batched_ler", "z", 3, 1, 2), 7)
+
+
+class TestCacheStore:
+    def test_store_lookup_roundtrip(self):
+        stored = store_reference_trace("k1", [1, 0, 1])
+        found = lookup_reference_trace("k1")
+        assert found is stored
+        assert found.dtype == np.uint8
+        assert list(found) == [1, 0, 1]
+
+    def test_stored_traces_are_frozen(self):
+        trace = store_reference_trace("k1", [1, 0])
+        with pytest.raises(ValueError):
+            trace[0] = 0
+
+    def test_miss_returns_none(self):
+        assert lookup_reference_trace("absent") is None
+
+    def test_clear_reports_held_entries(self):
+        store_reference_trace("k1", [1])
+        store_reference_trace("k2", [0])
+        assert reference_cache_size() == 2
+        assert clear_reference_cache() == 2
+        assert reference_cache_size() == 0
+
+    def test_fifo_eviction_is_bounded(self):
+        for index in range(REFERENCE_CACHE_CAPACITY + 5):
+            store_reference_trace(f"k{index}", [index & 1])
+        assert reference_cache_size() == REFERENCE_CACHE_CAPACITY
+        assert lookup_reference_trace("k0") is None
+        assert lookup_reference_trace("k4") is None
+        assert lookup_reference_trace("k5") is not None
+
+    def test_hit_miss_telemetry_counters(self):
+        with telemetry.enabled() as collector:
+            lookup_reference_trace("k")
+            store_reference_trace("k", [1])
+            lookup_reference_trace("k")
+        counters = collector.counters[("sim.refcache", "reference_cache")]
+        assert counters["misses"] == 1
+        assert counters["hits"] == 1
+
+
+class TestReferenceTableau:
+    def test_live_mode_records_nothing(self):
+        tableau = ReferenceTableau(np.random.default_rng(0), key=None)
+        tableau.add_qubits(1)
+        tableau.apply_gate("h", (0,))
+        tableau.measure(0)
+        tableau.commit()
+        assert reference_cache_size() == 0
+
+    def test_record_then_replay_same_bits(self):
+        recorder = ReferenceTableau(np.random.default_rng(3), key="k")
+        recorder.add_qubits(2)
+        bits = []
+        for _ in range(8):
+            recorder.apply_gate("h", (0,))
+            bits.append(recorder.measure(0))
+        recorder.commit()
+
+        replayer = ReferenceTableau(np.random.default_rng(999), key="k")
+        assert replayer.replaying
+        replayer.add_qubits(2)  # no-op, must not fail
+        replayed = []
+        for _ in range(8):
+            replayer.apply_gate("h", (0,))
+            replayed.append(replayer.measure(0))
+        assert replayed == bits
+
+    def test_replay_exhaustion_raises(self):
+        store_reference_trace("k", [1])
+        replayer = ReferenceTableau(np.random.default_rng(0), key="k")
+        assert replayer.measure(0) == 1
+        with pytest.raises(RuntimeError, match="trace exhausted"):
+            replayer.measure(0)
+
+    def test_commit_after_replay_is_noop(self):
+        store_reference_trace("k", [1, 0])
+        replayer = ReferenceTableau(np.random.default_rng(0), key="k")
+        replayer.measure(0)
+        replayer.commit()
+        assert list(lookup_reference_trace("k")) == [1, 0]
+
+
+class TestExperimentIntegration:
+    def test_warm_run_is_bit_identical(self):
+        cold, cold_replaying = run_ler("framesim")
+        warm, warm_replaying = run_ler("framesim")
+        assert not cold_replaying
+        assert warm_replaying
+        assert [r.to_json_dict() for r in cold] == [
+            r.to_json_dict() for r in warm
+        ]
+
+    def test_trace_is_shared_across_engines(self):
+        cold, _ = run_ler("framesim")
+        for engine in ("packed", "packed-fast"):
+            warm, replaying = run_ler(engine)
+            assert replaying, engine
+        packed, _ = run_ler("packed")
+        assert [r.to_json_dict() for r in cold] == [
+            r.to_json_dict() for r in packed
+        ]
+
+    def test_opt_out_skips_the_cache(self):
+        _, replaying = run_ler("framesim", reference_cache=False)
+        assert not replaying
+        assert reference_cache_size() == 0
+
+    def test_unseeded_runs_never_cache(self):
+        _, replaying = run_ler("framesim", seed=None)
+        assert not replaying
+        assert reference_cache_size() == 0
+
+    def test_distinct_seeds_get_distinct_entries(self):
+        run_ler("framesim", seed=1)
+        run_ler("framesim", seed=2)
+        assert reference_cache_size() == 2
