@@ -95,6 +95,21 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_decoder_argument(
+    parser: argparse.ArgumentParser, default: str = "lut"
+) -> None:
+    """The registry decoder selector (``--decoder name[:k=v,...]``)."""
+    parser.add_argument(
+        "--decoder",
+        default=default,
+        metavar="NAME[:KEY=VALUE,...]",
+        help="registry decoder to decode with (see 'repro decoders' "
+        f"for the catalogue); default {default!r}.  Builder "
+        "parameters ride after a colon, e.g. "
+        "'unionfind:time_weight=2'",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     """The shot-sharded parallel runner's flags (ler and sweep)."""
     parser.add_argument(
@@ -190,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         "runner is used without --batch (loop mode)",
     )
     _add_engine_argument(ler)
+    _add_decoder_argument(ler)
     _add_parallel_arguments(ler)
 
     sweep = add_parser(
@@ -220,13 +236,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--per-shot-decoder",
         action="store_true",
-        help="in --batch mode, decode with the per-shot reference "
-        "engine instead of the array-native batched decoder "
-        "(bit-identical results, for validation/benchmarking; "
-        "incompatible with --workers)",
+        help="deprecated spelling of --decoder per-shot-lut: in "
+        "--batch mode, decode with the per-shot reference engine "
+        "instead of the array-native batched decoder (bit-identical "
+        "results, for validation/benchmarking; incompatible with "
+        "--workers)",
     )
     _add_engine_argument(sweep)
+    _add_decoder_argument(sweep)
     _add_parallel_arguments(sweep)
+
+    add_parser(
+        "decoders",
+        help="list the registered decoders (names, aliases, "
+        "capabilities, parameters)",
+    )
 
     add_parser(
         "census", help="Pauli-gate census of the workloads (section 3.3)"
@@ -251,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     distance.add_argument("--trials", type=int, default=1500)
     distance.add_argument("--seed", type=int, default=0)
+    _add_decoder_argument(distance, default="mwpm")
 
     phenom = add_parser(
         "phenomenological",
@@ -264,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     phenom.add_argument("--trials", type=int, default=400)
     phenom.add_argument("--seed", type=int, default=0)
+    _add_decoder_argument(phenom, default="mwpm")
 
     memory = add_parser(
         "memory",
@@ -275,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     memory.add_argument("--per", type=float, default=1e-3)
     memory.add_argument("--trials", type=int, default=200)
     memory.add_argument("--seed", type=int, default=0)
+    _add_decoder_argument(memory, default="mwpm")
 
     inject = add_parser(
         "inject", help="logical state injection demo (future work)"
@@ -373,6 +400,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=".repro-spool",
         help="directory for the job journal, per-job checkpoints "
         "and trace files (default .repro-spool)",
+    )
+    serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict finished jobs older than this at boot and "
+        "compact the journal (default: keep forever)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N jobs across restarts, evicting the "
+        "oldest finished ones at boot (default: unbounded)",
     )
     serve.add_argument(
         "--self-test",
@@ -490,13 +533,53 @@ def _require_batch_for_engine(args) -> bool:
     return True
 
 
+def _parse_decoder(args, default: str = "lut"):
+    """Parse ``--decoder NAME[:k=v,...]`` into ``(name, params)``.
+
+    Returns ``None`` (after printing to stderr) on an unknown decoder
+    or malformed parameter list — callers translate that into exit
+    code 2.  Batch-only subcommands additionally refuse a non-default
+    decoder without ``--batch``, since the per-shot tableau loop has a
+    fixed decoder.
+    """
+    from .decoders.registry import (
+        UnknownDecoderError,
+        parse_decoder_arg,
+        resolve_decoder_name,
+    )
+
+    try:
+        name, params = parse_decoder_arg(args.decoder)
+        name = resolve_decoder_name(name)
+    except (UnknownDecoderError, ValueError) as error:
+        print(f"--decoder: {error}", file=sys.stderr)
+        return None
+    if (
+        hasattr(args, "batch")
+        and args.batch is None
+        and (name != default or params)
+    ):
+        print(
+            "--decoder applies to the batched sampler only; "
+            "add --batch WINDOWS/SHOTS to use it",
+            file=sys.stderr,
+        )
+        return None
+    return name, params
+
+
 def cmd_ler(args) -> int:
     from .cli_format import render_ler
     from .experiments.results import ArmReport, LerReport
 
     if not _require_batch_for_engine(args):
         return 2
+    decoder = _parse_decoder(args)
+    if decoder is None:
+        return 2
+    decoder_name, decoder_params = decoder
     if args.workers is not None or args.batch is not None:
+        from .decoders.registry import format_decoder_arg
         from .experiments.parallel import run_parallel_point
 
         parallel = run_parallel_point(
@@ -508,6 +591,8 @@ def cmd_ler(args) -> int:
             config=_parallel_config(args),
             max_logical_errors=args.errors,
             engine=args.engine,
+            decoder=decoder_name,
+            decoder_params=decoder_params,
         )
         report = LerReport(
             physical_error_rate=args.per,
@@ -521,6 +606,11 @@ def cmd_ler(args) -> int:
             committed_shards=parallel.committed_shards,
             executed_shards=parallel.executed_shards,
             resumed_shards=parallel.resumed_shards,
+            decoder=(
+                format_decoder_arg(decoder_name, decoder_params)
+                if args.batch is not None
+                else None
+            ),
         )
     else:
         from .experiments.ler import LerExperiment
@@ -564,13 +654,27 @@ def cmd_sweep(args) -> int:
 
     if not _require_batch_for_engine(args):
         return 2
+    if args.per_shot_decoder:
+        if args.decoder != "lut":
+            print(
+                "--per-shot-decoder and --decoder are mutually "
+                "exclusive (the former is a deprecated spelling of "
+                "--decoder per-shot-lut)",
+                file=sys.stderr,
+            )
+            return 2
+        args.decoder = "per-shot-lut"
+    decoder = _parse_decoder(args)
+    if decoder is None:
+        return 2
+    decoder_name, decoder_params = decoder
     if args.workers is not None:
         from .experiments.parallel import run_parallel_sweep
 
-        if args.per_shot_decoder:
+        if decoder_name == "per-shot-lut":
             print(
-                "--per-shot-decoder applies to the in-process batch "
-                "path only; drop --workers to use it",
+                "the per-shot reference decoder applies to the "
+                "in-process batch path only; drop --workers to use it",
                 file=sys.stderr,
             )
             return 2
@@ -583,6 +687,8 @@ def cmd_sweep(args) -> int:
             config=_parallel_config(args),
             max_logical_errors=args.errors,
             engine=args.engine,
+            decoder=decoder_name,
+            decoder_params=decoder_params,
         )
         sweep = parallel.sweep
         arms = []
@@ -610,12 +716,13 @@ def cmd_sweep(args) -> int:
             max_logical_errors=args.errors,
             seed=args.seed,
             batch_windows=args.batch,
-            decoder_impl=(
-                "per-shot" if args.per_shot_decoder else "batched"
-            ),
+            decoder_impl=decoder_name,
             engine=args.engine,
+            decoder_params=decoder_params,
         )
         extra = {}
+    from .decoders.registry import format_decoder_arg
+
     comparisons = [point.comparison for point in sweep.points]
     report = SweepReport(
         error_kind=args.kind,
@@ -623,9 +730,26 @@ def cmd_sweep(args) -> int:
         mean_rho=mean_rho(comparisons),
         significant_fraction=significant_fraction(comparisons),
         sweep=sweep,
+        decoder=(
+            format_decoder_arg(decoder_name, decoder_params)
+            if args.batch is not None
+            else None
+        ),
         **extra,
     )
     _emit(args, report, lambda: render_sweep(report, plot=args.plot))
+    return 0
+
+
+def cmd_decoders(args) -> int:
+    from .cli_format import render_decoders
+    from .decoders.registry import list_decoders
+    from .experiments.results import DecodersReport
+
+    report = DecodersReport(
+        decoders=[spec.describe() for spec in list_decoders()]
+    )
+    _emit(args, report, lambda: render_decoders(report))
     return 0
 
 
@@ -715,11 +839,16 @@ def cmd_distance(args) -> int:
     from .experiments.distance import run_distance_scaling
     from .experiments.results import DistanceReport
 
+    decoder = _parse_decoder(args, default="mwpm")
+    if decoder is None:
+        return 2
     results = run_distance_scaling(
         distances=args.distances,
         per_values=args.per,
         trials=args.trials,
         seed=args.seed,
+        decoder=decoder[0],
+        decoder_params=decoder[1],
     )
     report = DistanceReport(
         trials=args.trials,
@@ -747,11 +876,16 @@ def cmd_phenomenological(args) -> int:
     )
     from .experiments.results import PhenomenologicalReport
 
+    decoder = _parse_decoder(args, default="mwpm")
+    if decoder is None:
+        return 2
     results = run_phenomenological_scaling(
         distances=args.distances,
         per_values=args.per,
         trials=args.trials,
         seed=args.seed,
+        decoder=decoder[0],
+        decoder_params=decoder[1],
     )
     report = PhenomenologicalReport(
         trials=args.trials,
@@ -778,11 +912,16 @@ def cmd_memory(args) -> int:
     from .experiments.memory import run_block_scaling
     from .experiments.results import MemoryReport
 
+    decoder = _parse_decoder(args, default="mwpm")
+    if decoder is None:
+        return 2
     results = run_block_scaling(
         distances=args.distances,
         physical_error_rate=args.per,
         trials=args.trials,
         seed=args.seed,
+        decoder=decoder[0],
+        decoder_params=decoder[1],
     )
     report = MemoryReport(
         physical_error_rate=args.per,
@@ -942,6 +1081,8 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         job_concurrency=args.job_concurrency,
         spool=args.spool,
+        job_ttl=args.job_ttl,
+        max_jobs=args.max_jobs,
     )
     if args.self_test:
         report = run_self_test(config)
@@ -962,6 +1103,7 @@ _HANDLERS = {
     "verify": cmd_verify,
     "ler": cmd_ler,
     "sweep": cmd_sweep,
+    "decoders": cmd_decoders,
     "census": cmd_census,
     "schedule": cmd_schedule,
     "bound": cmd_bound,

@@ -16,6 +16,7 @@ from .experiments.results import (
     ArmReport,
     BoundReport,
     CircuitReport,
+    DecodersReport,
     DistanceReport,
     InjectReport,
     LerReport,
@@ -161,6 +162,19 @@ def render_bound(report: BoundReport) -> str:
         tuple(row["distance"] for row in report.rows),
         ts_esm=report.ts_esm,
     )
+
+
+def render_decoders(report: DecodersReport) -> str:
+    """The registered-decoder catalogue as a text table."""
+    lines = ["name           capabilities                 aliases"]
+    for row in report.decoders:
+        caps = ",".join(row["capabilities"])
+        aliases = ",".join(row["aliases"]) or "-"
+        lines.append(f"{row['name']:<14} {caps:<28} {aliases}")
+        lines.append(f"    {row['summary']}")
+        if row["params"]:
+            lines.append(f"    params: {', '.join(row['params'])}")
+    return "\n".join(lines)
 
 
 def render_distance(report: DistanceReport) -> str:

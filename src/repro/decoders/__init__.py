@@ -1,8 +1,13 @@
-"""Error-syndrome decoders: LUT-based and matching-based.
+"""Error-syndrome decoders: LUT, matching, union-find, sparse.
 
 Scalar decoders (`LutDecoder`, `WindowedLutDecoder`, ...) decode one
 syndrome at a time; the :mod:`~repro.decoders.batched` layer decodes
-whole shot batches as numpy gathers over process-cached dense tables.
+whole shot batches as numpy gathers over process-cached dense tables;
+:mod:`~repro.decoders.unionfind` and :mod:`~repro.decoders.sparse`
+scale past the dense-table ceiling (d >= 15) over the same
+``(shots, rounds, checks)`` arrays.  All of them register in the
+:mod:`~repro.decoders.registry`, which is how experiments, the CLI
+and the serve fleet select decoders by name.
 """
 
 from .batched import (
@@ -17,6 +22,7 @@ from .batched import (
     pack_syndromes,
     pack_syndromes_words,
     PackedWindowedLutDecoder,
+    PackedWindowedMatchingDecoder,
     unpack_syndromes,
 )
 from .lut import (
@@ -29,7 +35,50 @@ from .lut import (
     unpack_syndrome,
 )
 from .mwpm import MatchingGraph, MwpmDecoder, boundary_qubits_for
+from .registry import (
+    CAP_EXACT,
+    CAP_PACKED_SYNDROMES,
+    CAP_SPACETIME,
+    CAP_SPARSE,
+    CAP_WINDOWED,
+    CapabilityError,
+    DecoderRegistryError,
+    DecoderSpec,
+    DuplicateDecoderError,
+    RegisteredDecoder,
+    UnknownDecoderError,
+    WindowContext,
+    format_decoder_arg,
+    get_decoder,
+    list_decoders,
+    negotiate,
+    parse_decoder_arg,
+    register_decoder,
+    resolve_decoder_name,
+    unregister_decoder,
+)
 from .spacetime import SpaceTimeMatchingDecoder
+from .sparse import (
+    BatchedWindowedSparseMatchingDecoder,
+    PackedWindowedSparseMatchingDecoder,
+    SparseMatchingGraph,
+    SparseMwpmDecoder,
+    SparseSpaceTimeMatchingDecoder,
+    sparse_mwpm_dense_lut,
+)
+from .unionfind import (
+    BatchedWindowedUnionFindDecoder,
+    DecodingGraph,
+    PackedWindowedUnionFindDecoder,
+    SpaceTimeUnionFindDecoder,
+    UnionFindDecoder,
+    build_space_graph,
+    build_space_time_graph,
+    find_roots,
+    grow_clusters,
+    peel_forest,
+    unionfind_dense_lut,
+)
 from .rule_based import (
     SyndromeRound,
     WindowedMatchingDecoder,
@@ -59,6 +108,7 @@ __all__ = [
     "BatchedWindowedLutDecoder",
     "BatchedWindowedMatchingDecoder",
     "PackedWindowedLutDecoder",
+    "PackedWindowedMatchingDecoder",
     "pack_syndromes_words",
     "build_dense_lut",
     "dense_lut",
@@ -67,4 +117,44 @@ __all__ = [
     "unpack_syndromes",
     "clear_lut_cache",
     "lut_cache_size",
+    # union-find
+    "DecodingGraph",
+    "build_space_graph",
+    "build_space_time_graph",
+    "find_roots",
+    "grow_clusters",
+    "peel_forest",
+    "UnionFindDecoder",
+    "SpaceTimeUnionFindDecoder",
+    "unionfind_dense_lut",
+    "BatchedWindowedUnionFindDecoder",
+    "PackedWindowedUnionFindDecoder",
+    # sparse matching
+    "SparseMatchingGraph",
+    "SparseMwpmDecoder",
+    "SparseSpaceTimeMatchingDecoder",
+    "sparse_mwpm_dense_lut",
+    "BatchedWindowedSparseMatchingDecoder",
+    "PackedWindowedSparseMatchingDecoder",
+    # registry
+    "CAP_EXACT",
+    "CAP_SPARSE",
+    "CAP_PACKED_SYNDROMES",
+    "CAP_WINDOWED",
+    "CAP_SPACETIME",
+    "DecoderSpec",
+    "RegisteredDecoder",
+    "WindowContext",
+    "DecoderRegistryError",
+    "UnknownDecoderError",
+    "DuplicateDecoderError",
+    "CapabilityError",
+    "register_decoder",
+    "unregister_decoder",
+    "get_decoder",
+    "list_decoders",
+    "resolve_decoder_name",
+    "negotiate",
+    "parse_decoder_arg",
+    "format_decoder_arg",
 ]

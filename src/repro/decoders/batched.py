@@ -493,15 +493,29 @@ class BatchedWindowedMatchingDecoder(BatchedWindowedLutDecoder):
     ----------
     code:
         A :class:`repro.codes.rotated.layout.RotatedSurfaceCode`.
+    x_check_matrix, z_check_matrix:
+        Optional explicit check matrices; default to the code's.  The
+        Surface-17 LER pipeline passes its own (row-permuted) layout
+        matrices while reusing the ``d = 3`` boundary geometry.
     use_majority_vote:
         Same ablation knob as the LUT variant.
     """
 
-    def __init__(self, code, use_majority_vote: bool = True) -> None:
+    def __init__(
+        self,
+        code,
+        x_check_matrix: np.ndarray | None = None,
+        z_check_matrix: np.ndarray | None = None,
+        use_majority_vote: bool = True,
+    ) -> None:
         self._code = code
         super().__init__(
-            code.x_check_matrix,
-            code.z_check_matrix,
+            code.x_check_matrix
+            if x_check_matrix is None
+            else x_check_matrix,
+            code.z_check_matrix
+            if z_check_matrix is None
+            else z_check_matrix,
             use_majority_vote=use_majority_vote,
         )
 
@@ -683,6 +697,47 @@ class PackedWindowedLutDecoder(BatchedWindowedLutDecoder):
         super().reset()
         self._previous_x_words = None
         self._previous_z_words = None
+
+
+class PackedWindowedMatchingDecoder(PackedWindowedLutDecoder):
+    """Word-space windowed decoding over dense MWPM tables.
+
+    The packed counterpart of
+    :class:`BatchedWindowedMatchingDecoder`: syndromes stay as
+    ``uint64`` word planes through the vote and carry-state
+    (:class:`PackedWindowedLutDecoder` machinery) and the Blossom
+    gather table is indexed per shot at the decode.
+    """
+
+    def __init__(
+        self,
+        code,
+        num_shots: int,
+        x_check_matrix: np.ndarray | None = None,
+        z_check_matrix: np.ndarray | None = None,
+        use_majority_vote: bool = True,
+    ) -> None:
+        self._code = code
+        super().__init__(
+            code.x_check_matrix
+            if x_check_matrix is None
+            else x_check_matrix,
+            code.z_check_matrix
+            if z_check_matrix is None
+            else z_check_matrix,
+            num_shots,
+            use_majority_vote=use_majority_vote,
+        )
+
+    def _build_table(
+        self, check_matrix: np.ndarray, species: str
+    ) -> np.ndarray:
+        from .mwpm import boundary_qubits_for
+
+        table, _ = mwpm_dense_lut(
+            check_matrix, boundary_qubits_for(self._code, species)
+        )
+        return table
 
 
 def _vote(rounds: np.ndarray) -> np.ndarray:

@@ -1,0 +1,627 @@
+"""First-class decoder registry: names, capabilities, builders.
+
+Decoder selection used to be stringly typed — ``decoder_impl``
+compared against literals inside :class:`~repro.experiments.ler.
+BatchedLerExperiment`, with each experiment hard-wiring its own
+decoder constructor calls.  This module replaces that with one
+registry:
+
+* every decoder registers a :class:`RegisteredDecoder` — canonical
+  ``name``, one-line ``summary``, a frozenset of **capability flags**
+  and the builder callables for the contexts it supports;
+* consumers call :func:`get_decoder` (legacy names resolve through
+  deprecated aliases, warning once per use, per the PR 3 pattern),
+  then ``spec.build(code, window)`` for the Surface-17 windowed
+  protocol or ``spec.build_space`` / ``spec.build_spacetime`` for the
+  code-capacity and phenomenological scaling experiments;
+* **capability negotiation**: :func:`negotiate` checks a decoder
+  against a stack element's :meth:`~repro.qpdo.core.Core.supports` —
+  a packed core (:data:`~repro.qpdo.core.CAP_PACKED`) requires
+  :data:`CAP_PACKED_SYNDROMES`, mirroring how the packed engine
+  refuses non-Clifford circuits.
+
+Capability flags:
+
+=========================== =======================================
+:data:`CAP_EXACT`            provably minimum-weight / reference-
+                             LUT-identical corrections
+:data:`CAP_SPARSE`           scales past the dense-LUT check-count
+                             ceiling (no ``2^checks`` tables)
+:data:`CAP_PACKED_SYNDROMES` consumable by a packed (word-plane)
+                             engine
+:data:`CAP_WINDOWED`         builds the SC17 windowed protocol form
+:data:`CAP_SPACETIME`        builds space / space-time graph forms
+=========================== =======================================
+
+The CLI surfaces the registry as ``repro decoders`` and accepts
+``--decoder name:key=value,...`` everywhere a decoder can be chosen
+(:func:`parse_decoder_arg`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # pragma: no cover - typing_extensions not required at runtime
+    from typing import Protocol
+except ImportError:  # pragma: no cover - py3.7 fallback
+    Protocol = object  # type: ignore[assignment]
+
+from ..qpdo.core import CAP_PACKED, Core, UnsupportedFeatureError
+
+#: Corrections are provably minimum-weight (or bit-identical to the
+#: reference LUT protocol) — what the golden digests pin.
+CAP_EXACT = "exact"
+#: No dense ``2^checks`` table anywhere: usable at d >= 15.
+CAP_SPARSE = "sparse"
+#: Has a word-plane form the packed engine can drive directly.
+CAP_PACKED_SYNDROMES = "packed-syndromes"
+#: Builds the Surface-17 windowed-protocol decoder.
+CAP_WINDOWED = "windowed"
+#: Builds single-species space / space-time graph decoders.
+CAP_SPACETIME = "spacetime"
+
+
+class DecoderRegistryError(ValueError):
+    """Base error of the decoder registry."""
+
+
+class UnknownDecoderError(DecoderRegistryError):
+    """No decoder (or alias) registered under the requested name."""
+
+
+class DuplicateDecoderError(DecoderRegistryError):
+    """A decoder or alias name was registered twice."""
+
+
+class CapabilityError(DecoderRegistryError):
+    """The decoder cannot be built for the requested context."""
+
+
+@dataclass(frozen=True)
+class WindowContext:
+    """Build context of the Surface-17 windowed protocol.
+
+    Attributes
+    ----------
+    x_check_matrix, z_check_matrix:
+        The protocol's CSS check matrices (possibly a row permutation
+        of the geometry code's — the SC17 layout is).
+    code:
+        The geometry provider for boundary lookups
+        (:func:`~repro.decoders.mwpm.boundary_qubits_for` must accept
+        it); data-qubit labelling must match the check matrices.
+    num_shots:
+        ``None`` for bool-array shots; set when the engine emits
+        packed ``uint64`` word planes (selects the packed decoder
+        form).
+    use_majority_vote:
+        The Tomita–Svore cross-round vote ablation knob.
+    """
+
+    x_check_matrix: Any
+    z_check_matrix: Any
+    code: Any
+    num_shots: Optional[int] = None
+    use_majority_vote: bool = True
+
+
+class DecoderSpec(Protocol):
+    """What a registered decoder exposes (structural protocol)."""
+
+    name: str
+    summary: str
+    capabilities: frozenset
+
+    def build(
+        self, code: Any, window: Optional[WindowContext] = None, **p
+    ) -> Any:
+        """Construct the decoder for a windowed-protocol context."""
+
+
+@dataclass(frozen=True)
+class RegisteredDecoder:
+    """One registry entry: identity, capabilities and builders.
+
+    ``window_builder`` receives the :class:`WindowContext`;
+    ``space_builder`` / ``spacetime_builder`` receive
+    ``(check_matrix, boundary_qubits, **params)``.  Missing builders
+    mean the capability is absent and :class:`CapabilityError` is
+    raised on use.
+    """
+
+    name: str
+    summary: str
+    capabilities: frozenset
+    window_builder: Optional[Callable[..., Any]] = None
+    space_builder: Optional[Callable[..., Any]] = None
+    spacetime_builder: Optional[Callable[..., Any]] = None
+    #: Keyword parameters the graph builders accept (CLI-settable).
+    graph_params: Tuple[str, ...] = ()
+    #: The windowed build returns one *scalar per-shot* decoder that
+    #: the experiment must replicate per shot (the reference arm).
+    per_shot: bool = False
+    aliases: Tuple[str, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        code: Any,
+        window: Optional[WindowContext] = None,
+        **params: Any,
+    ) -> Any:
+        """Build the windowed-protocol decoder.
+
+        ``code`` is the geometry provider; ``window`` carries the
+        protocol context (check matrices, packed shots, vote knob).
+        """
+        if self.window_builder is None:
+            raise CapabilityError(
+                f"decoder {self.name!r} does not support the windowed "
+                f"protocol (capability {CAP_WINDOWED!r} missing)"
+            )
+        if window is None:
+            raise CapabilityError(
+                "windowed build requires a WindowContext"
+            )
+        if params:
+            raise CapabilityError(
+                f"decoder {self.name!r} takes no windowed "
+                f"parameters: {sorted(params)}"
+            )
+        return self.window_builder(code, window)
+
+    def build_space(
+        self,
+        check_matrix: Any,
+        boundary_qubits: Sequence[int],
+        **params: Any,
+    ) -> Any:
+        """Build the single-round (space-graph) decoder."""
+        if self.space_builder is None:
+            raise CapabilityError(
+                f"decoder {self.name!r} does not support graph "
+                f"decoding (capability {CAP_SPACETIME!r} missing)"
+            )
+        self._check_params(params, allow=())
+        return self.space_builder(check_matrix, boundary_qubits)
+
+    def build_spacetime(
+        self,
+        check_matrix: Any,
+        boundary_qubits: Sequence[int],
+        **params: Any,
+    ) -> Any:
+        """Build the space-time (repeated-rounds) decoder."""
+        if self.spacetime_builder is None:
+            raise CapabilityError(
+                f"decoder {self.name!r} does not support space-time "
+                f"decoding (capability {CAP_SPACETIME!r} missing)"
+            )
+        self._check_params(params, allow=self.graph_params)
+        return self.spacetime_builder(
+            check_matrix, boundary_qubits, **params
+        )
+
+    def _check_params(
+        self, params: Dict[str, Any], allow: Tuple[str, ...]
+    ) -> None:
+        unknown = sorted(set(params) - set(allow))
+        if unknown:
+            raise CapabilityError(
+                f"decoder {self.name!r} does not accept "
+                f"parameters {unknown}; known: {sorted(allow)}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready description (the ``repro decoders`` payload)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "capabilities": sorted(self.capabilities),
+            "aliases": list(self.aliases),
+            "params": list(self.graph_params),
+        }
+
+
+_REGISTRY: Dict[str, RegisteredDecoder] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_decoder(
+    spec: RegisteredDecoder, aliases: Sequence[str] = ()
+) -> RegisteredDecoder:
+    """Add ``spec`` to the registry; ``aliases`` resolve with a
+    :class:`DeprecationWarning` (legacy ``decoder_impl`` strings).
+
+    Raises :class:`DuplicateDecoderError` when the name or any alias
+    is already taken.
+    """
+    all_aliases = tuple(spec.aliases) + tuple(aliases)
+    for name in (spec.name, *all_aliases):
+        if name in _REGISTRY or name in _ALIASES:
+            raise DuplicateDecoderError(
+                f"decoder name {name!r} already registered"
+            )
+    spec = RegisteredDecoder(
+        **{**spec.__dict__, "aliases": all_aliases}
+    )
+    _REGISTRY[spec.name] = spec
+    for alias in all_aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def unregister_decoder(name: str) -> None:
+    """Remove a decoder and its aliases (test hygiene helper)."""
+    spec = _REGISTRY.pop(name, None)
+    if spec is None:
+        raise UnknownDecoderError(f"unknown decoder {name!r}")
+    for alias in spec.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def resolve_decoder_name(name: str) -> str:
+    """Canonical name of ``name``; deprecated aliases warn."""
+    if name in _REGISTRY:
+        return name
+    target = _ALIASES.get(name)
+    if target is not None:
+        warnings.warn(
+            f"decoder name {name!r} is deprecated; use "
+            f"{target!r} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return target
+    known = sorted(_REGISTRY) + sorted(_ALIASES)
+    raise UnknownDecoderError(
+        f"unknown decoder {name!r}; registered: {known}"
+    )
+
+
+def get_decoder(name: str) -> RegisteredDecoder:
+    """The :class:`RegisteredDecoder` under ``name`` (or alias)."""
+    return _REGISTRY[resolve_decoder_name(name)]
+
+
+def list_decoders() -> List[RegisteredDecoder]:
+    """All registered decoders, sorted by canonical name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def negotiate(
+    spec: RegisteredDecoder, core: Optional[Core] = None
+) -> RegisteredDecoder:
+    """Refuse decoder/engine pairings the capabilities rule out.
+
+    A core advertising :data:`~repro.qpdo.core.CAP_PACKED` emits
+    word-plane syndromes, so the decoder must carry
+    :data:`CAP_PACKED_SYNDROMES`.  Returns ``spec`` for chaining.
+    """
+    if (
+        core is not None
+        and core.supports(CAP_PACKED)
+        and CAP_PACKED_SYNDROMES not in spec.capabilities
+    ):
+        raise UnsupportedFeatureError(
+            f"decoder {spec.name!r} cannot consume the packed "
+            f"engine's word-plane syndromes (capability "
+            f"{CAP_PACKED_SYNDROMES!r} missing)"
+        )
+    return spec
+
+
+def parse_decoder_arg(value: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse a ``--decoder name[:key=value,...]`` CLI argument.
+
+    Values coerce to ``int`` / ``float`` / ``bool`` when they look
+    like one, else stay strings.  The name may be a deprecated alias
+    (resolution — and its warning — happens at :func:`get_decoder`
+    time, not here).
+    """
+    name, _, tail = value.partition(":")
+    name = name.strip()
+    if not name:
+        raise DecoderRegistryError(
+            f"empty decoder name in {value!r}"
+        )
+    params: Dict[str, Any] = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise DecoderRegistryError(
+                    f"malformed decoder parameter {item!r} "
+                    f"(expected key=value)"
+                )
+            params[key] = _coerce(raw.strip())
+    return name, params
+
+
+def format_decoder_arg(
+    name: str, params: Optional[Dict[str, Any]] = None
+) -> str:
+    """Inverse of :func:`parse_decoder_arg` (result echoing)."""
+    if not params:
+        return name
+    tail = ",".join(
+        f"{key}={params[key]}" for key in sorted(params)
+    )
+    return f"{name}:{tail}"
+
+
+def _coerce(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+# ----------------------------------------------------------------------
+# Built-in decoders
+# ----------------------------------------------------------------------
+def _window_matrices(window: WindowContext) -> Tuple[Any, Any]:
+    return window.x_check_matrix, window.z_check_matrix
+
+
+def _build_lut_window(code: Any, window: WindowContext) -> Any:
+    from .batched import (
+        BatchedWindowedLutDecoder,
+        PackedWindowedLutDecoder,
+    )
+
+    x_check, z_check = _window_matrices(window)
+    if window.num_shots is not None:
+        return PackedWindowedLutDecoder(
+            x_check,
+            z_check,
+            num_shots=window.num_shots,
+            use_majority_vote=window.use_majority_vote,
+        )
+    return BatchedWindowedLutDecoder(
+        x_check,
+        z_check,
+        use_majority_vote=window.use_majority_vote,
+    )
+
+
+def _build_per_shot_lut_window(
+    code: Any, window: WindowContext
+) -> Any:
+    from .rule_based import WindowedLutDecoder
+
+    x_check, z_check = _window_matrices(window)
+    return WindowedLutDecoder(
+        x_check,
+        z_check,
+        use_majority_vote=window.use_majority_vote,
+    )
+
+
+def _build_mwpm_window(code: Any, window: WindowContext) -> Any:
+    from .batched import (
+        BatchedWindowedMatchingDecoder,
+        PackedWindowedMatchingDecoder,
+    )
+
+    x_check, z_check = _window_matrices(window)
+    if window.num_shots is not None:
+        return PackedWindowedMatchingDecoder(
+            window.code,
+            num_shots=window.num_shots,
+            x_check_matrix=x_check,
+            z_check_matrix=z_check,
+            use_majority_vote=window.use_majority_vote,
+        )
+    return BatchedWindowedMatchingDecoder(
+        window.code,
+        x_check_matrix=x_check,
+        z_check_matrix=z_check,
+        use_majority_vote=window.use_majority_vote,
+    )
+
+
+def _build_unionfind_window(code: Any, window: WindowContext) -> Any:
+    from .unionfind import (
+        BatchedWindowedUnionFindDecoder,
+        PackedWindowedUnionFindDecoder,
+    )
+
+    x_check, z_check = _window_matrices(window)
+    if window.num_shots is not None:
+        return PackedWindowedUnionFindDecoder(
+            window.code,
+            num_shots=window.num_shots,
+            x_check_matrix=x_check,
+            z_check_matrix=z_check,
+            use_majority_vote=window.use_majority_vote,
+        )
+    return BatchedWindowedUnionFindDecoder(
+        window.code,
+        x_check_matrix=x_check,
+        z_check_matrix=z_check,
+        use_majority_vote=window.use_majority_vote,
+    )
+
+
+def _build_sparse_window(code: Any, window: WindowContext) -> Any:
+    from .sparse import (
+        BatchedWindowedSparseMatchingDecoder,
+        PackedWindowedSparseMatchingDecoder,
+    )
+
+    x_check, z_check = _window_matrices(window)
+    if window.num_shots is not None:
+        return PackedWindowedSparseMatchingDecoder(
+            window.code,
+            num_shots=window.num_shots,
+            x_check_matrix=x_check,
+            z_check_matrix=z_check,
+            use_majority_vote=window.use_majority_vote,
+        )
+    return BatchedWindowedSparseMatchingDecoder(
+        window.code,
+        x_check_matrix=x_check,
+        z_check_matrix=z_check,
+        use_majority_vote=window.use_majority_vote,
+    )
+
+
+def _space_mwpm(check: Any, boundary: Sequence[int]) -> Any:
+    from .mwpm import MwpmDecoder
+
+    return MwpmDecoder(check, boundary)
+
+
+def _spacetime_mwpm(
+    check: Any, boundary: Sequence[int], **params: Any
+) -> Any:
+    from .spacetime import SpaceTimeMatchingDecoder
+
+    return SpaceTimeMatchingDecoder(check, boundary, **params)
+
+
+def _space_unionfind(check: Any, boundary: Sequence[int]) -> Any:
+    from .unionfind import UnionFindDecoder
+
+    return UnionFindDecoder(check, boundary)
+
+
+def _spacetime_unionfind(
+    check: Any, boundary: Sequence[int], **params: Any
+) -> Any:
+    from .unionfind import SpaceTimeUnionFindDecoder
+
+    return SpaceTimeUnionFindDecoder(check, boundary, **params)
+
+
+def _space_sparse(check: Any, boundary: Sequence[int]) -> Any:
+    from .sparse import SparseMwpmDecoder
+
+    return SparseMwpmDecoder(check, boundary)
+
+
+def _spacetime_sparse(
+    check: Any, boundary: Sequence[int], **params: Any
+) -> Any:
+    from .sparse import SparseSpaceTimeMatchingDecoder
+
+    return SparseSpaceTimeMatchingDecoder(check, boundary, **params)
+
+
+def _register_builtins() -> None:
+    register_decoder(
+        RegisteredDecoder(
+            name="lut",
+            summary=(
+                "dense minimum-weight lookup tables, batched "
+                "gather decoding (exact, SC17-sized codes)"
+            ),
+            capabilities=frozenset(
+                (CAP_EXACT, CAP_WINDOWED, CAP_PACKED_SYNDROMES)
+            ),
+            window_builder=_build_lut_window,
+        ),
+        aliases=("batched",),
+    )
+    register_decoder(
+        RegisteredDecoder(
+            name="per-shot-lut",
+            summary=(
+                "one scalar windowed LUT decoder per shot (the "
+                "bit-identical reference arm)"
+            ),
+            capabilities=frozenset(
+                (CAP_EXACT, CAP_WINDOWED, CAP_PACKED_SYNDROMES)
+            ),
+            window_builder=_build_per_shot_lut_window,
+            per_shot=True,
+        ),
+        aliases=("per-shot",),
+    )
+    register_decoder(
+        RegisteredDecoder(
+            name="mwpm",
+            summary=(
+                "exact Blossom minimum-weight perfect matching "
+                "(networkx; windowed tables + space-time graphs)"
+            ),
+            capabilities=frozenset(
+                (
+                    CAP_EXACT,
+                    CAP_WINDOWED,
+                    CAP_SPACETIME,
+                    CAP_PACKED_SYNDROMES,
+                )
+            ),
+            window_builder=_build_mwpm_window,
+            space_builder=_space_mwpm,
+            spacetime_builder=_spacetime_mwpm,
+            graph_params=("time_weight",),
+        )
+    )
+    register_decoder(
+        RegisteredDecoder(
+            name="unionfind",
+            summary=(
+                "array-native union-find (cluster growth + "
+                "peeling); almost-linear, scales to d >= 15"
+            ),
+            capabilities=frozenset(
+                (
+                    CAP_SPARSE,
+                    CAP_WINDOWED,
+                    CAP_SPACETIME,
+                    CAP_PACKED_SYNDROMES,
+                )
+            ),
+            window_builder=_build_unionfind_window,
+            space_builder=_space_unionfind,
+            spacetime_builder=_spacetime_unionfind,
+            graph_params=("time_weight",),
+        )
+    )
+    register_decoder(
+        RegisteredDecoder(
+            name="sparse-mwpm",
+            summary=(
+                "sparse local matching: csgraph shortest paths + "
+                "exact subset-DP pairing (greedy past 16 defects)"
+            ),
+            capabilities=frozenset(
+                (
+                    CAP_SPARSE,
+                    CAP_WINDOWED,
+                    CAP_SPACETIME,
+                    CAP_PACKED_SYNDROMES,
+                )
+            ),
+            window_builder=_build_sparse_window,
+            space_builder=_space_sparse,
+            spacetime_builder=_spacetime_sparse,
+            graph_params=("time_weight",),
+        )
+    )
+
+
+_register_builtins()

@@ -40,10 +40,6 @@ from ..codes.surface17.layout import (
     Z_CHECK_MATRIX,
     Z_LOGICAL_SUPPORT,
 )
-from ..decoders.batched import (
-    BatchedWindowedLutDecoder,
-    PackedWindowedLutDecoder,
-)
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
 from ..qpdo.batched_core import BatchedStabilizerCore
@@ -395,6 +391,9 @@ class LerExperiment:
             frame_statistics=frame_stats,
             counts_above=self.stack.counter_above.counts.snapshot(),
             counts_below=self.stack.counter_below.counts.snapshot(),
+            # The Listing 5.7 loop decodes each shot with one scalar
+            # windowed LUT decoder -- "per-shot-lut" in registry terms.
+            decoder="per-shot-lut",
         )
 
 
@@ -475,17 +474,25 @@ class BatchedLerExperiment:
     reaches hardware, so its slot is charged depolarizing noise on the
     shots that commanded corrections.
 
-    ``decoder_impl`` picks the decoding engine.  ``"batched"`` (the
-    default) decodes every shot at once through the array-native
+    ``decoder_impl`` names a decoder from the registry
+    (:mod:`repro.decoders.registry`).  ``"lut"`` (the default)
+    decodes every shot at once through the array-native
     :class:`~repro.decoders.batched.BatchedWindowedLutDecoder` —
     majority vote, LUT gather and carry-state as numpy operations over
     the shot axis, with the dense tables shared process-wide.
-    ``"per-shot"`` keeps one scalar
+    ``"mwpm"``, ``"unionfind"`` and ``"sparse-mwpm"`` swap the gather
+    tables for ones filled by Blossom matching, union-find growth +
+    peeling, and sparse local matching respectively (same windowed
+    protocol, different decoding principle).  ``"per-shot-lut"``
+    keeps one scalar
     :class:`~repro.decoders.rule_based.WindowedLutDecoder` per shot;
     it exists as the reference arm of the bit-identical equivalence
     gate (``tests/test_batched_ler_equivalence.py``, benchmark E21) —
     both engines produce the same :class:`BatchCounts` for the same
-    seed, bit for bit.
+    seed, bit for bit.  The legacy names ``"batched"`` and
+    ``"per-shot"`` still resolve, with a :class:`DeprecationWarning`.
+    ``decoder_params`` passes registry build parameters (the parsed
+    tail of a ``--decoder name:key=value`` CLI argument).
 
     ``engine`` picks the simulation core:
 
@@ -525,18 +532,18 @@ class BatchedLerExperiment:
         init_rounds: int = DEFAULT_INIT_ROUNDS,
         use_majority_vote: bool = True,
         preflight: bool = False,
-        decoder_impl: str = "batched",
+        decoder_impl: str = "lut",
         engine: str = "framesim",
         reference_cache: bool = True,
+        decoder_params: Optional[dict] = None,
     ) -> None:
+        from ..decoders.registry import get_decoder
+
         if error_kind not in ("x", "z"):
             raise ValueError("error_kind must be 'x' or 'z'")
         if num_shots < 1:
             raise ValueError("num_shots must be positive")
-        if decoder_impl not in ("batched", "per-shot"):
-            raise ValueError(
-                "decoder_impl must be 'batched' or 'per-shot'"
-            )
+        decoder_spec = get_decoder(decoder_impl)
         if engine not in ("framesim", "packed", "packed-fast"):
             raise ValueError(
                 "engine must be 'framesim', 'packed' or 'packed-fast'"
@@ -548,7 +555,8 @@ class BatchedLerExperiment:
         self.windows = int(windows)
         self.rounds_per_window = int(rounds_per_window)
         self.init_rounds = int(init_rounds)
-        self.decoder_impl = decoder_impl
+        self.decoder_impl = decoder_spec.name
+        self.decoder_params = dict(decoder_params or {})
         self.engine = engine
         self._packed = engine != "framesim"
         noise = NoiseParameters(
@@ -587,31 +595,38 @@ class BatchedLerExperiment:
                 reference_key=reference_key,
             )
         self.core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla
-        if decoder_impl == "batched":
-            if self._packed:
-                self.decoder = PackedWindowedLutDecoder(
-                    X_CHECK_MATRIX,
-                    Z_CHECK_MATRIX,
-                    num_shots=self.num_shots,
-                    use_majority_vote=use_majority_vote,
-                )
-            else:
-                self.decoder = BatchedWindowedLutDecoder(
-                    X_CHECK_MATRIX,
-                    Z_CHECK_MATRIX,
-                    use_majority_vote=use_majority_vote,
-                )
-            self.decoders = None
-        else:
+        # Capability negotiation + registry-driven construction: the
+        # packed cores advertise CAP_PACKED, so only decoders carrying
+        # CAP_PACKED_SYNDROMES pass; the WindowContext carries the
+        # SC17 check matrices plus the d=3 rotated geometry (the SC17
+        # layout is a row permutation of it, identical data labels)
+        # for the matching/union-find boundary lookups.
+        from ..codes.rotated.layout import RotatedSurfaceCode
+        from ..decoders.registry import WindowContext, negotiate
+
+        negotiate(decoder_spec, core=self.core)
+        window = WindowContext(
+            X_CHECK_MATRIX,
+            Z_CHECK_MATRIX,
+            code=RotatedSurfaceCode(3),
+            num_shots=self.num_shots
+            if (self._packed and not decoder_spec.per_shot)
+            else None,
+            use_majority_vote=use_majority_vote,
+        )
+        if decoder_spec.per_shot:
             self.decoder = None
             self.decoders = [
-                WindowedLutDecoder(
-                    X_CHECK_MATRIX,
-                    Z_CHECK_MATRIX,
-                    use_majority_vote=use_majority_vote,
+                decoder_spec.build(
+                    window.code, window, **self.decoder_params
                 )
                 for _ in range(self.num_shots)
             ]
+        else:
+            self.decoder = decoder_spec.build(
+                window.code, window, **self.decoder_params
+            )
+            self.decoders = None
         self.qubit_map = list(range(NUM_QUBITS))
         self.probe_ancilla = NUM_QUBITS
         self.preflight_analyses = (
@@ -825,7 +840,15 @@ class BatchedLerExperiment:
     # ------------------------------------------------------------------
     def run(self) -> List[RunResult]:
         """Run all shots; one :class:`RunResult` per shot."""
-        return self.run_counts().to_results()
+        from ..decoders.registry import format_decoder_arg
+
+        results = self.run_counts().to_results()
+        label = format_decoder_arg(
+            self.decoder_impl, self.decoder_params
+        )
+        for result in results:
+            result.decoder = label
+        return results
 
     def run_counts(self) -> BatchCounts:
         """Run all shots; per-shot count arrays.
@@ -908,8 +931,9 @@ def run_ler_point(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
-    decoder_impl: str = "batched",
+    decoder_impl: str = "lut",
     engine: str = "framesim",
+    decoder_params: Optional[dict] = None,
 ) -> List[RunResult]:
     """Repeat the experiment ``samples`` times with distinct seeds.
 
@@ -937,6 +961,7 @@ def run_ler_point(
             seed=seed,
             decoder_impl=decoder_impl,
             engine=engine,
+            decoder_params=decoder_params,
         )
         return experiment.run()
     results = []

@@ -113,6 +113,14 @@ class ShardSpec:
     #: "packed-fast").  "framesim" and "packed" consume the same RNG
     #: stream, so their records are interchangeable bit for bit.
     engine: str = "framesim"
+    #: Registry decoder of batch-mode shards (canonical name; see
+    #: :mod:`repro.decoders.registry`).  Decoding consumes no RNG, so
+    #: the shard stream is decoder-independent — but the *records* are
+    #: not (corrections differ), so the decoder is pinned per shard.
+    decoder: str = "lut"
+    #: Decoder builder keyword arguments as sorted ``(key, value)``
+    #: pairs (a tuple keeps the spec hashable and frozen).
+    decoder_params: Tuple = ()
 
     @property
     def key(self) -> Tuple[int, bool, int]:
@@ -138,6 +146,8 @@ def plan_shards(
     max_logical_errors: int = 50,
     max_windows: int = 2_000_000,
     engine: str = "framesim",
+    decoder: str = "lut",
+    decoder_params: Optional[Dict] = None,
 ) -> List[ShardSpec]:
     """The full deterministic shard schedule of a sweep.
 
@@ -145,9 +155,12 @@ def plan_shards(
     shards; the last shard takes the remainder.  ``windows`` selects
     batch mode (fixed windows per shot); ``None`` selects the per-shot
     tableau loop terminated at ``max_logical_errors``.  ``engine``
-    selects the batch-mode simulation core (the loop mode has no
-    batched core and accepts only ``"framesim"``).
+    selects the batch-mode simulation core and ``decoder`` the
+    registry decoder (the loop mode has neither a batched core nor
+    decoder selection and accepts only the defaults).
     """
+    from ..decoders.registry import resolve_decoder_name
+
     if shots < 1:
         raise ValueError("shots must be positive")
     if shard_shots < 1:
@@ -156,6 +169,8 @@ def plan_shards(
         raise ValueError(
             "engine must be 'framesim', 'packed' or 'packed-fast'"
         )
+    decoder = resolve_decoder_name(decoder)
+    params = tuple(sorted((decoder_params or {}).items()))
     mode = "batch" if windows is not None else "loop"
     if mode == "batch" and windows < 1:
         raise ValueError("windows must be positive in batch mode")
@@ -163,6 +178,11 @@ def plan_shards(
         raise ValueError(
             "the per-shot loop mode has no batched core; "
             "engine selection requires batch mode (windows set)"
+        )
+    if mode == "loop" and (decoder != "lut" or params):
+        raise ValueError(
+            "the per-shot loop mode has a fixed decoder; "
+            "decoder selection requires batch mode (windows set)"
         )
     specs: List[ShardSpec] = []
     num_shards = math.ceil(shots / shard_shots)
@@ -188,6 +208,8 @@ def plan_shards(
                         max_windows=int(max_windows),
                         arm_seed=arm_seed,
                         engine=engine,
+                        decoder=decoder,
+                        decoder_params=params,
                     )
                 )
     return specs
@@ -229,6 +251,8 @@ def _run_shard(spec: ShardSpec) -> ShardResult:
             windows=spec.windows,
             seed=spec.shard_seed,
             engine=spec.engine,
+            decoder_impl=spec.decoder,
+            decoder_params=dict(spec.decoder_params),
         ).run_counts()
         return ShardResult(
             point_index=spec.point_index,
@@ -531,6 +555,8 @@ def _checkpoint_config(
     max_logical_errors: int,
     max_windows: int,
     engine: str = "framesim",
+    decoder: str = "lut",
+    decoder_params: Optional[Dict] = None,
 ) -> Dict:
     """The result-affecting configuration pinned in the header.
 
@@ -540,9 +566,16 @@ def _checkpoint_config(
     pinned as its *RNG stream* rather than its name: ``framesim`` and
     ``packed`` draw identical streams (records are interchangeable bit
     for bit), so a sweep checkpointed under one may resume under the
-    other; ``packed-fast`` draws a different stream and may not.
+    other; ``packed-fast`` draws a different stream and may not.  The
+    decoder is pinned only when it is not the historical default
+    (``lut``, no params), so pre-registry checkpoints keep resuming.
     """
-    return {
+    from ..decoders.registry import (
+        format_decoder_arg,
+        resolve_decoder_name,
+    )
+
+    config = {
         "per_values": [float(p) for p in per_values],
         "error_kind": error_kind,
         "shots": int(shots),
@@ -553,6 +586,11 @@ def _checkpoint_config(
         "max_windows": int(max_windows),
         "rng_stream": "fast" if engine == "packed-fast" else "exact",
     }
+    decoder = resolve_decoder_name(decoder)
+    params = dict(decoder_params or {})
+    if decoder != "lut" or params:
+        config["decoder"] = format_decoder_arg(decoder, params)
+    return config
 
 
 def _pool_context() -> mp.context.BaseContext:
@@ -665,6 +703,8 @@ def run_parallel_sweep(
     max_windows: int = 2_000_000,
     engine: str = "framesim",
     pool: Optional[ProcessPoolExecutor] = None,
+    decoder: str = "lut",
+    decoder_params: Optional[Dict] = None,
 ) -> ParallelSweepReport:
     """Run a full with/without-frame PER sweep, shot-sharded.
 
@@ -692,6 +732,10 @@ def run_parallel_sweep(
         Optional long-lived executor to run shards on instead of a
         per-sweep pool; it is left running afterwards (warm caches).
         ``config.workers`` is ignored when a pool is supplied.
+    decoder:
+        Registry decoder of batch-mode shards
+        (:mod:`repro.decoders.registry`); ``decoder_params`` forwards
+        keyword arguments to its builder.
 
     Returns a :class:`ParallelSweepReport` whose ``sweep`` is the same
     :class:`~repro.experiments.results.SweepResult` structure the
@@ -707,6 +751,8 @@ def run_parallel_sweep(
         max_logical_errors=max_logical_errors,
         max_windows=max_windows,
         engine=engine,
+        decoder=decoder,
+        decoder_params=decoder_params,
     )
     num_shards = math.ceil(shots / config.shard_shots)
     target = config.target_ci
@@ -729,6 +775,8 @@ def run_parallel_sweep(
         max_logical_errors,
         max_windows,
         engine=engine,
+        decoder=decoder,
+        decoder_params=decoder_params,
     )
 
     resumed = 0
@@ -819,12 +867,28 @@ def run_parallel_sweep(
         if writer is not None:
             writer.close()
 
+    from ..decoders.registry import (
+        format_decoder_arg,
+        resolve_decoder_name,
+    )
+
+    decoder_label = (
+        format_decoder_arg(
+            resolve_decoder_name(decoder), decoder_params or {}
+        )
+        if windows is not None
+        else None
+    )
     sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
         without = aggregators[(index, False)].results()
         with_frame = aggregators[(index, True)].results()
+        for result in without + with_frame:
+            result.decoder = decoder_label
         sweep.points.append(
-            build_sweep_point(float(per), without, with_frame)
+            build_sweep_point(
+                float(per), without, with_frame, decoder=decoder_label
+            )
         )
     return ParallelSweepReport(
         sweep=sweep,
@@ -846,6 +910,8 @@ def run_parallel_point(
     max_windows: int = 2_000_000,
     engine: str = "framesim",
     pool: Optional[ProcessPoolExecutor] = None,
+    decoder: str = "lut",
+    decoder_params: Optional[Dict] = None,
 ) -> ParallelSweepReport:
     """One-point convenience wrapper around :func:`run_parallel_sweep`."""
     return run_parallel_sweep(
@@ -859,6 +925,8 @@ def run_parallel_point(
         max_windows=max_windows,
         engine=engine,
         pool=pool,
+        decoder=decoder,
+        decoder_params=decoder_params,
     )
 
 

@@ -23,7 +23,6 @@ import numpy as np
 
 from ..codes.rotated.layout import RotatedSurfaceCode
 from ..decoders.mwpm import boundary_qubits_for
-from ..decoders.spacetime import SpaceTimeMatchingDecoder
 
 
 @dataclass
@@ -45,29 +44,49 @@ class PhenomenologicalResult:
 
 
 class PhenomenologicalSimulator:
-    """Monte-Carlo engine: d noisy rounds + 1 reliable round per trial."""
+    """Monte-Carlo engine: d noisy rounds + 1 reliable round per trial.
 
-    def __init__(self, distance: int, time_weight: float = 1.0):
+    ``decoder`` names a space-time-capable registry decoder
+    (:mod:`repro.decoders.registry`): ``"mwpm"`` (default, Blossom —
+    the historic behaviour, bit-for-bit), ``"unionfind"`` or
+    ``"sparse-mwpm"``.  Decoders exposing ``decode_batch`` decode all
+    of a Monte-Carlo batch's histories at once (with identical-
+    syndrome dedupe) — this is what makes d >= 15 sweeps tractable;
+    the RNG draw order is the same either way, so a given
+    ``(seed, decoder)`` pair reproduces bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        distance: int,
+        time_weight: float = 1.0,
+        decoder: str = "mwpm",
+        decoder_params: Optional[dict] = None,
+    ):
+        from ..decoders.registry import get_decoder
+
         self.code = RotatedSurfaceCode(distance)
-        self.decoder = SpaceTimeMatchingDecoder(
+        spec = get_decoder(decoder)
+        self.decoder_name = spec.name
+        self.decoder_params = dict(decoder_params or {})
+        self.decoder = spec.build_spacetime(
             self.code.z_check_matrix,
             boundary_qubits_for(self.code, "z"),
             time_weight=time_weight,
+            **self.decoder_params,
         )
         self._z_logical_mask = np.zeros(self.code.num_data, dtype=bool)
         for qubit in self.code.logical_z_support():
             self._z_logical_mask[qubit] = True
 
-    def run_trial(
+    def _sample_trial(
         self,
         data_error_rate: float,
         measurement_error_rate: float,
         rng: np.random.Generator,
-        rounds: Optional[int] = None,
-    ) -> bool:
-        """One cycle; returns ``True`` on a logical X error."""
-        if rounds is None:
-            rounds = self.code.distance
+        rounds: int,
+    ) -> tuple:
+        """Draw one trial's syndrome history and cumulative error."""
         num_data = self.code.num_data
         z_matrix = self.code.z_check_matrix
         cumulative = np.zeros(num_data, dtype=np.uint8)
@@ -85,11 +104,31 @@ class PhenomenologicalSimulator:
         # Final reliable round (transversal readout re-derives exact
         # parities from the measured data bits).
         history.append((z_matrix @ cumulative) % 2)
-        correction = self.decoder.decode_history(history)
+        return history, cumulative
+
+    def _is_logical(
+        self, cumulative: np.ndarray, correction: np.ndarray
+    ) -> bool:
         residual = cumulative.astype(bool) ^ correction
         return bool(
             np.count_nonzero(residual & self._z_logical_mask) % 2
         )
+
+    def run_trial(
+        self,
+        data_error_rate: float,
+        measurement_error_rate: float,
+        rng: np.random.Generator,
+        rounds: Optional[int] = None,
+    ) -> bool:
+        """One cycle; returns ``True`` on a logical X error."""
+        if rounds is None:
+            rounds = self.code.distance
+        history, cumulative = self._sample_trial(
+            data_error_rate, measurement_error_rate, rng, rounds
+        )
+        correction = self.decoder.decode_history(history)
+        return self._is_logical(cumulative, correction)
 
     def estimate_ler(
         self,
@@ -102,17 +141,36 @@ class PhenomenologicalSimulator:
 
         Deterministic by default: with ``rng`` omitted a fixed-seed
         generator is used, so repeated calls reproduce bit-for-bit.
+        Sampling always draws trial by trial (same RNG stream as the
+        scalar path); decoding is batched when the decoder allows.
         """
         if measurement_error_rate is None:
             measurement_error_rate = data_error_rate
         if rng is None:
             rng = np.random.default_rng(0)
+        rounds = self.code.distance
+        histories = []
+        cumulatives = []
+        for _ in range(trials):
+            history, cumulative = self._sample_trial(
+                data_error_rate, measurement_error_rate, rng, rounds
+            )
+            histories.append(history)
+            cumulatives.append(cumulative)
+        decode_batch = getattr(self.decoder, "decode_batch", None)
+        if decode_batch is not None and trials:
+            corrections = decode_batch(
+                np.asarray(histories, dtype=bool)
+            )
+        else:
+            corrections = [
+                self.decoder.decode_history(history)
+                for history in histories
+            ]
         logical_errors = sum(
             1
-            for _ in range(trials)
-            if self.run_trial(
-                data_error_rate, measurement_error_rate, rng
-            )
+            for cumulative, correction in zip(cumulatives, corrections)
+            if self._is_logical(cumulative, correction)
         )
         return PhenomenologicalResult(
             distance=self.code.distance,
@@ -128,11 +186,15 @@ def run_phenomenological_scaling(
     per_values: Sequence[float] = (0.01, 0.02, 0.04),
     trials: int = 400,
     seed: int = 0,
+    decoder: str = "mwpm",
+    decoder_params: Optional[dict] = None,
 ) -> Dict[int, List[PhenomenologicalResult]]:
     """LER-vs-p curves under phenomenological noise (q = p)."""
     results: Dict[int, List[PhenomenologicalResult]] = {}
     for distance in distances:
-        simulator = PhenomenologicalSimulator(distance)
+        simulator = PhenomenologicalSimulator(
+            distance, decoder=decoder, decoder_params=decoder_params
+        )
         rng = np.random.default_rng(seed + 1000 * distance)
         results[distance] = [
             simulator.estimate_ler(p, trials=trials, rng=rng)

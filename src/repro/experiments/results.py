@@ -159,7 +159,11 @@ class RunResult(ResultBase):
 
     ``logical_error_rate`` is ``logical_errors / windows`` (Eq. 5.1).
     ``frame_statistics`` is present only for runs with a Pauli frame
-    and feeds the savings analysis of Figs 5.25/5.26.
+    and feeds the savings analysis of Figs 5.25/5.26.  ``decoder``
+    echoes the registry decoder that produced the run (canonical
+    ``name`` or ``name:key=value`` form, see
+    :func:`repro.decoders.registry.format_decoder_arg`); ``None`` on
+    results predating decoder selection.
     """
 
     kind = "run"
@@ -174,6 +178,7 @@ class RunResult(ResultBase):
     frame_statistics: Optional[FrameStatistics] = None
     counts_above: StreamCounts = field(default_factory=StreamCounts)
     counts_below: StreamCounts = field(default_factory=StreamCounts)
+    decoder: Optional[str] = None
 
     @property
     def logical_error_rate(self) -> float:
@@ -216,6 +221,8 @@ class RunResult(ResultBase):
             ),
             counts_above=StreamCounts(**payload["counts_above"]),
             counts_below=StreamCounts(**payload["counts_below"]),
+            # .get: tolerate pre-registry documents with no decoder.
+            decoder=payload.get("decoder"),
         )
 
 
@@ -382,6 +389,9 @@ class SweepPointResult(ResultBase):
     without_frame: List[RunResult]
     with_frame: List[RunResult]
     comparison: PointComparison
+    #: Registry decoder that produced both arms (``name`` or
+    #: ``name:key=value``); ``None`` on pre-registry documents.
+    decoder: Optional[str] = None
 
     @property
     def mean_ler_without(self) -> float:
@@ -422,6 +432,7 @@ class SweepPointResult(ResultBase):
             ],
             "with_frame": [r.to_json_dict() for r in self.with_frame],
             "comparison": _comparison_to_dict(self.comparison),
+            "decoder": self.decoder,
         }
 
     @classmethod
@@ -437,6 +448,7 @@ class SweepPointResult(ResultBase):
                 for r in payload["with_frame"]
             ],
             comparison=_comparison_from_dict(payload["comparison"]),
+            decoder=payload.get("decoder"),
         )
 
 
@@ -571,6 +583,7 @@ class LerReport(ResultBase):
     committed_shards: Optional[int] = None
     executed_shards: Optional[int] = None
     resumed_shards: Optional[int] = None
+    decoder: Optional[str] = None
 
     def to_json_dict(self) -> Dict:
         payload = {"kind": self.kind}
@@ -581,7 +594,7 @@ class LerReport(ResultBase):
     @classmethod
     def from_json_dict(cls, payload: Dict) -> "LerReport":
         values = {
-            f.name: payload[f.name]
+            f.name: payload.get(f.name)
             for f in fields(cls)
             if f.name != "arms"
         }
@@ -606,6 +619,7 @@ class SweepReport(ResultBase):
     committed_shards: Optional[int] = None
     executed_shards: Optional[int] = None
     resumed_shards: Optional[int] = None
+    decoder: Optional[str] = None
 
     def to_json_dict(self) -> Dict:
         return {
@@ -619,6 +633,7 @@ class SweepReport(ResultBase):
             "committed_shards": self.committed_shards,
             "executed_shards": self.executed_shards,
             "resumed_shards": self.resumed_shards,
+            "decoder": self.decoder,
         }
 
     @classmethod
@@ -633,7 +648,21 @@ class SweepReport(ResultBase):
             committed_shards=payload["committed_shards"],
             executed_shards=payload["executed_shards"],
             resumed_shards=payload["resumed_shards"],
+            decoder=payload.get("decoder"),
         )
+
+
+@dataclass
+class DecodersReport(ResultBase):
+    """``repro decoders``: the registered decoder catalogue.
+
+    One row per registry entry, from
+    :meth:`repro.decoders.registry.RegisteredDecoder.describe`.
+    """
+
+    kind = "decoders_report"
+
+    decoders: List[Dict]
 
 
 @dataclass

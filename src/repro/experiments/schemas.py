@@ -79,6 +79,7 @@ _RUN_RESULT = _obj(
         "frame_statistics": _nullable(_FRAME_STATISTICS),
         "counts_above": _STREAM_COUNTS,
         "counts_below": _STREAM_COUNTS,
+        "decoder": _nullable(_STRING),
     }
 )
 
@@ -110,6 +111,7 @@ _SWEEP_POINT = _obj(
         "without_frame": _array(_RUN_RESULT),
         "with_frame": _array(_RUN_RESULT),
         "comparison": _POINT_COMPARISON,
+        "decoder": _nullable(_STRING),
     }
 )
 
@@ -174,6 +176,7 @@ REPORT_SCHEMAS: Dict[str, Dict] = {
             "committed_shards": _nullable(_INT),
             "executed_shards": _nullable(_INT),
             "resumed_shards": _nullable(_INT),
+            "decoder": _nullable(_STRING),
         }
     ),
     "sweep_report": _obj(
@@ -188,6 +191,23 @@ REPORT_SCHEMAS: Dict[str, Dict] = {
             "committed_shards": _nullable(_INT),
             "executed_shards": _nullable(_INT),
             "resumed_shards": _nullable(_INT),
+            "decoder": _nullable(_STRING),
+        }
+    ),
+    "decoders_report": _obj(
+        {
+            "kind": _kind("decoders_report"),
+            "decoders": _array(
+                _obj(
+                    {
+                        "name": _STRING,
+                        "summary": _STRING,
+                        "capabilities": _array(_STRING),
+                        "aliases": _array(_STRING),
+                        "params": _array(_STRING),
+                    }
+                )
+            ),
         }
     ),
     "census_report": _obj(

@@ -45,6 +45,7 @@ def build_sweep_point(
     physical_error_rate: float,
     without_frame: List[RunResult],
     with_frame: List[RunResult],
+    decoder: Optional[str] = None,
 ) -> SweepPointResult:
     """Package both arms of one PER value into a
     :class:`~repro.experiments.results.SweepPointResult`."""
@@ -53,6 +54,7 @@ def build_sweep_point(
         without_frame=without_frame,
         with_frame=with_frame,
         comparison=compare_point(without_frame, with_frame),
+        decoder=decoder,
     )
 
 
@@ -64,8 +66,9 @@ def run_ler_sweep(
     seed: int = 0,
     max_windows: int = 2_000_000,
     batch_windows: Optional[int] = None,
-    decoder_impl: str = "batched",
+    decoder_impl: str = "lut",
     engine: str = "framesim",
+    decoder_params: Optional[dict] = None,
 ) -> SweepResult:
     """Run the full with/without-frame sweep.
 
@@ -77,13 +80,27 @@ def run_ler_sweep(
     (:class:`~repro.experiments.ler.BatchedLerExperiment`):
     ``samples`` becomes the number of lockstep shots per arm and each
     shot runs exactly ``batch_windows`` windows, so far larger shot
-    counts per PER become affordable.  ``decoder_impl`` then selects
-    the decoding engine — ``"batched"`` (array-native, the default) or
-    the ``"per-shot"`` reference; results are bit-identical either
-    way.  ``engine`` selects the batched simulation core —
-    ``"framesim"``, ``"packed"`` (bit-identical) or ``"packed-fast"``
-    (statistically identical; fastest).
+    counts per PER become affordable.  ``decoder_impl`` then names a
+    registry decoder (:mod:`repro.decoders.registry`) — ``"lut"``
+    (array-native dense table, the default), ``"per-shot-lut"``
+    (bit-identical reference), ``"mwpm"``, ``"unionfind"`` or
+    ``"sparse-mwpm"``; ``decoder_params`` forwards keyword arguments
+    to the decoder's builder.  ``engine`` selects the batched
+    simulation core — ``"framesim"``, ``"packed"`` (bit-identical) or
+    ``"packed-fast"`` (statistically identical; fastest).
     """
+    from ..decoders.registry import (
+        format_decoder_arg,
+        resolve_decoder_name,
+    )
+
+    decoder_label = (
+        format_decoder_arg(
+            resolve_decoder_name(decoder_impl), decoder_params or {}
+        )
+        if batch_windows is not None
+        else None
+    )
     sweep = SweepResult(error_kind=error_kind)
     for index, per in enumerate(per_values):
         base_seed = point_base_seed(seed, index)
@@ -98,6 +115,7 @@ def run_ler_sweep(
             batch_windows=batch_windows,
             decoder_impl=decoder_impl,
             engine=engine,
+            decoder_params=decoder_params,
         )
         with_frame = run_ler_point(
             per,
@@ -110,8 +128,13 @@ def run_ler_sweep(
             batch_windows=batch_windows,
             decoder_impl=decoder_impl,
             engine=engine,
+            decoder_params=decoder_params,
         )
-        sweep.points.append(build_sweep_point(per, without, with_frame))
+        sweep.points.append(
+            build_sweep_point(
+                per, without, with_frame, decoder=decoder_label
+            )
+        )
     return sweep
 
 

@@ -27,8 +27,10 @@ from .jobs import (
     JobQueue,
     JobStateError,
     derive_job_seed,
+    evict_jobs,
     load_job_journal,
     recover_jobs,
+    rewrite_journal,
 )
 from .wire import (
     JOB_KINDS,
@@ -73,8 +75,10 @@ __all__ = [
     "WorkerFleet",
     "check_job_params",
     "derive_job_seed",
+    "evict_jobs",
     "load_job_journal",
     "recover_jobs",
+    "rewrite_journal",
     "run_decode_job",
     "run_self_test",
     "run_server",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import time
 from dataclasses import dataclass
@@ -47,7 +48,9 @@ from .jobs import (
     JobQueue,
     JobStateError,
     derive_job_seed,
+    evict_jobs,
     recover_jobs,
+    rewrite_journal,
 )
 from .routes import HttpError, handle_connection
 from .wire import (
@@ -77,6 +80,12 @@ class ServeConfig:
     spool: str = ".repro-spool"
     max_respawns: int = 2
     default_max_attempts: int = 2
+    #: Retention of finished jobs across restarts: terminal jobs older
+    #: than ``job_ttl`` seconds (or beyond the newest ``max_jobs``) are
+    #: evicted at boot and the journal is compacted to one line per
+    #: surviving job.  ``None`` keeps everything (historic behavior).
+    job_ttl: Optional[float] = None
+    max_jobs: Optional[int] = None
 
 
 def _validate_submit_document(payload: Dict) -> None:
@@ -110,6 +119,20 @@ class ServeApp:
         journal_path = str(self.spool / "jobs.jsonl")
         self._journal: Optional[JobJournal] = None
         self.resumed_jobs = recover_jobs(journal_path, self.queue)
+        self.evicted_jobs = 0
+        if config.job_ttl is not None or config.max_jobs is not None:
+            evicted = evict_jobs(
+                self.queue,
+                job_ttl=config.job_ttl,
+                max_jobs=config.max_jobs,
+            )
+            self.evicted_jobs = len(evicted)
+            for job_id in evicted:
+                self._drop_job_files(job_id)
+            # Rewriting even with nothing evicted still collapses each
+            # job's transition history to one line, so the journal
+            # stays bounded under churn whenever retention is on.
+            rewrite_journal(journal_path, self.queue)
         self._journal = JobJournal(journal_path, append=True)
         self.fleet = WorkerFleet(
             workers=config.workers, max_respawns=config.max_respawns
@@ -128,6 +151,16 @@ class ServeApp:
 
     def trace_path(self, job_id: str) -> str:
         return str(self.spool / "traces" / f"{job_id}.jsonl")
+
+    def _drop_job_files(self, job_id: str) -> None:
+        """Remove an evicted job's checkpoint and trace spool files."""
+        for path in (
+            self.checkpoint_path(job_id), self.trace_path(job_id)
+        ):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     # -- journal hook ---------------------------------------------------
     def _journal_transition(self, event: str, job: Job) -> None:
@@ -288,6 +321,17 @@ class ServeApp:
             else [float(v) for v in params["per_values"]]
         )
         shots = int(params.get("shots", 10))
+        from ..decoders.registry import (
+            format_decoder_arg,
+            parse_decoder_arg,
+            resolve_decoder_name,
+        )
+
+        decoder_name, decoder_params = parse_decoder_arg(
+            params.get("decoder", "lut")
+        )
+        decoder_name = resolve_decoder_name(decoder_name)
+        decoder_label = format_decoder_arg(decoder_name, decoder_params)
         report = self.fleet.run_sweep_job(
             per_values,
             error_kind=params.get("error_kind", "x"),
@@ -298,6 +342,8 @@ class ServeApp:
             engine=params.get("engine", "framesim"),
             checkpoint=self.checkpoint_path(job.job_id),
             target_ci=params.get("target_ci"),
+            decoder=decoder_name,
+            decoder_params=decoder_params,
         )
         from ..cli import _arm_report
 
@@ -314,6 +360,7 @@ class ServeApp:
                 committed_shards=report.committed_shards,
                 executed_shards=report.executed_shards,
                 resumed_shards=report.resumed_shards,
+                decoder=decoder_label,
             ).to_json_dict()
         else:
             comparisons = [
@@ -328,6 +375,7 @@ class ServeApp:
                 committed_shards=report.committed_shards,
                 executed_shards=report.executed_shards,
                 resumed_shards=report.resumed_shards,
+                decoder=decoder_label,
             ).to_json_dict()
         # Shard counts are execution metadata: a resumed run legally
         # differs there, and the result document must not.

@@ -359,6 +359,88 @@ def load_job_journal(path: str) -> List[Dict]:
     return events
 
 
+def evict_jobs(
+    queue: JobQueue,
+    job_ttl: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    now: Optional[float] = None,
+) -> List[str]:
+    """Drop expired / excess **terminal** jobs from ``queue``.
+
+    Two independent bounds, both optional:
+
+    * ``job_ttl`` — terminal jobs whose ``finished_at`` is older than
+      ``now - job_ttl`` seconds are dropped;
+    * ``max_jobs`` — if the queue still holds more than ``max_jobs``
+      jobs afterwards, the *oldest-finished* terminal jobs are dropped
+      until the bound holds (or no terminal job remains).
+
+    PENDING and RUNNING jobs are never evicted — eviction only forgets
+    history, never work.  Returns the evicted job ids in eviction
+    order so the caller can clean up per-job spool files.
+    """
+    if now is None:
+        # allow-lint: REP003 retention clock, operational state only
+        now = time.time()
+    terminal = sorted(
+        (
+            job
+            for job in queue.jobs.values()
+            if job.state in TERMINAL_STATES
+        ),
+        key=lambda j: (j.finished_at or 0.0, j.submitted_seq),
+    )
+    evicted: List[str] = []
+    if job_ttl is not None:
+        for job in terminal:
+            finished = job.finished_at
+            if finished is not None and now - finished > job_ttl:
+                evicted.append(job.job_id)
+    if max_jobs is not None:
+        excess = len(queue.jobs) - len(evicted) - int(max_jobs)
+        survivors = [
+            job for job in terminal if job.job_id not in set(evicted)
+        ]
+        for job in survivors[:max(0, excess)]:
+            evicted.append(job.job_id)
+    for job_id in evicted:
+        del queue.jobs[job_id]
+    return evicted
+
+
+def rewrite_journal(path: str, queue: JobQueue) -> None:
+    """Compact a journal to one snapshot line per surviving job.
+
+    Written to a sibling temp file and atomically renamed over the
+    original, so a kill mid-compaction leaves either the old journal
+    or the new one — never a torn hybrid.  The replacement journal
+    replays (via :func:`recover_jobs`) to exactly the queue's current
+    jobs, which bounds journal growth across submit/complete churn:
+    each boot collapses every job's transition history to one line and
+    drops evicted jobs entirely.
+    """
+    temp_path = path + ".compact"
+    writer = AtomicJsonLinesWriter(temp_path, append=False)
+    try:
+        for job in sorted(
+            queue.jobs.values(), key=lambda j: j.submitted_seq
+        ):
+            writer.write_line(
+                json.dumps(
+                    {
+                        "kind": "job_event",
+                        "version": JOURNAL_VERSION,
+                        "event": "compacted",
+                        "job": job.to_snapshot(),
+                    },
+                    sort_keys=True,
+                )
+            )
+    finally:
+        writer.close()
+    os.replace(temp_path, path)
+
+
 def recover_jobs(path: str, queue: JobQueue) -> int:
     """Replay a journal into ``queue``; returns resumed-job count.
 

@@ -130,6 +130,37 @@ def check_job_params(job_kind: str, params: Dict) -> None:
     engine = params.get("engine", "framesim")
     if engine not in ("framesim", "packed", "packed-fast"):
         raise JobParamsError(f"unknown engine {engine!r}")
+    decoder = params.get("decoder")
+    if decoder is not None:
+        if not isinstance(decoder, str):
+            raise JobParamsError(
+                "'decoder' must be a string NAME[:KEY=VALUE,...]"
+            )
+        from ..decoders.registry import (
+            UnknownDecoderError,
+            parse_decoder_arg,
+            resolve_decoder_name,
+        )
+
+        try:
+            name, decoder_params = parse_decoder_arg(decoder)
+            name = resolve_decoder_name(name)
+        except (UnknownDecoderError, ValueError) as error:
+            raise JobParamsError(f"'decoder': {error}")
+        if decoder_params:
+            # The windowed-protocol builders take no parameters (see
+            # RegisteredDecoder.build); reject at the door instead of
+            # burning a worker attempt on a CapabilityError.
+            raise JobParamsError(
+                "'decoder': the windowed protocol takes no decoder "
+                f"parameters; got {sorted(decoder_params)}"
+            )
+        if name == "per-shot-lut":
+            raise JobParamsError(
+                "the per-shot reference decoder applies to the "
+                "in-process batch path only; it is not available "
+                "on the service's worker pool"
+            )
 
 
 def run_decode_job(params: Dict) -> Dict:
@@ -231,6 +262,8 @@ class WorkerFleet:
         checkpoint: Optional[str],
         target_ci: Optional[float] = None,
         max_logical_errors: int = 50,
+        decoder: str = "lut",
+        decoder_params: Optional[Dict] = None,
     ) -> ParallelSweepReport:
         """One sweep on the warm pool, surviving worker deaths.
 
@@ -259,6 +292,8 @@ class WorkerFleet:
                     max_logical_errors=max_logical_errors,
                     engine=engine,
                     pool=self.executor(),
+                    decoder=decoder,
+                    decoder_params=decoder_params,
                 )
             except BrokenProcessPool:
                 attempts += 1

@@ -41,6 +41,7 @@ def subcommand_invocations(trace_path: str) -> Dict[str, List[str]]:
             "sweep", "--per", "1e-2", "--samples", "2",
             "--errors", "2",
         ],
+        "decoders": ["decoders"],
         "census": ["census"],
         "schedule": ["schedule"],
         "bound": ["bound", "--max-distance", "5"],

@@ -91,9 +91,16 @@ class TestDecoderImplWiring:
 
     def test_batched_default_has_no_per_shot_list(self):
         experiment = BatchedLerExperiment(5e-3, num_shots=4, seed=0)
-        assert experiment.decoder_impl == "batched"
+        assert experiment.decoder_impl == "lut"
         assert experiment.decoders is None
         assert experiment.decoder is not None
+
+    def test_legacy_names_resolve_with_deprecation(self):
+        with pytest.warns(DeprecationWarning):
+            experiment = BatchedLerExperiment(
+                5e-3, num_shots=2, seed=0, decoder_impl="batched"
+            )
+        assert experiment.decoder_impl == "lut"
 
     def test_lut_built_once_per_process_not_per_shot(self):
         """O(shots) brute-force builds collapse to O(1) cached ones."""

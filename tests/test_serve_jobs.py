@@ -34,8 +34,10 @@ from repro.serve import (
     JobQueue,
     JobStateError,
     derive_job_seed,
+    evict_jobs,
     load_job_journal,
     recover_jobs,
+    rewrite_journal,
 )
 
 
@@ -303,6 +305,107 @@ class TestRecovery:
         second = JobQueue()
         recover_jobs(path, second)
         assert snapshot(first) == snapshot(second)
+
+
+class TestEvictionAndCompaction:
+    """TTL/size-bounded retention plus boot-time journal compaction."""
+
+    def _finished_queue(self, count, base_time=1_000.0):
+        queue = JobQueue()
+        for index in range(count):
+            job = make_job(job_id=f"j{index}")
+            queue.submit(job)
+            queue.claim()
+            queue.complete(job.job_id, {"v": index})
+            job.finished_at = base_time + index
+        return queue
+
+    def test_ttl_evicts_only_expired_terminal_jobs(self):
+        queue = self._finished_queue(4)
+        queue.submit(make_job(job_id="pending"))
+        evicted = evict_jobs(queue, job_ttl=1.5, now=1_003.0)
+        assert sorted(evicted) == ["j0", "j1"]
+        assert sorted(queue.jobs) == ["j2", "j3", "pending"]
+
+    def test_max_jobs_keeps_newest_finished(self):
+        queue = self._finished_queue(5)
+        evicted = evict_jobs(queue, max_jobs=2)
+        assert sorted(evicted) == ["j0", "j1", "j2"]
+        assert sorted(queue.jobs) == ["j3", "j4"]
+
+    def test_pending_and_running_never_evicted(self):
+        queue = JobQueue()
+        for index in range(3):
+            queue.submit(make_job(job_id=f"live{index}"))
+        queue.claim()
+        evicted = evict_jobs(queue, job_ttl=0.0, max_jobs=1, now=1e9)
+        assert evicted == []
+        assert len(queue.jobs) == 3
+
+    def test_both_bounds_compose(self):
+        queue = self._finished_queue(6)
+        evicted = evict_jobs(
+            queue, job_ttl=2.5, max_jobs=2, now=1_005.0
+        )
+        # TTL drops j0..j2 (older than 2.5 s before now), then the
+        # size bound drops j3 to reach 2.
+        assert sorted(evicted) == ["j0", "j1", "j2", "j3"]
+        assert sorted(queue.jobs) == ["j4", "j5"]
+
+    def test_rewrite_journal_is_replayable(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        journal = JobJournal(path)
+        queue = JobQueue(on_transition=journal.record)
+        for index in range(3):
+            job = make_job(job_id=f"j{index}")
+            queue.submit(job)
+            queue.claim()
+            queue.complete(job.job_id, {"v": index})
+        journal.close()
+        assert len(load_job_journal(path)) == 9  # 3 transitions each
+        evict_jobs(queue, max_jobs=1)
+        rewrite_journal(path, queue)
+        events = load_job_journal(path)
+        assert len(events) == 1
+        assert events[0]["event"] == "compacted"
+        replayed = JobQueue()
+        recover_jobs(path, replayed)
+        assert sorted(replayed.jobs) == ["j2"]
+        assert replayed.jobs["j2"].result == {"v": 2}
+
+    def test_journal_bounded_under_churn(self, tmp_path):
+        """Submit/complete churn across restarts stays bounded.
+
+        Models the serve boot sequence: each cycle replays the
+        journal, evicts to ``max_jobs``, compacts, then appends a new
+        burst of finished jobs.  Without compaction the journal grows
+        by three lines per job forever; with it, every boot returns
+        the file to at most ``max_jobs`` lines.
+        """
+        path = str(tmp_path / "jobs.jsonl")
+        max_jobs = 3
+        line_counts = []
+        for cycle in range(5):
+            queue = JobQueue()
+            recover_jobs(path, queue)
+            evict_jobs(queue, max_jobs=max_jobs)
+            rewrite_journal(path, queue)
+            line_counts.append(len(load_job_journal(path)))
+            journal = JobJournal(path, append=True)
+            queue._on_transition = journal.record
+            for index in range(4):
+                job_id = f"c{cycle}-j{index}"
+                queue.submit(make_job(job_id=job_id))
+                queue.claim()
+                queue.complete(job_id, {"cycle": cycle})
+            journal.close()
+        assert all(count <= max_jobs for count in line_counts)
+        # ... while an append-only journal would have kept growing:
+        # 4 jobs x 3 transitions per cycle.
+        final = JobQueue()
+        recover_jobs(path, final)
+        evict_jobs(final, max_jobs=max_jobs)
+        assert len(final.jobs) == max_jobs
 
 
 class JobLifecycleMachine(RuleBasedStateMachine):
