@@ -89,7 +89,10 @@ def test_bench_e17_raw_sampling_speedup(benchmark):
     print("\n[E17] SC17 ESM raw sampling, shots/second:")
     print(f"  per-shot tableau loop: {loop_rate:12.1f}")
     print(f"  batched frame sampler: {batched_rate:12.1f}")
-    print(f"  speedup:               {speedup:12.1f}x (bar {REQUIRED_SPEEDUP:.0f}x)")
+    print(
+        f"  speedup:               {speedup:12.1f}x "
+        f"(bar {REQUIRED_SPEEDUP:.0f}x)"
+    )
     assert speedup >= REQUIRED_SPEEDUP
 
 
@@ -130,7 +133,10 @@ def test_bench_e17_ler_workload_speedup(benchmark):
     print("\n[E17] SC17 adaptive LER workload, windows/second:")
     print(f"  per-shot tableau loop: {loop_rate:12.1f}")
     print(f"  batched frame sampler: {batched_rate:12.1f}")
-    print(f"  speedup:               {speedup:12.1f}x (bar {REQUIRED_SPEEDUP:.0f}x)")
+    print(
+        f"  speedup:               {speedup:12.1f}x "
+        f"(bar {REQUIRED_SPEEDUP:.0f}x)"
+    )
     assert speedup >= REQUIRED_SPEEDUP
     # Sanity: the batched LER lands in the same regime as the loop.
     errors = sum(r.logical_errors for r in results)

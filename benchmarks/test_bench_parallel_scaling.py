@@ -12,7 +12,8 @@ stays fast on CI hardware.  Reproduce the acceptance criterion
 verbatim with::
 
     REPRO_BENCH_PARALLEL_SHOTS=10000 \\
-    PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_scaling.py -s
+    PYTHONPATH=src python -m pytest \\
+        benchmarks/test_bench_parallel_scaling.py -s
 """
 
 import os

@@ -15,6 +15,12 @@ Two coordinated passes share one findings vocabulary
 into QPDO stacks as an opt-in compile-time gate.
 """
 
+from .catalog import (
+    CIRCUIT_CATALOG,
+    build_catalog_circuit,
+    catalog_names,
+    inject_t_gate,
+)
 from .findings import (
     FINDING_CODES,
     Finding,
@@ -22,12 +28,6 @@ from .findings import (
     format_findings_table,
 )
 from .frame_flow import IDENTITY, TOP, FrameFlow
-from .catalog import (
-    CIRCUIT_CATALOG,
-    build_catalog_circuit,
-    catalog_names,
-    inject_t_gate,
-)
 from .preflight import PreflightError, PreflightLayer, circuit_digest
 from .verifier import (
     FRAME_FORBID,

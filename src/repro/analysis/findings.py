@@ -111,6 +111,50 @@ REP_DEPRECATED_ALIAS = register_code(
     "in-package use of a deprecated result-class alias",
 )
 
+# ----------------------------------------------------------------------
+# Whole-program dataflow analyzer codes (REP1xx)
+# ----------------------------------------------------------------------
+REP_RNG_DEFAULT_NONE = register_code(
+    "REP100",
+    "RNG constructed from a seed parameter that defaults to None "
+    "while an in-package call site leaves the seed unset",
+)
+REP_RNG_CLOSURE = register_code(
+    "REP101",
+    "RNG object captured into a closure or lambda instead of being "
+    "threaded explicitly",
+)
+REP_RNG_ACROSS_POOL = register_code(
+    "REP102",
+    "RNG object passed across a process-pool boundary; pass derived "
+    "seeds (SeedSequence children) instead",
+)
+REP_RNG_BOTH_SIDES = register_code(
+    "REP103",
+    "RNG stream consumed on both sides of a fork boundary (drawn "
+    "locally and shipped to a worker)",
+)
+REP_SEED_ENTROPY = register_code(
+    "REP104",
+    "seed derivation mixes in a nondeterministic source (pid, "
+    "wall clock, urandom, uuid, id(), hash())",
+)
+REP_GLOBAL_MUTABLE = register_code(
+    "REP110",
+    "module-level mutable container written from function code "
+    "without a registered ownership contract",
+)
+REP_NONATOMIC_WRITE = register_code(
+    "REP111",
+    "truncating write in a checkpoint/journal/spool path without the "
+    "tmp-write + os.replace idiom",
+)
+REP_TMP_NO_REPLACE = register_code(
+    "REP112",
+    "temp-suffixed file written but never published with os.replace "
+    "(torn-publish hazard)",
+)
+
 
 @dataclass
 class Finding:

@@ -1,0 +1,424 @@
+"""Static capability-matrix verification (``repro analyze matrix``).
+
+The decoder registry (PR 8) made decoder selection declarative:
+capability flags plus builder callables, negotiated against a core's
+:meth:`~repro.qpdo.core.Core.supports`.  That turned "which decoder
+works where" into *data* -- which means it can be checked statically,
+the same move the circuit pre-flight made for frame rules.  This
+module enumerates every registered decoder x engine x experiment
+combination and verifies the contracts between them **without
+sampling a single shot**:
+
+* **registry consistency** -- a capability flag and its builder must
+  agree (``windowed`` <-> ``window_builder``, ``spacetime`` <-> both
+  graph builders), graph parameters are identifiers, aliases resolve
+  back to their canonical name (with the mandated
+  ``DeprecationWarning``), names are well-formed CLI tokens;
+* **engine matrix** -- for each decoder x engine (``framesim`` /
+  ``packed`` / ``packed-fast``), the capability algebra predicts
+  compatibility (a :data:`~repro.qpdo.core.CAP_PACKED` core needs
+  :data:`~repro.decoders.registry.CAP_PACKED_SYNDROMES`) and
+  :func:`~repro.decoders.registry.negotiate` is called against the
+  engine's *actual* core class to prove it rules the same way; the
+  engine table itself is cross-checked against ``Core.supports()``;
+* **experiment matrix** -- windowed experiments (``ler``, ``sweep``,
+  serve jobs) require ``windowed``; graph experiments
+  (``phenomenological``, ``distance``, ``memory``) require
+  ``spacetime``; serve-side params validation
+  (:func:`repro.serve.workers.check_job_params`) must accept exactly
+  the decoders the registry says it should (and keep refusing
+  parameterized specs and the per-shot reference arm);
+* **documentation grammar** -- every ``--decoder NAME[:KEY=VALUE,...]``
+  example in README.md / EXPERIMENTS.md parses, names a registered
+  canonical decoder (docs must not teach deprecated aliases), uses
+  only declared graph parameters, and round-trips through
+  :func:`~repro.decoders.registry.format_decoder_arg`.
+
+The result is a :class:`~repro.experiments.results.MatrixReport`
+(``repro analyze matrix --json``), gated in CI next to the
+determinism linter.  A broken registry entry -- flag without builder,
+alias collision, serve contract drift -- turns into a named problem
+string and a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..decoders.registry import (
+    CAP_PACKED_SYNDROMES,
+    CAP_SPACETIME,
+    CAP_WINDOWED,
+    RegisteredDecoder,
+    format_decoder_arg,
+    list_decoders,
+    negotiate,
+    parse_decoder_arg,
+    resolve_decoder_name,
+)
+from ..qpdo.core import (
+    CAP_BATCH,
+    CAP_PACKED,
+    UnsupportedFeatureError,
+)
+
+#: engine name -> the capability set its core class must advertise.
+ENGINE_CAPABILITIES: Dict[str, frozenset] = {
+    "framesim": frozenset((CAP_BATCH,)),
+    "packed": frozenset((CAP_BATCH, CAP_PACKED)),
+    "packed-fast": frozenset((CAP_BATCH, CAP_PACKED)),
+}
+
+#: experiment context -> the decoder capability it requires.
+EXPERIMENT_REQUIREMENTS: Dict[str, str] = {
+    "ler": CAP_WINDOWED,
+    "sweep": CAP_WINDOWED,
+    "serve": CAP_WINDOWED,
+    "phenomenological": CAP_SPACETIME,
+    "distance": CAP_SPACETIME,
+    "memory": CAP_SPACETIME,
+}
+
+#: Decoders the serve fleet refuses even though the registry allows
+#: the windowed protocol (documented service-surface exclusions).
+SERVE_EXCLUDED: frozenset = frozenset({"per-shot-lut"})
+
+#: ``--decoder <token>`` occurrences in the documentation.
+_DOC_DECODER_PATTERN = re.compile(r"--decoder[= ]([A-Za-z0-9_:,.=-]+)")
+
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass
+class MatrixCell:
+    """One decoder x context compatibility verdict."""
+
+    decoder: str
+    context: str
+    supported: bool
+    reason: str
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "decoder": self.decoder,
+            "context": self.context,
+            "supported": self.supported,
+            "reason": self.reason,
+        }
+
+
+def _engine_cores() -> Dict[str, Any]:
+    """One cheap live core instance per engine (1 shot, fixed seed)."""
+    from ..qpdo.batched_core import BatchedStabilizerCore
+    from ..qpdo.packed_core import PackedStabilizerCore
+
+    return {
+        "framesim": BatchedStabilizerCore(num_shots=1, seed=0),
+        "packed": PackedStabilizerCore(num_shots=1, seed=0),
+        "packed-fast": PackedStabilizerCore(
+            num_shots=1, seed=0, rng_mode="fast"
+        ),
+    }
+
+
+def check_registry(
+    decoders: Sequence[RegisteredDecoder],
+) -> List[str]:
+    """Flag/builder consistency + naming/alias problems."""
+    problems: List[str] = []
+    for spec in decoders:
+        if not _NAME_PATTERN.match(spec.name):
+            problems.append(
+                f"decoder name {spec.name!r} is not a well-formed "
+                f"CLI token (expected [a-z][a-z0-9-]*)"
+            )
+        if not spec.summary.strip():
+            problems.append(f"decoder {spec.name!r} has no summary")
+        windowed = CAP_WINDOWED in spec.capabilities
+        if windowed != (spec.window_builder is not None):
+            problems.append(
+                f"decoder {spec.name!r}: capability "
+                f"{CAP_WINDOWED!r} is "
+                f"{'claimed' if windowed else 'absent'} but "
+                f"window_builder is "
+                f"{'missing' if windowed else 'present'}"
+            )
+        spacetime = CAP_SPACETIME in spec.capabilities
+        has_graph = (
+            spec.space_builder is not None
+            and spec.spacetime_builder is not None
+        )
+        if spacetime != has_graph:
+            problems.append(
+                f"decoder {spec.name!r}: capability "
+                f"{CAP_SPACETIME!r} is "
+                f"{'claimed' if spacetime else 'absent'} but the "
+                f"space/spacetime builders are "
+                f"{'incomplete' if spacetime else 'present'}"
+            )
+        for param in spec.graph_params:
+            if not param.isidentifier():
+                problems.append(
+                    f"decoder {spec.name!r}: graph parameter "
+                    f"{param!r} is not an identifier"
+                )
+        if spec.graph_params and not spacetime:
+            problems.append(
+                f"decoder {spec.name!r} declares graph parameters "
+                f"but not the {CAP_SPACETIME!r} capability"
+            )
+        for alias in spec.aliases:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                try:
+                    resolve_decoder_name(alias)
+                except DeprecationWarning:
+                    pass  # the mandated alias behavior
+                except Exception as error:
+                    problems.append(
+                        f"alias {alias!r} of {spec.name!r} does "
+                        f"not resolve: {error}"
+                    )
+                else:
+                    problems.append(
+                        f"alias {alias!r} of {spec.name!r} "
+                        f"resolves without a DeprecationWarning"
+                    )
+    return problems
+
+
+def check_engine_matrix(
+    decoders: Sequence[RegisteredDecoder],
+) -> Tuple[List[MatrixCell], List[str]]:
+    """Capability algebra vs :func:`negotiate` over live cores."""
+    cells: List[MatrixCell] = []
+    problems: List[str] = []
+    cores = _engine_cores()
+    for engine, claimed in sorted(ENGINE_CAPABILITIES.items()):
+        core = cores[engine]
+        for capability in sorted(claimed):
+            if not core.supports(capability):
+                problems.append(
+                    f"engine {engine!r}: {type(core).__name__}"
+                    f".supports({capability!r}) is False but the "
+                    f"engine table claims it"
+                )
+        for capability in (CAP_BATCH, CAP_PACKED):
+            if core.supports(capability) and capability not in claimed:
+                problems.append(
+                    f"engine {engine!r}: core advertises "
+                    f"{capability!r} but the engine table omits it"
+                )
+    for spec in decoders:
+        for engine, claimed in sorted(ENGINE_CAPABILITIES.items()):
+            expected = (
+                CAP_PACKED not in claimed
+                or CAP_PACKED_SYNDROMES in spec.capabilities
+            )
+            try:
+                negotiate(spec, cores[engine])
+                negotiated = True
+            except UnsupportedFeatureError:
+                negotiated = False
+            if negotiated != expected:
+                problems.append(
+                    f"negotiate({spec.name!r}, {engine!r}) "
+                    f"{'accepted' if negotiated else 'refused'} "
+                    f"but the capability algebra says "
+                    f"{'compatible' if expected else 'incompatible'}"
+                )
+            reason = (
+                "capabilities satisfied"
+                if expected
+                else f"{CAP_PACKED_SYNDROMES!r} missing for a "
+                f"{CAP_PACKED!r} core"
+            )
+            cells.append(
+                MatrixCell(
+                    decoder=spec.name,
+                    context=f"engine:{engine}",
+                    supported=expected,
+                    reason=reason,
+                )
+            )
+    return cells, problems
+
+
+def check_experiment_matrix(
+    decoders: Sequence[RegisteredDecoder],
+) -> Tuple[List[MatrixCell], List[str]]:
+    """Experiment-context support + serve params cross-check."""
+    from ..serve.workers import JobParamsError, check_job_params
+
+    cells: List[MatrixCell] = []
+    problems: List[str] = []
+    for spec in decoders:
+        for context, required in sorted(
+            EXPERIMENT_REQUIREMENTS.items()
+        ):
+            supported = required in spec.capabilities
+            reason = (
+                f"capability {required!r} "
+                f"{'present' if supported else 'missing'}"
+            )
+            if context == "serve" and spec.name in SERVE_EXCLUDED:
+                supported = False
+                reason = (
+                    "excluded from the service worker pool "
+                    "(in-process reference arm only)"
+                )
+            cells.append(
+                MatrixCell(
+                    decoder=spec.name,
+                    context=f"experiment:{context}",
+                    supported=supported,
+                    reason=reason,
+                )
+            )
+            if context != "serve":
+                continue
+            try:
+                check_job_params(
+                    "ler",
+                    {
+                        "physical_error_rate": 1e-3,
+                        "decoder": spec.name,
+                    },
+                )
+                accepted = True
+            except JobParamsError:
+                accepted = False
+            if accepted != supported:
+                problems.append(
+                    f"serve params validation "
+                    f"{'accepts' if accepted else 'rejects'} "
+                    f"decoder {spec.name!r} but the capability "
+                    f"matrix says it is "
+                    f"{'supported' if supported else 'unsupported'}"
+                )
+    # The service must keep refusing parameterized decoder specs at
+    # the door (the windowed builders take no parameters).
+    try:
+        check_job_params(
+            "ler",
+            {
+                "physical_error_rate": 1e-3,
+                "decoder": "lut:time_weight=1.0",
+            },
+        )
+        problems.append(
+            "serve params validation accepts a parameterized "
+            "decoder spec; the windowed protocol takes none"
+        )
+    except JobParamsError:
+        pass
+    return cells, problems
+
+
+def check_doc_grammar(
+    doc_paths: Sequence[Path],
+) -> Tuple[int, List[str]]:
+    """Every ``--decoder`` example in the docs must be valid."""
+    problems: List[str] = []
+    canonical = {spec.name: spec for spec in list_decoders()}
+    examples = 0
+    for doc in doc_paths:
+        if not doc.exists():
+            problems.append(f"documentation file {doc} is missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for match in _DOC_DECODER_PATTERN.finditer(text):
+            token = match.group(1).rstrip(".,;")
+            # Skip the grammar placeholder itself (NAME[:KEY=...]).
+            if token.upper() == token:
+                continue
+            examples += 1
+            where = (
+                f"{doc.name}:"
+                f"{text.count(chr(10), 0, match.start()) + 1}"
+            )
+            try:
+                name, params = parse_decoder_arg(token)
+            except Exception as error:
+                problems.append(
+                    f"{where}: --decoder {token!r} does not "
+                    f"parse: {error}"
+                )
+                continue
+            spec = canonical.get(name)
+            if spec is None:
+                problems.append(
+                    f"{where}: --decoder names {name!r}, not a "
+                    f"canonical registered decoder (docs must not "
+                    f"teach aliases)"
+                )
+                continue
+            unknown = sorted(set(params) - set(spec.graph_params))
+            if unknown:
+                problems.append(
+                    f"{where}: --decoder {token!r} uses "
+                    f"parameters {unknown} not declared by "
+                    f"{name!r} (known: {sorted(spec.graph_params)})"
+                )
+            rebuilt = format_decoder_arg(name, params)
+            reparsed = parse_decoder_arg(rebuilt)
+            if reparsed != (name, params):
+                problems.append(
+                    f"{where}: --decoder {token!r} does not "
+                    f"round-trip through format_decoder_arg "
+                    f"({rebuilt!r} -> {reparsed!r})"
+                )
+    return examples, problems
+
+
+def default_doc_paths() -> List[Path]:
+    """README.md / EXPERIMENTS.md next to the package checkout."""
+    repo = Path(__file__).resolve().parents[3]
+    return [repo / "README.md", repo / "EXPERIMENTS.md"]
+
+
+def verify_matrix(
+    doc_paths: Optional[Sequence[Path]] = None,
+) -> "MatrixVerification":
+    """Run every static matrix check; nothing is sampled or decoded."""
+    decoders = list_decoders()
+    problems = check_registry(decoders)
+    engine_cells, engine_problems = check_engine_matrix(decoders)
+    problems.extend(engine_problems)
+    experiment_cells, exp_problems = check_experiment_matrix(decoders)
+    problems.extend(exp_problems)
+    docs = (
+        list(doc_paths)
+        if doc_paths is not None
+        else default_doc_paths()
+    )
+    examples, doc_problems = check_doc_grammar(docs)
+    problems.extend(doc_problems)
+    return MatrixVerification(
+        decoders=[spec.name for spec in decoders],
+        engines=sorted(ENGINE_CAPABILITIES),
+        experiments=sorted(EXPERIMENT_REQUIREMENTS),
+        cells=engine_cells + experiment_cells,
+        doc_examples=examples,
+        problems=problems,
+    )
+
+
+@dataclass
+class MatrixVerification:
+    """Everything :func:`verify_matrix` established."""
+
+    decoders: List[str]
+    engines: List[str]
+    experiments: List[str]
+    cells: List[MatrixCell]
+    doc_examples: int
+    problems: List[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems

@@ -1,5 +1,6 @@
 """Quantum computer architecture model (paper section 3.5 / [34])."""
 
+from .compiler import Sc17Compiler
 from .instructions import (
     AllocateLogical,
     DeallocateLogical,
@@ -13,9 +14,8 @@ from .instructions import (
     QecSlot,
     RecordRotation,
 )
-from .symbol_table import LogicalQubitEntry, QSymbolTable
 from .qcu import QcuTrace, QuantumControlUnit
-from .compiler import Sc17Compiler
+from .symbol_table import LogicalQubitEntry, QSymbolTable
 
 __all__ = [
     "Instruction",

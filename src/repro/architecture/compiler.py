@@ -16,7 +16,7 @@ physical addresses).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..circuits.circuit import Circuit
 from ..codes.surface17.layout import (

@@ -53,7 +53,7 @@ from .instructions import (
     QecSlot,
     RecordRotation,
 )
-from .symbol_table import LogicalQubitEntry, QSymbolTable
+from .symbol_table import QSymbolTable
 
 
 @dataclass

@@ -13,8 +13,8 @@ addresses ``L*17 .. L*17+8`` and the virtual ancilla addresses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..codes.surface17.layout import NUM_ANCILLA, NUM_DATA, NUM_QUBITS
 

@@ -1,7 +1,9 @@
 """Circuit data structures, generators and analyses (paper ch. 4)."""
 
-from .operation import Operation, op
+from .census import CircuitCensus, census, format_census
 from .circuit import Circuit, TimeSlot, circuit_from_ops
+from .operation import Operation, op
+from . import qasm, workloads
 from .random_circuits import (
     CLIFFORD_GATE_SET,
     DEFAULT_GATE_SET,
@@ -9,8 +11,6 @@ from .random_circuits import (
     random_clifford_circuit,
     random_pauli_layer,
 )
-from .census import CircuitCensus, census, format_census
-from . import qasm, workloads
 
 __all__ = [
     "Operation",

@@ -11,7 +11,7 @@ Pauli gates, flushed records, ...).
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..gates.gateset import GateClass, GateInfo, gate_info
 

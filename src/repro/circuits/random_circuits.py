@@ -78,7 +78,7 @@ def random_circuit(
     if rng is None:
         # Documented entropy API: callers wanting reproducibility
         # thread their own seeded generator.
-        # allow-lint: REP002 documented fresh-entropy fallback of the public generator API
+        # allow-lint: REP002 documented entropy fallback of public API
         rng = np.random.default_rng()
     gate_set = tuple(gate_set)
     if num_qubits < 2 and any(g in _TWO_QUBIT for g in gate_set):
@@ -117,7 +117,7 @@ def random_pauli_layer(
     absorb the whole layer without forwarding anything.
     """
     if rng is None:
-        # allow-lint: REP002 documented fresh-entropy fallback of the public generator API
+        # allow-lint: REP002 documented entropy fallback of public API
         rng = np.random.default_rng()
     choices = ("i", "x", "y", "z") if include_identity else ("x", "y", "z")
     circuit = Circuit("pauli_layer")

@@ -430,11 +430,24 @@ def build_parser() -> argparse.ArgumentParser:
         "package sources",
     )
     lint_code.add_argument(
-        "root",
-        nargs="?",
-        default=None,
-        help="directory or file to lint (default: the installed "
-        "repro package sources)",
+        "roots",
+        nargs="*",
+        default=[],
+        help="directories or files to lint, combined into one "
+        "report (default: the installed repro package sources)",
+    )
+
+    analyze = add_parser(
+        "analyze",
+        help="whole-program static analysis without running "
+        "anything (see 'repro analyze matrix')",
+    )
+    analyze.add_argument(
+        "what",
+        choices=["matrix"],
+        help="matrix: verify every registered decoder x engine x "
+        "experiment combination, negotiate() contracts, serve "
+        "params validation and the documented --decoder grammar",
     )
 
     return parser
@@ -1053,15 +1066,23 @@ def cmd_lint_code(args) -> int:
     from .experiments.results import LintReport
     from .tools import lint
 
-    root = Path(args.root) if args.root else lint.default_root()
-    findings = lint.lint_paths(root)
+    roots = (
+        [Path(root) for root in args.roots]
+        if args.roots
+        else [lint.default_root()]
+    )
+    findings = []
+    files_checked = 0
+    for root in roots:
+        findings.extend(lint.lint_paths(root))
+        files_checked += len(lint.iter_source_files(root))
     offending = lint.unsuppressed(findings)
     counts: dict = {}
     for finding in findings:
         counts[finding.code] = counts.get(finding.code, 0) + 1
     report = LintReport(
-        root=str(root),
-        files_checked=len(lint.iter_source_files(root)),
+        root=" ".join(str(root) for root in roots),
+        files_checked=files_checked,
         findings=[f.to_json_dict() for f in findings],
         counts_by_code=counts,
         suppressed=len(findings) - len(offending),
@@ -1069,6 +1090,25 @@ def cmd_lint_code(args) -> int:
         passed=not offending,
     )
     _emit(args, report, lambda: render_lint_report(report))
+    return 0 if report.passed else 1
+
+
+def cmd_analyze(args) -> int:
+    from .analysis.matrix import verify_matrix
+    from .cli_format import render_matrix_report
+    from .experiments.results import MatrixReport
+
+    verification = verify_matrix()
+    report = MatrixReport(
+        decoders=verification.decoders,
+        engines=verification.engines,
+        experiments=verification.experiments,
+        cells=[cell.to_json_dict() for cell in verification.cells],
+        doc_examples=verification.doc_examples,
+        problems=verification.problems,
+        passed=verification.passed,
+    )
+    _emit(args, report, lambda: render_matrix_report(report))
     return 0 if report.passed else 1
 
 
@@ -1115,6 +1155,7 @@ _HANDLERS = {
     "serve": cmd_serve,
     "lint-circuit": cmd_lint_circuit,
     "lint-code": cmd_lint_code,
+    "analyze": cmd_analyze,
 }
 
 

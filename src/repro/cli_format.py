@@ -21,6 +21,7 @@ from .experiments.results import (
     InjectReport,
     LerReport,
     LintReport,
+    MatrixReport,
     MemoryReport,
     PhenomenologicalReport,
     ScheduleReport,
@@ -368,5 +369,31 @@ def render_lint_report(report: LintReport) -> str:
         f"lint {'PASSED' if report.passed else 'FAILED'} "
         f"({report.unsuppressed} unsuppressed, "
         f"{report.suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_matrix_report(report: MatrixReport) -> str:
+    """The ``repro analyze matrix`` capability-matrix summary."""
+    lines = [
+        f"capability matrix: {len(report.decoders)} decoder(s) x "
+        f"{len(report.engines)} engine(s) x "
+        f"{len(report.experiments)} experiment(s), "
+        f"{len(report.cells)} cells checked, "
+        f"{report.doc_examples} doc example(s) parsed"
+    ]
+    unsupported = [
+        cell for cell in report.cells if not cell["supported"]
+    ]
+    for cell in unsupported:
+        lines.append(
+            f"  {cell['decoder']} x {cell['context']}: "
+            f"unsupported ({cell['reason']})"
+        )
+    for problem in report.problems:
+        lines.append(f"  PROBLEM: {problem}")
+    lines.append(
+        f"matrix {'PASSED' if report.passed else 'FAILED'} "
+        f"({len(report.problems)} problem(s))"
     )
     return "\n".join(lines)

@@ -1,7 +1,7 @@
 """Distance-d rotated surface codes (future-work extension)."""
 
-from .layout import CheckPlaquette, RotatedSurfaceCode
 from .esm import ancilla_count, parallel_esm, plaquette_neighbors, total_qubits
+from .layout import CheckPlaquette, RotatedSurfaceCode
 
 __all__ = [
     "RotatedSurfaceCode",

@@ -14,7 +14,7 @@ study, on a d = 5 (49-qubit) or d = 7 (97-qubit) lattice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ...circuits.circuit import Circuit
 from ...circuits.operation import Operation

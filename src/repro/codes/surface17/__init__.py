@@ -1,5 +1,8 @@
 """Surface Code 17 ("ninja star"): layout, ESM, logical operations."""
 
+from .esm import EsmRound, active_plaquettes, parallel_esm, serialized_esm
+from . import injection, logical
+from .layer import NinjaStarLayer
 from .layout import (
     ALL_PLAQUETTES,
     NUM_ANCILLA,
@@ -19,10 +22,7 @@ from .layout import (
     logical_z,
     stabilizer_paulis,
 )
-from .esm import EsmRound, active_plaquettes, parallel_esm, serialized_esm
 from .qubit import DanceMode, LogicalState, NinjaStarQubit, Rotation
-from .layer import NinjaStarLayer
-from . import injection, logical
 
 __all__ = [
     "Plaquette",

@@ -21,7 +21,7 @@ Two variants are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ...circuits.circuit import Circuit
 from ...circuits.operation import Operation

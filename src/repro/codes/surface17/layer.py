@@ -17,7 +17,7 @@ the layer exactly like any other stack element.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -27,9 +27,9 @@ from ...decoders.lut import LutDecoder, correction_operations
 from ...decoders.rule_based import majority_vote
 from ...qpdo.core import Core, ExecutionResult
 from ...qpdo.layer import Layer
-from ...sim.state import BinaryValue, QuantumState, State
-from . import logical as ops
+from ...sim.state import QuantumState, State
 from .layout import NUM_ANCILLA, NUM_DATA
+from . import logical as ops
 from .qubit import DanceMode, LogicalState, NinjaStarQubit
 
 

@@ -148,13 +148,17 @@ def stabilizer_paulis(num_qubits: int = NUM_DATA) -> List[PauliString]:
     return stabilizers
 
 
-def logical_x(num_qubits: int = NUM_DATA, rotated: bool = False) -> PauliString:
+def logical_x(
+    num_qubits: int = NUM_DATA, rotated: bool = False
+) -> PauliString:
     """The logical X operator (rotation-aware, Fig. 2.5)."""
     support = Z_LOGICAL_SUPPORT if rotated else X_LOGICAL_SUPPORT
     return PauliString.from_support(num_qubits, x_support=support)
 
 
-def logical_z(num_qubits: int = NUM_DATA, rotated: bool = False) -> PauliString:
+def logical_z(
+    num_qubits: int = NUM_DATA, rotated: bool = False
+) -> PauliString:
     """The logical Z operator (rotation-aware, Fig. 2.5)."""
     support = X_LOGICAL_SUPPORT if rotated else Z_LOGICAL_SUPPORT
     return PauliString.from_support(num_qubits, z_support=support)

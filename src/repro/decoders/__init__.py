@@ -57,6 +57,13 @@ from .registry import (
     resolve_decoder_name,
     unregister_decoder,
 )
+from .rule_based import (
+    SyndromeRound,
+    WindowedMatchingDecoder,
+    WindowDecision,
+    WindowedLutDecoder,
+    majority_vote,
+)
 from .spacetime import SpaceTimeMatchingDecoder
 from .sparse import (
     BatchedWindowedSparseMatchingDecoder,
@@ -78,13 +85,6 @@ from .unionfind import (
     grow_clusters,
     peel_forest,
     unionfind_dense_lut,
-)
-from .rule_based import (
-    SyndromeRound,
-    WindowedMatchingDecoder,
-    WindowDecision,
-    WindowedLutDecoder,
-    majority_vote,
 )
 
 __all__ = [

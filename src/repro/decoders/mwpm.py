@@ -15,7 +15,7 @@ negated distances so that maximum weight equals minimum cost.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import networkx as nx
 import numpy as np

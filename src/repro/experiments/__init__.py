@@ -1,5 +1,20 @@
 """Experiment harnesses reproducing the paper's evaluation (ch. 5)."""
 
+from .analytic import (
+    DEFAULT_TS_ESM,
+    ImprovementBound,
+    approximate_ler,
+    format_upper_bound_table,
+    relative_improvement_upper_bound,
+    upper_bound_series,
+    window_time_slots,
+)
+from .distance import (
+    CodeCapacitySimulator,
+    DistanceLerResult,
+    format_distance_table,
+    run_distance_scaling,
+)
 from .ler import (
     DEFAULT_BATCH_WINDOWS,
     DEFAULT_INIT_ROUNDS,
@@ -10,58 +25,12 @@ from .ler import (
     build_ler_stack,
     run_ler_point,
 )
-from .results import (
-    RESULT_KINDS,
-    BatchCounts,
-    ResultBase,
-    RunResult,
-    ShardResult,
-    SweepPointResult,
-    SweepResult,
-    result_from_json,
-    result_from_json_dict,
-)
-from .stats import (
-    PointComparison,
-    SampleSummary,
-    StreamingSummary,
-    compare_point,
-    mean_rho,
-    pseudo_threshold,
-    significant_fraction,
-    summarize,
-    wilson_halfwidth,
-    wilson_interval,
-)
-from .analytic import (
-    DEFAULT_TS_ESM,
-    ImprovementBound,
-    approximate_ler,
-    format_upper_bound_table,
-    relative_improvement_upper_bound,
-    upper_bound_series,
-    window_time_slots,
-)
-from .schedule import (
-    ScheduleComparison,
-    ScheduleOutcome,
-    ScheduleParameters,
-    compare_schedules,
-    schedule_with_frame,
-    schedule_without_frame,
-)
-from .verification import (
-    OddBellReport,
-    RandomCircuitOutcome,
-    VerificationReport,
-    run_odd_bell_state_bench,
-    run_random_circuit_verification,
-)
-from .sweep import (
-    build_sweep_point,
-    format_sweep_table,
-    point_base_seed,
-    run_ler_sweep,
+from .memory import (
+    CircuitLevelBlockExperiment,
+    CircuitLevelMemoryExperiment,
+    MemoryResult,
+    run_block_scaling,
+    run_circuit_level_scaling,
 )
 from .parallel import (
     ArmAggregator,
@@ -77,24 +46,55 @@ from .parallel import (
     run_parallel_sweep,
     run_shard,
 )
-from .distance import (
-    CodeCapacitySimulator,
-    DistanceLerResult,
-    format_distance_table,
-    run_distance_scaling,
-)
-from .memory import (
-    CircuitLevelBlockExperiment,
-    CircuitLevelMemoryExperiment,
-    MemoryResult,
-    run_block_scaling,
-    run_circuit_level_scaling,
-)
 from .phenomenological import (
     PhenomenologicalResult,
     PhenomenologicalSimulator,
     format_phenomenological_table,
     run_phenomenological_scaling,
+)
+from .results import (
+    RESULT_KINDS,
+    BatchCounts,
+    ResultBase,
+    RunResult,
+    ShardResult,
+    SweepPointResult,
+    SweepResult,
+    result_from_json,
+    result_from_json_dict,
+)
+from .schedule import (
+    ScheduleComparison,
+    ScheduleOutcome,
+    ScheduleParameters,
+    compare_schedules,
+    schedule_with_frame,
+    schedule_without_frame,
+)
+from .stats import (
+    PointComparison,
+    SampleSummary,
+    StreamingSummary,
+    compare_point,
+    mean_rho,
+    pseudo_threshold,
+    significant_fraction,
+    summarize,
+    wilson_halfwidth,
+    wilson_interval,
+)
+from .sweep import (
+    build_sweep_point,
+    format_sweep_table,
+    point_base_seed,
+    run_ler_sweep,
+)
+from .verification import (
+    OddBellReport,
+    RandomCircuitOutcome,
+    VerificationReport,
+    run_odd_bell_state_bench,
+    run_random_circuit_verification,
 )
 
 __all__ = [

@@ -29,7 +29,6 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .. import telemetry
 from ..circuits.circuit import Circuit
 from ..circuits.operation import Operation
 from ..codes.surface17.esm import parallel_esm
@@ -43,15 +42,16 @@ from ..codes.surface17.layout import (
 from ..decoders.lut import correction_operations
 from ..decoders.rule_based import SyndromeRound, WindowedLutDecoder
 from ..qpdo.batched_core import BatchedStabilizerCore
-from ..qpdo.packed_core import PackedStabilizerCore
-from ..sim.packedsim import unpack_bits
 from ..qpdo.core import Core
 from ..qpdo.cores import StabilizerCore
 from ..qpdo.counter_layer import CounterLayer
 from ..qpdo.error_layer import DepolarizingErrorLayer
+from ..qpdo.packed_core import PackedStabilizerCore
 from ..qpdo.pauli_frame_layer import PauliFrameLayer
 from ..sim.framesim import NoiseParameters
+from ..sim.packedsim import unpack_bits
 from ..sim.refcache import reference_trace_key
+from .. import telemetry
 from .results import BatchCounts, RunResult
 
 #: ESM rounds per decoding window (Fig. 5.9 uses two fresh rounds plus
@@ -110,16 +110,16 @@ def build_ler_stack(
     core = StabilizerCore(rng=rng)
     core.createqubit(NUM_QUBITS + 1)  # + diagnostic ancilla (index 17)
 
-    def make_error_layer(lower):
+    def make_error_layer(lower, layer_rng):
         return DepolarizingErrorLayer(
             lower,
             probability=physical_error_rate,
-            rng=rng,
+            rng=layer_rng,
             active_qubits=range(NUM_QUBITS),
         )
 
     if frame_placement == "physical" or not use_pauli_frame:
-        error_layer = make_error_layer(core)
+        error_layer = make_error_layer(core, rng)
         counter_below = CounterLayer(error_layer, name="below_frame")
         pauli_frame = (
             PauliFrameLayer(counter_below) if use_pauli_frame else None
@@ -133,7 +133,7 @@ def build_ler_stack(
         # layer, counter, Pauli frame, core.
         pauli_frame = PauliFrameLayer(core)
         counter_below = CounterLayer(pauli_frame, name="below_frame")
-        error_layer = make_error_layer(counter_below)
+        error_layer = make_error_layer(counter_below, rng)
         counter_above = CounterLayer(error_layer, name="above_frame")
     return LerStack(
         core=core,

@@ -43,12 +43,11 @@ from __future__ import annotations
 
 import json
 import math
+import multiprocessing as mp
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import multiprocessing as mp
 
 from .. import telemetry
 from .ler import (

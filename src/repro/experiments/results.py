@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -797,6 +797,21 @@ class LintReport(ResultBase):
     counts_by_code: Dict[str, int]
     suppressed: int
     unsuppressed: int
+    passed: bool
+
+
+@dataclass
+class MatrixReport(ResultBase):
+    """``repro analyze matrix``: static capability-matrix verdicts."""
+
+    kind = "matrix_report"
+
+    decoders: List[str]
+    engines: List[str]
+    experiments: List[str]
+    cells: List[Dict]
+    doc_examples: int
+    problems: List[str]
     passed: bool
 
 

@@ -409,6 +409,27 @@ REPORT_SCHEMAS: Dict[str, Dict] = {
             "passed": _BOOL,
         }
     ),
+    "matrix_report": _obj(
+        {
+            "kind": _kind("matrix_report"),
+            "decoders": _array(_STRING),
+            "engines": _array(_STRING),
+            "experiments": _array(_STRING),
+            "cells": _array(
+                _obj(
+                    {
+                        "decoder": _STRING,
+                        "context": _STRING,
+                        "supported": _BOOL,
+                        "reason": _STRING,
+                    }
+                )
+            ),
+            "doc_examples": _INT,
+            "problems": _array(_STRING),
+            "passed": _BOOL,
+        }
+    ),
 }
 
 # -- repro serve wire documents (see :mod:`repro.serve.wire`) ----------

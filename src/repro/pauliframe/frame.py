@@ -14,7 +14,7 @@ the QPDO layer :class:`repro.qpdo.pauli_frame_layer.PauliFrameLayer`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..paulis.record import PauliRecord
 from ..paulis.tables import (

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..circuits.circuit import Circuit, TimeSlot
+from ..circuits.circuit import Circuit
 from ..circuits.operation import Operation
 from ..gates.gateset import GateClass
 from .frame import PauliFrame

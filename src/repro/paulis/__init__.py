@@ -12,8 +12,8 @@ library is built on:
   decoder construction.
 """
 
-from .record import PAULI_GATE_RECORDS, PauliRecord, record_after_pauli
 from .pauli_string import PauliString, as_pauli_string, random_pauli_string
+from .record import PAULI_GATE_RECORDS, PauliRecord, record_after_pauli
 from . import tables
 
 __all__ = [

@@ -2,15 +2,15 @@
 
 from .batched_core import BatchedExecutionResult, BatchedStabilizerCore
 from .core import Core, ExecutionResult, UnsupportedFeatureError
-from .packed_core import PackedExecutionResult, PackedStabilizerCore
 from .cores import StabilizerCore, StateVectorCore
-from .layer import ControlStack, Layer
 from .counter_layer import CounterLayer, StreamCounts
 from .error_layer import (
     TWO_QUBIT_ERRORS,
     DepolarizingErrorLayer,
     ErrorCounts,
 )
+from .layer import ControlStack, Layer
+from .packed_core import PackedExecutionResult, PackedStabilizerCore
 from .pauli_frame_layer import PauliFrameLayer
 from .testbench import (
     BellStateHistoTb,

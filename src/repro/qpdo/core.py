@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..circuits.circuit import Circuit
 from ..circuits.operation import Operation

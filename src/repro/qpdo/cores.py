@@ -17,8 +17,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..sim.state import QuantumState, State
 from ..sim.stabilizer import StabilizerSimulator
+from ..sim.state import QuantumState, State
 from ..sim.statevector import StateVectorSimulator
 from .. import telemetry
 from .core import (

@@ -38,11 +38,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
-from .. import telemetry
 from ..experiments.results import LerReport, SweepReport
 from ..experiments.stats import mean_rho, significant_fraction
+from .. import telemetry
 from .jobs import (
-    RUNNING,
     Job,
     JobJournal,
     JobQueue,

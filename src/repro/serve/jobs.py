@@ -39,7 +39,7 @@ import heapq
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..experiments.parallel import AtomicJsonLinesWriter

@@ -35,13 +35,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .. import telemetry
 from ..experiments.parallel import (
     ParallelConfig,
     ParallelSweepReport,
     PoolShutdownError,
     run_parallel_sweep,
 )
+from .. import telemetry
 from .wire import JOB_KINDS
 
 

@@ -1,12 +1,5 @@
 """Quantum simulators and shared state structures (paper section 4.1)."""
 
-from .state import (
-    BinaryValue,
-    QuantumState,
-    State,
-    basis_state_label,
-    index_from_bits,
-)
 from .framesim import (
     BatchedFrameSampler,
     FrameArray,
@@ -26,6 +19,13 @@ from .packedsim import (
     unpack_bits,
 )
 from .stabilizer import StabilizerSimulator
+from .state import (
+    BinaryValue,
+    QuantumState,
+    State,
+    basis_state_label,
+    index_from_bits,
+)
 from .statevector import StateVectorSimulator
 
 __all__ = [

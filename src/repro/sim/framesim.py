@@ -48,12 +48,11 @@ same :class:`FrameArray` kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import Circuit, TimeSlot
-from ..gates.gateset import GateClass
 from .. import telemetry
 from .stabilizer import StabilizerSimulator
 

@@ -56,8 +56,8 @@ from typing import Optional
 
 import numpy as np
 
-from .. import telemetry
 from ..circuits.circuit import Circuit
+from .. import telemetry
 from .framesim import (
     OP_CNOT,
     OP_CZ,

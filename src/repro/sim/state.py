@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 

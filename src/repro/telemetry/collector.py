@@ -21,7 +21,7 @@ Record types emitted to sinks:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .sinks import Sink
 

@@ -1,11 +1,20 @@
 """CI gate: no DeprecationWarning originates from inside ``repro``.
 
-Imports every module of the package with warnings recorded and fails
-if any :class:`DeprecationWarning` is attributed to a file under the
-package source tree.  Out-of-tree warnings (third-party libraries,
-callers exercising the deprecated aliases on purpose) are ignored —
-the gate pins that *our own code* never goes through a deprecated
-path.
+Two phases:
+
+* **dynamic** — imports every module of the package with warnings
+  recorded and fails if any :class:`DeprecationWarning` is attributed
+  to a file under the package source tree.  Out-of-tree warnings
+  (third-party libraries, callers exercising the deprecated aliases
+  on purpose) are ignored — the gate pins that *our own code* never
+  goes through a deprecated path at import time;
+* **static** — scans the sources (package plus ``examples/`` and
+  ``benchmarks/``, *not* tests, which exercise the aliases on
+  purpose) for spellings that only survive as deprecated aliases:
+  legacy ``decoder_impl`` registry names (``"batched"``,
+  ``"per-shot"``) used as decoder selectors, and the pre-PR-3 result
+  class names (``LerResult`` & co).  Import-time checking alone
+  cannot see a string literal that would warn at *call* time.
 
 Usage::
 
@@ -14,11 +23,13 @@ Usage::
 
 from __future__ import annotations
 
+import ast
 import importlib
 import os
 import pkgutil
 import sys
 import warnings
+from pathlib import Path
 from typing import List, Tuple
 
 
@@ -68,6 +79,114 @@ def collect_in_tree_deprecations() -> List[Tuple[str, str]]:
     return offences
 
 
+#: Pre-PR-3 result class names that only survive as aliases.
+DEPRECATED_RESULT_NAMES = frozenset(
+    {
+        "LerResult",
+        "BatchedLerCounts",
+        "SweepPoint",
+        "LerSweep",
+        "ShardRecord",
+    }
+)
+
+
+def deprecated_decoder_aliases() -> frozenset:
+    """Legacy ``decoder_impl`` strings (the registry's alias table)."""
+    from repro.decoders import registry
+
+    return frozenset(registry._ALIASES)
+
+
+def scan_static_deprecations(
+    roots: List[Path],
+) -> List[Tuple[str, str]]:
+    """(location, offence) pairs for alias spellings in the sources.
+
+    Flags a deprecated *decoder* alias only where it is used as a
+    selector — a string literal assigned to or passed as
+    ``decoder`` / ``decoder_impl`` — so prose-like words (``batched``
+    is an ordinary English word in this repo) never false-positive.
+    Deprecated *result* names are flagged on any ``Name`` load.
+    """
+    aliases = deprecated_decoder_aliases()
+    offences: List[Tuple[str, str]] = []
+
+    def check_selector(value: ast.AST, where: str) -> None:
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value.partition(":")[0] in aliases
+        ):
+            offences.append(
+                (
+                    where,
+                    f"deprecated decoder alias "
+                    f"{value.value.partition(':')[0]!r} used as a "
+                    f"selector; use the canonical registry name",
+                )
+            )
+
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+            for node in ast.walk(tree):
+                where = f"{path}:{node.lineno}" if hasattr(
+                    node, "lineno"
+                ) else str(path)
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    if node.id in DEPRECATED_RESULT_NAMES:
+                        offences.append(
+                            (
+                                where,
+                                f"pre-PR-3 result name {node.id!r}; "
+                                f"use the canonical class from "
+                                f"repro.experiments.results",
+                            )
+                        )
+                elif isinstance(node, ast.keyword) and node.arg in (
+                    "decoder",
+                    "decoder_impl",
+                ):
+                    check_selector(node.value, where)
+                elif isinstance(node, ast.Assign):
+                    names = {
+                        t.id
+                        for t in node.targets
+                        if isinstance(t, ast.Name)
+                    }
+                    if names & {"decoder", "decoder_impl"}:
+                        check_selector(node.value, where)
+                elif isinstance(node, ast.Call):
+                    chain = node.func
+                    if (
+                        isinstance(chain, ast.Name)
+                        and chain.id
+                        in ("get_decoder", "resolve_decoder_name")
+                        and node.args
+                    ):
+                        check_selector(node.args[0], where)
+    return offences
+
+
+def default_static_roots() -> List[Path]:
+    """Package sources + examples/ + benchmarks/ (never tests/)."""
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    roots = [package]
+    repo = package.parent.parent
+    for extra in ("examples", "benchmarks"):
+        candidate = repo / extra
+        if candidate.is_dir():
+            roots.append(candidate)
+    return roots
+
+
 def main() -> int:
     offences = collect_in_tree_deprecations()
     if offences:
@@ -78,9 +197,19 @@ def main() -> int:
             f"inside src/repro"
         )
         return 1
+    static = scan_static_deprecations(default_static_roots())
+    if static:
+        for where, detail in static:
+            print(f"FAIL {where}: {detail}")
+        print(
+            f"{len(static)} deprecated spelling(s) in repo-internal "
+            f"source"
+        )
+        return 1
     print(
         "no DeprecationWarning originates from inside the repro "
-        "package"
+        "package; no deprecated alias spellings in repo-internal "
+        "source"
     )
     return 0
 

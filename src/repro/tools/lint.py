@@ -419,15 +419,26 @@ def lint_source(
 
 
 def lint_paths(root: Optional[Path] = None) -> List[Finding]:
-    """Lint every source file under ``root`` (default: ``src/repro``)."""
+    """Lint every source file under ``root`` (default: ``src/repro``).
+
+    Combines the per-file rules (``REP001``-``REP006``) with the
+    whole-program dataflow pass (``REP100``-``REP112``,
+    :mod:`repro.analysis.dataflow`) whenever ``root`` is a directory;
+    a single-file root runs the per-file rules only, since the
+    interprocedural rules need the rest of the program to say
+    anything sound.
+    """
     base = default_root() if root is None else root
     collected: List[Finding] = []
-    for path in iter_source_files(base):
+    paths = iter_source_files(base)
+    display: List[str] = []
+    for path in paths:
         relative = path
         try:
             relative = path.relative_to(base.parent.parent)
         except ValueError:
             pass
+        display.append(str(relative))
         collected.extend(
             lint_source(
                 path.read_text(encoding="utf-8"),
@@ -435,6 +446,10 @@ def lint_paths(root: Optional[Path] = None) -> List[Finding]:
                 in_telemetry_package="telemetry" in path.parts,
             )
         )
+    if base.is_dir():
+        from ..analysis.dataflow import analyze_program
+
+        collected.extend(analyze_program(paths, display))
     return collected
 
 

@@ -67,6 +67,7 @@ def subcommand_invocations(trace_path: str) -> Dict[str, List[str]]:
         # Doubles as the zero-unsuppressed-findings lint gate: a
         # non-zero exit fails validation.
         "lint-code": ["lint-code"],
+        "analyze": ["analyze", "matrix"],
         "lint-circuit": ["lint-circuit", "sc17-esm"],
     }
 

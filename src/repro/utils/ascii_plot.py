@@ -10,7 +10,7 @@ diagonal (the pseudo-threshold reference line of Figs 5.11-5.16).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 Point = Tuple[float, float]
 

@@ -1,0 +1,538 @@
+"""The whole-program dataflow analyzer (REP100-REP112).
+
+Fixture corpus of known-bad snippets — one per rule — asserting exact
+finding codes and locations, the matching known-good variants, the
+``# allow-lint:`` suppression contract, and Hypothesis properties
+(never crashes, findings stable under formatting changes).
+"""
+
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import dataflow
+from repro.analysis.dataflow import (
+    OWNERSHIP_CONTRACTS,
+    analyze_program,
+)
+
+
+def analyze(tmp_path, **sources):
+    """Write ``name -> source`` files and analyze them as one program."""
+    paths = []
+    for name, source in sorted(sources.items()):
+        path = tmp_path / f"{name}.py"
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return analyze_program(paths, [p.name for p in paths])
+
+
+def codes(findings, suppressed=False):
+    return [
+        f.code for f in findings if f.suppressed == suppressed
+    ]
+
+
+# ----------------------------------------------------------------------
+# REP100: default-None seed reaching default_rng with an unset caller
+# ----------------------------------------------------------------------
+REP100_BAD = """
+    import numpy as np
+
+    def sample(shots, seed=None):
+        rng = np.random.default_rng(seed)
+        return rng.random(shots)
+
+    def caller():
+        return sample(10)
+"""
+
+
+def test_rep100_unset_caller(tmp_path):
+    findings = analyze(tmp_path, mod=REP100_BAD)
+    assert codes(findings) == ["REP100"]
+    finding = findings[0]
+    assert finding.location["path"] == "mod.py"
+    assert finding.location["line"] == 5
+    assert "caller" not in finding.message or "mod.py:9" in (
+        finding.message
+    )
+
+
+def test_rep100_quiet_when_all_callers_seed(tmp_path):
+    source = REP100_BAD.replace("sample(10)", "sample(10, seed=7)")
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+def test_rep100_quiet_on_ambiguous_name(tmp_path):
+    # Two defs share the simple name: call sites cannot be
+    # attributed, so the rule must stay quiet rather than guess.
+    other = """
+        def sample(n, seed=3):
+            return seed
+    """
+    findings = analyze(tmp_path, mod=REP100_BAD, other=other)
+    assert codes(findings) == []
+
+
+def test_rep100_kwargs_assumed_bound(tmp_path):
+    source = REP100_BAD.replace("sample(10)", "sample(10, **kw)")
+    source = source.replace(
+        "def caller():", "def caller(**kw):"
+    )
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+def test_rep100_cross_module_call_site(tmp_path):
+    producer = """
+        import numpy as np
+
+        def sample(shots, seed=None):
+            return np.random.default_rng(seed).random(shots)
+    """
+    consumer = """
+        from producer import sample
+
+        def run():
+            return sample(4)
+    """
+    findings = analyze(
+        tmp_path, producer=producer, consumer=consumer
+    )
+    assert codes(findings) == ["REP100"]
+
+
+# ----------------------------------------------------------------------
+# REP101: RNG captured into a closure
+# ----------------------------------------------------------------------
+def test_rep101_closure_capture(tmp_path):
+    source = """
+        def run(rng):
+            def draw():
+                return rng.normal()
+            return draw
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == ["REP101"]
+    assert findings[0].location["line"] == 3
+
+
+def test_rep101_lambda_capture(tmp_path):
+    source = """
+        import numpy as np
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            return sorted([3, 1], key=lambda x: rng.random())
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP101"]
+
+
+def test_rep101_quiet_when_threaded(tmp_path):
+    source = """
+        def run(rng):
+            def draw(rng):
+                return rng.normal()
+            return draw(rng)
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+# ----------------------------------------------------------------------
+# REP102 / REP103: RNG across the pool boundary / both sides
+# ----------------------------------------------------------------------
+def test_rep102_submit_ships_rng(tmp_path):
+    source = """
+        def launch(pool, rng, work):
+            return pool.submit(work, rng)
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == ["REP102"]
+
+
+def test_rep102_initargs(tmp_path):
+    source = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def launch(rng, setup):
+            return ProcessPoolExecutor(
+                max_workers=2, initializer=setup, initargs=(rng,)
+            )
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP102"]
+
+
+def test_rep103_both_sides(tmp_path):
+    source = """
+        def launch(pool, rng, work):
+            local = rng.normal()
+            handle = pool.submit(work, rng)
+            return local, handle
+    """
+    found = codes(analyze(tmp_path, mod=source))
+    assert found == ["REP103", "REP102"] or sorted(found) == [
+        "REP102",
+        "REP103",
+    ]
+
+
+def test_rep102_quiet_for_derived_seeds(tmp_path):
+    source = """
+        def launch(pool, rng, work):
+            children = rng.spawn(4)
+            return [pool.submit(work, c) for c in children]
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+# ----------------------------------------------------------------------
+# REP104: nondeterministic seed derivation
+# ----------------------------------------------------------------------
+def test_rep104_pid_seed(tmp_path):
+    source = """
+        import os
+
+        def make():
+            seed_value = os.getpid()
+            return seed_value
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == ["REP104"]
+    assert findings[0].location["line"] == 5
+
+
+def test_rep104_wall_clock_inside_default_rng(tmp_path):
+    source = """
+        import time
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(int(time.time()))
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP104"]
+
+
+def test_rep104_quiet_for_sha_derivation(tmp_path):
+    source = """
+        import hashlib
+
+        def make(job_id):
+            digest = hashlib.sha256(job_id.encode()).digest()
+            seed_value = int.from_bytes(digest[:8], "big")
+            return seed_value
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+# ----------------------------------------------------------------------
+# REP110: module-level mutable without an ownership contract
+# ----------------------------------------------------------------------
+REP110_BAD = """
+    _CACHE = {}
+
+    def put(key, value):
+        _CACHE[key] = value
+"""
+
+
+def test_rep110_uncontracted_cache(tmp_path):
+    findings = analyze(tmp_path, mod=REP110_BAD)
+    assert codes(findings) == ["REP110"]
+    finding = findings[0]
+    assert finding.location["line"] == 2  # the declaration
+    assert "mod.py:5" in finding.location["mutation"]
+
+
+def test_rep110_contract_clears_it(tmp_path):
+    OWNERSHIP_CONTRACTS["mod:_CACHE"] = "test contract"
+    try:
+        assert codes(analyze(tmp_path, mod=REP110_BAD)) == []
+    finally:
+        del OWNERSHIP_CONTRACTS["mod:_CACHE"]
+
+
+def test_rep110_method_mutation(tmp_path):
+    source = """
+        _SEEN = set()
+
+        def note(key):
+            _SEEN.add(key)
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP110"]
+
+
+def test_rep110_local_shadow_is_quiet(tmp_path):
+    source = """
+        _CACHE = {}
+
+        def put(key, value):
+            _CACHE = {}
+            _CACHE[key] = value
+            return _CACHE
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+def test_rep110_cross_module_mutation(tmp_path):
+    owner = """
+        TABLE = {}
+    """
+    writer = """
+        import owner
+
+        def put(key, value):
+            owner.TABLE[key] = value
+    """
+    findings = analyze(tmp_path, owner=owner, writer=writer)
+    assert codes(findings) == ["REP110"]
+    assert findings[0].location["path"] == "owner.py"
+
+
+def test_every_registered_contract_is_a_real_mutable():
+    # Contracts must not go stale: each key's module:NAME must still
+    # exist as a module-level mutable in the package sources.
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    paths = sorted(root.rglob("*.py"))
+    program = dataflow.build_program(
+        paths, [str(p) for p in paths]
+    )
+    for key in OWNERSHIP_CONTRACTS:
+        assert key in program.module_mutables, (
+            f"stale ownership contract {key!r}: no such "
+            f"module-level mutable"
+        )
+
+
+# ----------------------------------------------------------------------
+# REP111 / REP112: atomic-publish idiom
+# ----------------------------------------------------------------------
+def test_rep111_truncating_checkpoint_write(tmp_path):
+    source = """
+        def write_checkpoint(path, payload):
+            with open(path, "w") as handle:
+                handle.write(payload)
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == ["REP111"]
+
+
+def test_rep111_quiet_with_replace(tmp_path):
+    source = """
+        import os
+
+        def write_checkpoint(path, payload):
+            with open(path + ".tmp", "w") as handle:
+                handle.write(payload)
+            os.replace(path + ".tmp", path)
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+def test_rep111_quiet_outside_persistence_scope(tmp_path):
+    source = """
+        def render(path, payload):
+            with open(path, "w") as handle:
+                handle.write(payload)
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+def test_rep112_tmp_path_never_published(tmp_path):
+    source = """
+        def emit(path, data):
+            staged = path + ".tmp"
+            with open(staged, "a") as handle:
+                handle.write(data)
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == ["REP112"]
+    assert findings[0].location["line"] == 3
+
+
+def test_rep112_quiet_with_replace(tmp_path):
+    source = """
+        import os
+
+        def emit(path, data):
+            staged = path + ".tmp"
+            with open(staged, "a") as handle:
+                handle.write(data)
+            os.replace(staged, path)
+    """
+    assert codes(analyze(tmp_path, mod=source)) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_allow_lint_with_reason_suppresses(tmp_path):
+    source = """
+        _CACHE = {}  # allow-lint: REP110 process cache, documented
+
+        def put(key, value):
+            _CACHE[key] = value
+    """
+    findings = analyze(tmp_path, mod=source)
+    assert codes(findings) == []
+    assert codes(findings, suppressed=True) == ["REP110"]
+    assert findings[0].suppression_reason == (
+        "process cache, documented"
+    )
+
+
+def test_allow_lint_without_reason_does_not_suppress(tmp_path):
+    source = """
+        _CACHE = {}  # allow-lint: REP110
+
+        def put(key, value):
+            _CACHE[key] = value
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP110"]
+
+
+def test_allow_lint_wrong_code_does_not_suppress(tmp_path):
+    source = """
+        _CACHE = {}  # allow-lint: REP002 wrong rule cited
+
+        def put(key, value):
+            _CACHE[key] = value
+    """
+    assert codes(analyze(tmp_path, mod=source)) == ["REP110"]
+
+
+# ----------------------------------------------------------------------
+# lint-code integration
+# ----------------------------------------------------------------------
+def test_lint_paths_runs_program_pass_on_directories(tmp_path):
+    from repro.tools import lint
+
+    (tmp_path / "mod.py").write_text(textwrap.dedent(REP110_BAD))
+    findings = lint.lint_paths(tmp_path)
+    assert "REP110" in [f.code for f in findings]
+
+
+def test_lint_paths_single_file_skips_program_pass(tmp_path):
+    from repro.tools import lint
+
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(REP110_BAD))
+    findings = lint.lint_paths(path)
+    assert [f.code for f in findings] == []
+
+
+def test_src_repro_has_zero_unsuppressed_program_findings():
+    from repro.tools import lint
+
+    findings = [
+        f
+        for f in lint.lint_paths()
+        if f.code.startswith("REP1")
+    ]
+    offending = lint.unsuppressed(findings)
+    assert offending == [], [str(f) for f in offending]
+    for finding in findings:
+        if finding.suppressed:
+            assert finding.suppression_reason
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: total and formatting-stable
+# ----------------------------------------------------------------------
+_SNIPPETS = [
+    REP100_BAD,
+    REP110_BAD,
+    """
+    def run(rng):
+        def draw():
+            return rng.normal()
+        return draw
+    """,
+    """
+    import os
+
+    def make():
+        seed_value = os.getpid()
+        return seed_value
+    """,
+    """
+    def write_checkpoint(path, payload):
+        with open(path, "w") as handle:
+            handle.write(payload)
+    """,
+    """
+    def launch(pool, rng, work):
+        local = rng.normal()
+        return pool.submit(work, rng)
+    """,
+    """
+    def clean(values):
+        return sorted(values)
+    """,
+]
+
+
+@st.composite
+def generated_module(draw):
+    """A syntactically valid module assembled from template parts."""
+    parts = draw(
+        st.lists(st.sampled_from(_SNIPPETS), min_size=1, max_size=4)
+    )
+    rename = draw(st.integers(min_value=0, max_value=999))
+    out = []
+    for index, part in enumerate(parts):
+        body = textwrap.dedent(part)
+        # Uniquify top-level names so redefinition is syntactically
+        # fine but attribution stays interesting.
+        body = body.replace("def ", f"def g{rename}_{index}_", 1)
+        out.append(body)
+    return "\n".join(out)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=generated_module())
+def test_analyzer_never_crashes(tmp_path_factory, source):
+    tmp = tmp_path_factory.mktemp("hyp")
+    path = tmp / "mod.py"
+    path.write_text(source)
+    findings = analyze_program([path], ["mod.py"])
+    for finding in findings:
+        assert finding.code in dataflow.F.FINDING_CODES
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    snippet=st.sampled_from(_SNIPPETS),
+    pad=st.integers(min_value=0, max_value=5),
+    indent_unit=st.sampled_from([4, 8]),
+)
+def test_findings_stable_under_formatting(
+    tmp_path_factory, snippet, pad, indent_unit
+):
+    tmp = tmp_path_factory.mktemp("fmt")
+    base = textwrap.dedent(snippet).strip() + "\n"
+
+    def run(source):
+        path = tmp / "mod.py"
+        path.write_text(source)
+        return [
+            f.code for f in analyze_program([path], ["mod.py"])
+        ]
+
+    reference = run(base)
+    # Trailing blank lines, trailing spaces and a wider (but
+    # consistent) indent unit must not change what is found.
+    reindented = base.replace("    ", " " * indent_unit)
+    padded = base + "\n" * pad
+    spaced = "\n".join(
+        line + "  " if line.strip() else line
+        for line in base.splitlines()
+    ) + "\n"
+    assert run(reindented) == reference
+    assert run(padded) == reference
+    assert run(spaced) == reference
